@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Every benchmark regenerates one table or figure of the paper and prints a
+paper-vs-measured comparison.  Absolute agreement is not the bar (the
+substrate is a calibrated simulator, not the authors' 2016 crawls); the
+*shape* — who wins, by what rough factor, where the medians sit — is what
+each bench asserts and what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def comparison_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Render a paper-vs-measured table for benchmark output."""
+    cells = [[str(h) for h in headers]] + [[str(v) for v in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = [title, "=" * len(title)]
+    for index, row in enumerate(cells):
+        lines.append("  ".join(value.ljust(widths[i]) for i, value in enumerate(row)))
+        if index == 0:
+            lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def emit(text: str) -> None:
+    """Print a benchmark report block (visible with ``pytest -s``)."""
+    print("\n" + text + "\n")

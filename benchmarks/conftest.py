@@ -1,0 +1,46 @@
+"""Session-scoped fixtures shared by the benchmark suite.
+
+The heavy simulations (town + behaviour + full pipeline) are built once per
+session; individual benchmarks time the analysis they regenerate, not the
+shared world construction.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.measurement import all_service_specs, crawl_service
+from repro.service.pipeline import PipelineConfig, run_full_pipeline
+from repro.world.behavior import BehaviorConfig, BehaviorSimulator
+from repro.world.population import TownConfig, build_town
+
+BENCH_SEED = 2016  # the year of the paper
+
+
+@pytest.fixture(scope="session")
+def crawls():
+    """The three crawled services of Section 2."""
+    return {spec.name: crawl_service(spec, seed=BENCH_SEED) for spec in all_service_specs()}
+
+
+@pytest.fixture(scope="session")
+def simulated_world():
+    """A mid-sized town simulated for half a year."""
+    town = build_town(TownConfig(n_users=100), seed=BENCH_SEED)
+    result = BehaviorSimulator(
+        town.users, town.entities, BehaviorConfig(duration_days=180), seed=BENCH_SEED
+    ).run()
+    return town, result, 180.0
+
+
+@pytest.fixture(scope="session")
+def pipeline_outcome(simulated_world):
+    """One full Figure 2 pipeline run over the shared world."""
+    town, result, horizon_days = simulated_world
+    config = PipelineConfig(horizon_days=horizon_days, seed=BENCH_SEED)
+    return run_full_pipeline(town, result, config)

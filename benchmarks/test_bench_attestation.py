@@ -1,0 +1,96 @@
+"""A10 — attestation and trustworthy sensing as the outer fraud ring.
+
+Section 4.3's first line of defense, quantified: modified clients are
+refused attestation (and therefore tokens, and therefore any upload at
+all), and fabricated sensor inputs are dropped before they can seed fake
+interactions.  Only the *behavioural* attacks that remain (generating
+real-looking activity with a genuine client and real sensors) reach the
+typical-user detector benchmarked in A4.
+"""
+
+from _harness import comparison_table, emit
+
+from repro.fraud.attestation import (
+    AttestationVerifier,
+    PlatformVendor,
+    SensorInputVerifier,
+    TrustedSensorStack,
+    client_build_hash,
+    forge_quote_without_key,
+    spoof_location_samples,
+)
+from repro.sensing.traces import LocationSample
+from repro.world.geography import Point
+
+GENUINE = client_build_hash("official RSP client v1.0")
+
+
+def test_bench_attestation_gate(benchmark):
+    vendor = PlatformVendor()
+    verifier = AttestationVerifier(vendor, genuine_builds={GENUINE})
+
+    n_each = 200
+
+    def run_gate():
+        accepted_genuine = 0
+        accepted_modified = 0
+        accepted_forged = 0
+        for index in range(n_each):
+            genuine = vendor.make_quote(f"good-{index}", GENUINE, nonce=f"g{index}".encode())
+            accepted_genuine += verifier.verify(genuine)
+            modified = vendor.make_quote(
+                f"mod-{index}",
+                client_build_hash(f"patched client #{index}"),
+                nonce=f"m{index}".encode(),
+            )
+            accepted_modified += verifier.verify(modified)
+            forged = forge_quote_without_key(f"forge-{index}", GENUINE, nonce=f"f{index}".encode())
+            accepted_forged += verifier.verify(forged)
+        return accepted_genuine, accepted_modified, accepted_forged
+
+    genuine_ok, modified_ok, forged_ok = benchmark.pedantic(run_gate, rounds=1, iterations=1)
+
+    emit(comparison_table(
+        "A10: attestation gate (200 devices each)",
+        ["client population", "quotes accepted"],
+        [
+            ["genuine builds", genuine_ok],
+            ["modified builds", modified_ok],
+            ["keyless forgeries", forged_ok],
+        ],
+    ))
+
+    assert genuine_ok == n_each
+    assert modified_ok == 0
+    assert forged_ok == 0
+
+
+def test_bench_trustworthy_sensing_filter(benchmark):
+    vendor = PlatformVendor()
+    stack = TrustedSensorStack(vendor, "dev-1")
+    genuine = [stack.emit(LocationSample(time=float(i), point=Point(1, 1))) for i in range(500)]
+    spoofed = spoof_location_samples(
+        "dev-1", [LocationSample(time=1000.0 + i, point=Point(9, 9)) for i in range(500)]
+    )
+    mixed = genuine + spoofed
+
+    def run_filter():
+        sensor_verifier = SensorInputVerifier(vendor)
+        authentic = sensor_verifier.filter_authentic(mixed)
+        return authentic, sensor_verifier.rejected
+
+    authentic, rejected = benchmark.pedantic(run_filter, rounds=1, iterations=1)
+
+    emit(comparison_table(
+        "A10: trustworthy-sensing filter (500 genuine + 500 spoofed fixes)",
+        ["metric", "value"],
+        [
+            ["authentic fixes kept", len(authentic)],
+            ["spoofed fixes rejected", rejected],
+            ["spoofed fixes that slipped through", len(authentic) - 500],
+        ],
+    ))
+
+    assert len(authentic) == 500
+    assert rejected == 500
+    assert all(sample.point.x == 1 for sample in authentic)

@@ -1,0 +1,88 @@
+"""A12 — deployment diagnostics: per-kind accuracy, calibration, long tail.
+
+The evaluation the paper could not run: with simulator ground truth, score
+the deployed RSP the way its operators would — where inference works
+(dense restaurant signal) vs struggles (one plumber call a year), whether
+the abstention confidence is honest, and whether the opinion gain actually
+lands on the unreviewed long tail rather than piling onto already-famous
+entities.
+"""
+
+from _harness import comparison_table, emit
+
+import math
+
+from repro.service.evaluation import (
+    abstention_calibration,
+    accuracy_by_kind,
+    coverage_diagnostics,
+)
+
+
+def test_bench_accuracy_by_kind(benchmark, simulated_world, pipeline_outcome):
+    town, result, _ = simulated_world
+    report = benchmark.pedantic(
+        accuracy_by_kind, args=(town, result, pipeline_outcome), rounds=1, iterations=1
+    )
+
+    rows = []
+    for kind in sorted(report):
+        accuracy = report[kind]
+        rows.append(
+            [
+                kind,
+                accuracy.n_predictions,
+                f"{accuracy.coverage:.2f}",
+                f"{accuracy.mae:.2f}" if not math.isnan(accuracy.mae) else "-",
+            ]
+        )
+    emit(comparison_table(
+        "A12: inference quality by entity kind",
+        ["kind", "predictions", "coverage", "MAE"],
+        rows,
+    ))
+
+    assert "restaurant" in report
+    assert report["restaurant"].n_predictions > 50
+    assert report["restaurant"].mae < 1.5
+
+
+def test_bench_calibration_and_long_tail(benchmark, simulated_world, pipeline_outcome):
+    town, result, _ = simulated_world
+
+    def run_diagnostics():
+        return (
+            abstention_calibration(result, pipeline_outcome),
+            coverage_diagnostics(town, pipeline_outcome),
+        )
+
+    bins, coverage = benchmark.pedantic(run_diagnostics, rounds=1, iterations=1)
+
+    emit(comparison_table(
+        "A12: abstention calibration (claimed vs realized error)",
+        ["claimed band", "n", "mean claimed", "mean realized"],
+        [
+            [f"[{b.claimed_low:.1f}, {b.claimed_high:.1f})", b.n,
+             f"{b.mean_claimed:.2f}", f"{b.mean_realized:.2f}"]
+            for b in bins
+        ],
+    ))
+    emit(comparison_table(
+        "A12: where the opinion gain lands",
+        ["metric", "value"],
+        [
+            ["entities with any opinion, explicit only", coverage.n_entities_with_opinions_before],
+            ["entities with any opinion, with inference", coverage.n_entities_with_opinions_after],
+            ["rescued entities (0 reviews -> >0 opinions)", coverage.n_rescued_entities],
+            ["opinion Gini across entities, before", f"{coverage.gini_before:.2f}"],
+            ["opinion Gini across entities, after", f"{coverage.gini_after:.2f}"],
+        ],
+    ))
+
+    assert bins and sum(b.n for b in bins) > 100
+    for calibration_bin in bins:
+        if calibration_bin.n >= 30:
+            assert calibration_bin.mean_realized < 2.5 * calibration_bin.mean_claimed + 0.2
+    # The gain lands on the long tail: many rescued entities, flatter Gini.
+    assert coverage.n_rescued_entities > 20
+    assert coverage.gini_after < coverage.gini_before - 0.1

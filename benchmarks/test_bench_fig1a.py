@@ -1,0 +1,49 @@
+"""F1a — Figure 1(a): distribution across entities of number of reviews.
+
+Paper: "the median number of reviews is 8, 5, and 25 on Angie's List,
+Healthgrades, and Yelp", with a heavy tail reaching ~1024 reviews and a
+large fraction of entities having very few.
+"""
+
+from _harness import comparison_table, emit
+
+from repro.measurement import figure1a
+
+PAPER_MEDIANS = {"Yelp": 25, "Angie's List": 8, "Healthgrades": 5}
+
+
+def test_bench_fig1a(benchmark, crawls):
+    result = benchmark.pedantic(
+        figure1a, args=(list(crawls.values()),), rounds=1, iterations=1
+    )
+
+    rows = [
+        [
+            service,
+            PAPER_MEDIANS[service],
+            f"{result.median(service):.0f}",
+            f"{result.fraction_with_at_most(service, 50):.2f}",
+        ]
+        for service in PAPER_MEDIANS
+    ]
+    emit(comparison_table(
+        "Figure 1(a): reviews per entity",
+        ["service", "paper median", "measured median", "F(50) measured"],
+        rows,
+    ))
+    emit(result.render())
+
+    # Shape assertions: medians near the paper's, ordering preserved,
+    # heavy tail present, most entities poorly reviewed.
+    for service, paper_median in PAPER_MEDIANS.items():
+        measured = result.median(service)
+        assert 0.6 * paper_median <= measured <= 1.5 * paper_median, service
+    assert (
+        result.median("Yelp")
+        > result.median("Angie's List")
+        > result.median("Healthgrades")
+    )
+    for service in PAPER_MEDIANS:
+        cdf = result.cdfs[service]
+        assert cdf.quantile(0.999) > 100  # the long tail the figure's axis shows
+        assert result.fraction_with_at_most(service, 50) > 0.6

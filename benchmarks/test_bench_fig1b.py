@@ -1,0 +1,61 @@
+"""F1b — Figure 1(b): entities with >= 50 reviews per query.
+
+Paper: "for the median query ... the number of results with at least 50
+reviews is 12 on Yelp, 2 on Angie's List, and 1 on Healthgrades", with the
+named examples: 127 Chinese restaurants near 19120 of which only 4 have
+>= 50 reviews; 248 dentists near 11368 of which only 13 do.
+"""
+
+from _harness import comparison_table, emit
+
+from repro.measurement import example_query, figure1b
+
+PAPER_MEDIANS = {"Yelp": 12, "Angie's List": 2, "Healthgrades": 1}
+
+
+def test_bench_fig1b(benchmark, crawls):
+    result = benchmark.pedantic(
+        figure1b, args=(list(crawls.values()),), rounds=1, iterations=1
+    )
+
+    rows = [
+        [service, PAPER_MEDIANS[service], f"{result.median(service):.0f}"]
+        for service in PAPER_MEDIANS
+    ]
+    emit(comparison_table(
+        "Figure 1(b): well-reviewed entities per query (threshold 50)",
+        ["service", "paper median", "measured median"],
+        rows,
+    ))
+    emit(result.render())
+
+    assert abs(result.median("Yelp") - 12) <= 4
+    assert abs(result.median("Angie's List") - 2) <= 1.5
+    assert result.median("Healthgrades") <= 2
+    assert result.median("Yelp") > 3 * result.median("Angie's List")
+
+
+def test_bench_fig1b_example_queries(benchmark, crawls):
+    def named_examples():
+        yelp = example_query(crawls["Yelp"], "19120", "chinese")
+        healthgrades = example_query(crawls["Healthgrades"], "11368", "dentist")
+        return yelp, healthgrades
+
+    yelp, healthgrades = benchmark.pedantic(named_examples, rounds=1, iterations=1)
+
+    emit(comparison_table(
+        "Named example queries",
+        ["query", "paper (matches / >=50)", "measured (matches / >=50)"],
+        [
+            ["Chinese near 19120 (Yelp)", "127 / 4", f"{yelp.n_entities} / {yelp.n_well_reviewed}"],
+            ["Dentists near 11368 (HG)", "248 / 13", f"{healthgrades.n_entities} / {healthgrades.n_well_reviewed}"],
+        ],
+    ))
+
+    assert yelp.n_entities == 127
+    assert healthgrades.n_entities == 248
+    # Shape: only a small handful / small fraction are well reviewed.
+    assert 1 <= yelp.n_well_reviewed <= 12
+    assert yelp.n_well_reviewed / yelp.n_entities < 0.10
+    assert 4 <= healthgrades.n_well_reviewed <= 26
+    assert healthgrades.n_well_reviewed / healthgrades.n_entities < 0.12

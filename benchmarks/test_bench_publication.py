@@ -1,0 +1,90 @@
+"""A13 — interface differencing: exact vs coarsened publication.
+
+Section 4.2 cites Calandrino et al. [15]: an RSP "could change its
+interface in a manner that enables other users to infer the entities with
+which a particular user has interacted."  The canonical instance is
+single-increment differencing: the observer knows the target was the only
+plausible new customer of entity E between two interface refreshes, and
+checks whether E's published opinion count moved.
+
+The bench takes every entity's real opinion count from the shared pipeline
+run, applies the single increment a target would cause, and measures the
+observer's confirmation rate under exact publication (always leaks) vs the
+thresholded/rounded policy (leaks only when the increment happens to cross
+a rounding boundary — a 1-in-round_to chance instead of certainty).
+"""
+
+from _harness import comparison_table, emit
+
+from repro.core.aggregation import EntityOpinionSummary
+from repro.core.publication import (
+    coarsened_policy,
+    differencing_attack,
+    exact_policy,
+    publish,
+)
+
+
+def _summary(entity_id: str, n: int) -> EntityOpinionSummary:
+    return EntityOpinionSummary(
+        entity_id=entity_id,
+        n_explicit_reviews=0,
+        explicit_mean=None,
+        explicit_histogram=[0] * 5,
+        n_inferred_opinions=n,
+        inferred_mean=3.5 if n else None,
+        inferred_histogram=[0] * 5,
+        n_interacting_users=n,
+        effective_interactions=float(n),
+        raw_interactions=n,
+        inferred_weight=float(n),
+    )
+
+
+def test_bench_differencing(benchmark, pipeline_outcome):
+    server = pipeline_outcome.server
+
+    # Real per-entity opinion counts from the deployed pipeline — the
+    # population of "before" states a differencing observer would face.
+    base_counts = {}
+    for entity_id in server.catalog:
+        summary = server.summary(entity_id)
+        if summary is not None and summary.n_inferred_opinions > 0:
+            base_counts[entity_id] = summary.n_inferred_opinions
+
+    suspected = [(f"target-{i}", entity_id) for i, entity_id in enumerate(base_counts)]
+
+    def run_attacks():
+        reports = {}
+        for name, policy in (("exact", exact_policy()), ("coarsened", coarsened_policy())):
+            before = {
+                entity_id: publish(_summary(entity_id, n), policy)
+                for entity_id, n in base_counts.items()
+            }
+            after = {
+                entity_id: publish(_summary(entity_id, n + 1), policy)
+                for entity_id, n in base_counts.items()
+            }
+            reports[name] = differencing_attack(before, after, suspected)
+        return reports
+
+    reports = benchmark.pedantic(run_attacks, rounds=1, iterations=1)
+
+    emit(comparison_table(
+        "A13: single-increment differencing across the catalog",
+        ["publication policy", "targets", "confirmed", "success rate"],
+        [
+            [name, report.n_targets, report.n_confirmed, f"{report.success_rate:.0%}"]
+            for name, report in reports.items()
+        ],
+    ))
+
+    assert len(suspected) > 50
+    exact = reports["exact"]
+    coarse = reports["coarsened"]
+    # Exact continuous counts confirm every single-increment suspicion.
+    assert exact.success_rate == 1.0
+    # Rounding to 5 leaves at most ~1-in-5 boundary crossings, plus
+    # threshold effects; coarsening must cut confirmations by >= 3x.
+    assert coarse.success_rate < 0.35
+    assert coarse.success_rate < exact.success_rate / 3

@@ -1,0 +1,119 @@
+"""A8 — history-store scalability: update-only anonymous storage throughput.
+
+The storage design of Section 4.2 must absorb one record per user-entity
+interaction across the whole user base.  The bench measures append
+throughput, per-entity aggregation access, and the fraud profile merge over
+a store of tens of thousands of records.
+"""
+
+from _harness import comparison_table, emit
+
+import numpy as np
+
+from repro.fraud.profiles import build_profiles
+from repro.privacy.history_store import HistoryStore, InteractionUpload
+from repro.util.clock import DAY
+from repro.util.hashing import record_id
+
+
+def synthetic_uploads(n_users=2000, n_entities=200, interactions_per_user=10, seed=0):
+    rng = np.random.default_rng(seed)
+    uploads = []
+    secrets = rng.integers(0, 2**62, size=n_users)
+    for user_index in range(n_users):
+        entities = rng.choice(n_entities, size=max(1, interactions_per_user // 3), replace=False)
+        for entity_index in entities:
+            entity_id = f"entity-{entity_index:04d}"
+            history_id = record_id(int(secrets[user_index]), entity_id)
+            for _ in range(3):
+                uploads.append(
+                    InteractionUpload(
+                        history_id=history_id,
+                        entity_id=entity_id,
+                        interaction_type="visit",
+                        event_time=float(rng.uniform(0, 180)) * DAY,
+                        duration=float(rng.uniform(600, 7200)),
+                        travel_km=float(rng.uniform(0.1, 10)),
+                    )
+                )
+    return uploads
+
+
+def test_bench_store_append_throughput(benchmark):
+    uploads = synthetic_uploads()
+
+    def fill():
+        store = HistoryStore()
+        for upload in uploads:
+            store.append(upload, arrival_time=upload.event_time)
+        return store
+
+    store = benchmark(fill)
+    emit(comparison_table(
+        "A8: history store fill",
+        ["metric", "value"],
+        [
+            ["records", store.n_records],
+            ["histories", store.n_histories],
+            ["entities", len(store.entity_ids())],
+        ],
+    ))
+    assert store.n_records == len(uploads)
+
+
+def test_bench_store_aggregation_access(benchmark):
+    uploads = synthetic_uploads()
+    store = HistoryStore()
+    for upload in uploads:
+        store.append(upload, arrival_time=upload.event_time)
+
+    def aggregate():
+        total = 0
+        for entity_id in store.entity_ids():
+            for history in store.histories_for_entity(entity_id):
+                total += history.n_interactions
+        return total
+
+    total = benchmark(aggregate)
+    assert total == store.n_records
+
+
+def test_bench_profile_merge(benchmark):
+    uploads = synthetic_uploads()
+    store = HistoryStore()
+    for upload in uploads:
+        store.append(upload, arrival_time=upload.event_time)
+    kinds = {f"entity-{i:04d}": "restaurant" for i in range(200)}
+
+    profiles = benchmark(build_profiles, store, kinds)
+    assert "restaurant" in profiles
+    assert profiles["restaurant"].n_histories == store.n_histories
+
+
+def test_bench_store_compaction(benchmark):
+    """Bounded-history mode: long-running stores keep memory flat while
+    preserving interaction counts (Section 4.2's years-long histories)."""
+    uploads = synthetic_uploads(n_users=500, n_entities=50, interactions_per_user=30, seed=3)
+
+    def fill_bounded():
+        store = HistoryStore(max_records_per_history=5)
+        for upload in uploads:
+            store.append(upload, arrival_time=upload.event_time)
+        return store
+
+    bounded = benchmark(fill_bounded)
+    unbounded = HistoryStore()
+    for upload in uploads:
+        unbounded.append(upload, arrival_time=upload.event_time)
+
+    emit(comparison_table(
+        "A8: compaction (5-record raw window per history)",
+        ["store", "logical records", "raw records in memory"],
+        [
+            ["unbounded", unbounded.n_records, unbounded.n_raw_records],
+            ["bounded", bounded.n_records, bounded.n_raw_records],
+        ],
+    ))
+
+    assert bounded.n_records == unbounded.n_records  # nothing lost logically
+    assert bounded.n_raw_records <= 5 * bounded.n_histories

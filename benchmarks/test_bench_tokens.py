@@ -1,0 +1,103 @@
+"""A5 — blind-token rate limiting bounds history corruption.
+
+Section 4.2: identifier guessing cannot touch existing histories (2^-256
+collision), and the per-device token quota caps the junk an attacker can
+inject at all.  Also times the token cryptography itself, since it is the
+per-upload overhead the design adds.
+"""
+
+from _harness import comparison_table, emit
+
+from repro.privacy.attacks import corruption_attack, expected_guesses_for_collision
+from repro.privacy.blindsig import blind, generate_keypair, unblind
+from repro.privacy.history_store import HistoryStore, InteractionUpload
+from repro.privacy.identifiers import DeviceIdentity
+from repro.privacy.tokens import TokenIssuer, TokenRedeemer, TokenWallet
+
+
+def seeded_store(n_histories=500):
+    store = HistoryStore()
+    for index in range(n_histories):
+        identity = DeviceIdentity.create(f"victim-{index}", seed=index)
+        store.append(
+            InteractionUpload(
+                history_id=identity.history_id("dentist-1"),
+                entity_id="dentist-1",
+                interaction_type="visit",
+                event_time=float(index),
+                duration=3600.0,
+                travel_km=1.0,
+            ),
+            arrival_time=float(index),
+        )
+    return store
+
+
+def test_bench_corruption_bounded(benchmark):
+    store = seeded_store()
+
+    def attack():
+        return corruption_attack(store, target_entity="dentist-1", attempts=5000, seed=7)
+
+    report = benchmark.pedantic(attack, rounds=1, iterations=1)
+
+    emit(comparison_table(
+        "A5: identifier-guessing corruption attack",
+        ["metric", "value"],
+        [
+            ["existing histories", 500],
+            ["guess attempts", report.attempts],
+            ["collisions (histories polluted)", report.collisions],
+            ["analytic success probability", f"{report.analytic_success_probability:.1e}"],
+            ["expected guesses for one collision", f"{expected_guesses_for_collision(500):.1e}"],
+        ],
+    ))
+
+    assert report.collisions == 0
+    assert report.analytic_success_probability < 1e-60
+
+
+def test_bench_token_quota_caps_injection(benchmark):
+    issuer = TokenIssuer(quota_per_day=48, key_seed=5, key_bits=256)
+
+    def flood():
+        store = HistoryStore(redeemer=TokenRedeemer(issuer.public_key))
+        wallet = TokenWallet(device_id="attacker", seed=9)
+        blinded = wallet.mint(issuer.public_key, 48)
+        wallet.accept_signatures(
+            issuer.public_key, issuer.issue("attacker", blinded, now=0.0)
+        )
+        tokens = [wallet.spend() for _ in range(48)]
+        corruption_attack(store, "dentist-1", attempts=2000, seed=8, tokens=tokens)
+        return store
+
+    store = benchmark.pedantic(flood, rounds=1, iterations=1)
+
+    emit(comparison_table(
+        "A5: token quota vs flooding attacker (2000 attempted uploads)",
+        ["metric", "value"],
+        [
+            ["daily token quota", 48],
+            ["junk records landed", store.n_records],
+            ["uploads rejected", store.rejected_uploads],
+        ],
+    ))
+
+    assert store.n_records == 48  # exactly the quota, nothing more
+    assert store.rejected_uploads == 2000 - 48
+
+
+def test_bench_blind_signature_throughput(benchmark):
+    """The crypto cost per upload: blind + sign + unblind + verify."""
+    keypair = generate_keypair(bits=512, seed=11)
+
+    counter = {"n": 0}
+
+    def roundtrip():
+        message = f"token-{counter['n']}".encode()
+        counter["n"] += 1
+        blinding = blind(keypair.public, message, seed=counter["n"])
+        signature = unblind(keypair.public, blinding, keypair.sign_raw(blinding.blinded))
+        assert keypair.public.verify(message, signature)
+
+    benchmark(roundtrip)

@@ -1,0 +1,113 @@
+"""Fraud red team: the Section 4.3 attacker zoo vs the typical-user detector.
+
+Builds an honest store from a simulated population, merges it into
+typical-user profiles, then stages every attack the paper describes and
+prints the detection matrix with each attack's cost.
+
+    python examples/fraud_redteam.py
+"""
+
+from __future__ import annotations
+
+from repro.fraud.attackers import (
+    CallSpamAttacker,
+    EmployeeAttacker,
+    MimicAttacker,
+    SybilAttacker,
+)
+from repro.fraud.detector import FraudDetector
+from repro.fraud.profiles import build_profiles
+from repro.privacy.anonymity import batching_network
+from repro.privacy.history_store import HistoryStore
+from repro.privacy.identifiers import DeviceIdentity
+from repro.privacy.uploads import UploadScheduler, hardened_config
+from repro.sensing.policy import duty_cycled_policy
+from repro.sensing.resolution import EntityResolver
+from repro.sensing.sensors import generate_trace
+from repro.util.clock import DAY
+from repro.world.behavior import BehaviorConfig, BehaviorSimulator
+from repro.world.entities import EntityKind
+from repro.world.population import TownConfig, build_town
+
+SEED = 11
+
+
+def judge(detector, uploads):
+    store = HistoryStore()
+    for upload in uploads:
+        store.append(upload, arrival_time=upload.event_time)
+    [history] = store.all_histories()
+    return detector.judge(history)
+
+
+def main() -> None:
+    print("Building the honest baseline: 90 users, 8 months of activity...")
+    town = build_town(TownConfig(n_users=90), seed=SEED)
+    result = BehaviorSimulator(
+        town.users, town.entities, BehaviorConfig(duration_days=240), seed=SEED
+    ).run()
+    horizon = 240 * DAY
+
+    resolver = EntityResolver(town.entities)
+    network = batching_network(seed=SEED)
+    store = HistoryStore()
+    for index, user in enumerate(town.users):
+        trace = generate_trace(user.user_id, town, result, horizon,
+                               duty_cycled_policy(), seed=SEED)
+        UploadScheduler(
+            DeviceIdentity.create(user.user_id, seed=index), hardened_config(), seed=index
+        ).submit_all(resolver.resolve(trace), network)
+    for delivery in network.deliveries_until(horizon + 3 * DAY):
+        store.append(delivery.payload, arrival_time=delivery.arrival_time)
+
+    kinds = {entity.entity_id: entity.kind.label for entity in town.entities}
+    profiles = build_profiles(store, kinds)
+    detector = FraudDetector(profiles, kinds)
+    _, rejected = detector.filter_store(store)
+    print(f"Merged {store.n_histories} anonymous histories into "
+          f"{len(profiles)} typical-user profiles "
+          f"(honest false-positive rate: {len(rejected)/store.n_histories:.1%}).\n")
+
+    restaurant = town.entities_of_kind(EntityKind.RESTAURANT)[0].entity_id
+    plumber = town.entities_of_kind(EntityKind.PLUMBER)[0].entity_id
+    dentist = town.entities_of_kind(EntityKind.DENTIST)[0].entity_id
+
+    print("-- Red team " + "-" * 56)
+
+    spam = CallSpamAttacker().generate(DeviceIdentity.create("spam", seed=1), plumber, 10 * DAY)
+    verdict = judge(detector, spam.uploads)
+    print(f"\ncall spammer ({spam.cost.n_interactions} hang-up calls to a plumber "
+          f"in {spam.cost.wall_clock_days:.1f} days, "
+          f"{spam.cost.active_effort/60:.0f} min of effort):")
+    print(f"  -> {'DETECTED: ' + ', '.join(f.value for f in verdict.flags) if verdict.suspicious else 'evaded'}")
+
+    employee = EmployeeAttacker(n_days=60).generate(
+        DeviceIdentity.create("emp", seed=2), restaurant, 5 * DAY
+    )
+    verdict = judge(detector, employee.uploads)
+    print(f"\nrestaurant employee (8h daily presence for {employee.cost.n_interactions} days):")
+    print(f"  -> {'DETECTED: ' + ', '.join(f.value for f in verdict.flags) if verdict.suspicious else 'evaded'}")
+
+    sybils = SybilAttacker(n_devices=15).generate_all(restaurant, 0.0, seed=3)
+    judged = sum(1 for s in sybils if judge(detector, s.uploads).judged)
+    print(f"\nsybil swarm (15 devices x 2 plausible visits):")
+    print(f"  -> {judged} of 15 histories even judgeable; each is a 2-interaction "
+          f"history with negligible influence, and every device burned "
+          f"registration + daily token quota")
+
+    mimic = MimicAttacker().generate(
+        DeviceIdentity.create("mimic", seed=4), dentist, 0.0, profiles["dentist"]
+    )
+    verdict = judge(detector, mimic.uploads)
+    print(f"\nprofile mimic (statistically faithful dentist patient):")
+    print(f"  -> {'detected' if verdict.suspicious else 'EVADED'} — but it cost "
+          f"{mimic.cost.wall_clock_days:.0f} days of calendar time and "
+          f"{mimic.cost.active_effort/3600:.1f} hours physically in the chair "
+          f"to fake ONE endorsement")
+
+    print("\nConclusion: cheap attacks are detected; undetectable attacks cost "
+          "as much as being a real customer — the paper's economic defense.")
+
+
+if __name__ == "__main__":
+    main()

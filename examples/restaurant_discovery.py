@@ -1,0 +1,76 @@
+"""The dentist scenario of Figure 3, run as a product feature.
+
+Builds the paper's three-dentist situation (A: few repeat patients;
+B: earned loyalty, patients travel; C: captive local clientele), pushes
+everything through the real pipeline — device traces, stay-point
+extraction, entity resolution, anonymous uploads — and prints the
+comparative visualizations a user searching for a dentist would see.
+
+    python examples/restaurant_discovery.py
+"""
+
+from __future__ import annotations
+
+from repro.core.visualization import compare_entities
+from repro.privacy.anonymity import batching_network
+from repro.privacy.history_store import HistoryStore
+from repro.privacy.identifiers import DeviceIdentity
+from repro.privacy.uploads import UploadScheduler, hardened_config
+from repro.sensing.policy import duty_cycled_policy
+from repro.sensing.resolution import EntityResolver
+from repro.sensing.sensors import generate_trace
+from repro.util.clock import DAY
+from repro.world.scenarios import (
+    DENTIST_A,
+    DENTIST_B,
+    DENTIST_C,
+    Figure3Config,
+    figure3_town,
+)
+
+
+def main() -> None:
+    config = Figure3Config()
+    print("Simulating two years of dental care in a three-dentist town...")
+    scenario = figure3_town(config)
+    result = scenario.simulate(config.seed)
+    horizon = config.duration_days * DAY
+
+    print("Sensing, resolving, and anonymously uploading every user's activity...")
+    resolver = EntityResolver(scenario.town.entities)
+    network = batching_network(seed=config.seed)
+    store = HistoryStore()
+    for index, user in enumerate(scenario.town.users):
+        trace = generate_trace(
+            user.user_id, scenario.town, result, horizon,
+            duty_cycled_policy(), seed=config.seed,
+        )
+        interactions = resolver.resolve(trace)
+        identity = DeviceIdentity.create(user.user_id, seed=index)
+        UploadScheduler(identity, hardened_config(), seed=index).submit_all(
+            interactions, network
+        )
+    for delivery in network.deliveries_until(horizon + 3 * DAY):
+        store.append(delivery.payload, arrival_time=delivery.arrival_time)
+    print(f"The RSP now holds {store.n_histories} anonymous histories "
+          f"({store.n_records} interaction records).\n")
+
+    viz = compare_entities(
+        {d: store.histories_for_entity(d) for d in (DENTIST_A, DENTIST_B, DENTIST_C)}
+    )
+    print(viz.render())
+
+    print("\nWhat the visualizations reveal (the paper's Figure 3 reading):")
+    for dentist, story in (
+        (DENTIST_A, "almost no repeat patients — people try it once and leave"),
+        (DENTIST_B, "repeat patients who travel far: effort is endorsement"),
+        (DENTIST_C, "repeat patients who live next door: convenience, not loyalty"),
+    ):
+        histogram = viz.histograms[dentist]
+        series = viz.distance_series[dentist]
+        print(f"  {dentist}: repeat fraction {histogram.repeat_fraction:.2f}, "
+              f"distance-visits correlation {series.correlation:+.2f} -> {story}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,319 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+One subcommand per major experiment, all running the same library code the
+benchmarks exercise:
+
+* ``measure``  — regenerate the Section 2 measurement study (Table 1, Figure 1)
+* ``pipeline`` — run the full Figure 2 architecture and report coverage/accuracy
+* ``search``   — run the pipeline, then answer one query like the RSP would
+* ``epochs``   — operate the service over periodic client syncs
+* ``figure3``  — the three-dentist comparative-visualization scenario
+* ``audit``    — de-anonymization attacks against naive vs hardened clients
+* ``redteam``  — the fraud attacker zoo vs the typical-user detector
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections.abc import Sequence
+
+
+def _cmd_measure(args: argparse.Namespace) -> int:
+    from repro.measurement import (
+        all_service_specs,
+        crawl_service,
+        figure1a,
+        figure1b,
+        figure1c,
+        google_play_spec,
+        measure_engagement,
+        table1,
+        youtube_spec,
+    )
+
+    crawls = [crawl_service(spec, seed=args.seed) for spec in all_service_specs()]
+    print(table1(crawls).render())
+    print("\nFigure 1(a): reviews per entity")
+    print(figure1a(crawls).render())
+    print("\nFigure 1(b): entities with >= 50 reviews per query")
+    print(figure1b(crawls).render())
+    engagement = [
+        measure_engagement(google_play_spec(), seed=args.seed),
+        measure_engagement(youtube_spec(), seed=args.seed),
+    ]
+    print("\nFigure 1(c): explicit vs implicit interaction")
+    print(figure1c(engagement).render())
+    return 0
+
+
+def _build_world(args: argparse.Namespace):
+    from repro.world.behavior import BehaviorConfig, BehaviorSimulator
+    from repro.world.population import TownConfig, build_town
+
+    town = build_town(TownConfig(n_users=args.users), seed=args.seed)
+    result = BehaviorSimulator(
+        town.users, town.entities, BehaviorConfig(duration_days=args.days), seed=args.seed
+    ).run()
+    return town, result
+
+
+def _run_pipeline(args: argparse.Namespace):
+    from repro.service.pipeline import PipelineConfig, run_full_pipeline
+
+    town, result = _build_world(args)
+    outcome = run_full_pipeline(
+        town, result, PipelineConfig(horizon_days=float(args.days), seed=args.seed)
+    )
+    return town, result, outcome
+
+
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    town, result, outcome = _run_pipeline(args)
+    server = outcome.server
+    print(f"users: {len(town.users)}   simulated days: {args.days}")
+    print(f"ground-truth interactions: {len(result.events)}")
+    print(f"explicit reviews:          {server.n_explicit_reviews}")
+    print(f"inferred opinions:         {server.n_opinions}")
+    print(f"anonymous histories:       {server.history_store.n_histories}")
+    print(f"opinion gain:              {outcome.coverage_gain():.1f}x")
+    print(f"inference MAE:             {outcome.mean_absolute_error:.2f} stars")
+    print(f"abstention rate:           {outcome.abstention_rate:.2f}")
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    from repro.core.discovery import Query
+    from repro.world.geography import Point
+
+    town, _, outcome = _run_pipeline(args)
+    near = (
+        Point(args.x, args.y)
+        if args.x is not None and args.y is not None
+        else town.grid.zones[len(town.grid.zones) // 2].center
+    )
+    response = outcome.server.search(
+        Query(category=args.category, near=near, radius_km=args.radius)
+    )
+    print(response.render())
+    if args.visualize and response.visualization is not None:
+        print()
+        print(response.visualization.render())
+    return 0
+
+
+def _cmd_epochs(args: argparse.Namespace) -> int:
+    from repro.service.epochs import run_epochs
+    from repro.service.pipeline import PipelineConfig
+
+    town, result = _build_world(args)
+    outcome = run_epochs(
+        town,
+        result,
+        PipelineConfig(horizon_days=float(args.days), seed=args.seed),
+        n_epochs=args.epochs,
+    )
+    print(f"{'epoch':>5} {'new records':>12} {'total':>7} "
+          f"{'histories':>10} {'opinions':>9} {'rejected':>9}")
+    for report in outcome.reports:
+        print(
+            f"{report.epoch:>5} {report.new_records:>12} {report.total_records:>7} "
+            f"{report.total_histories:>10} {report.n_opinions:>9} "
+            f"{report.maintenance.n_rejected_histories:>9}"
+        )
+    return 0
+
+
+def _cmd_figure3(args: argparse.Namespace) -> int:
+    from collections import defaultdict
+
+    import numpy as np
+
+    from repro.util.stats import pearson
+    from repro.world.scenarios import (
+        DENTIST_A,
+        DENTIST_B,
+        DENTIST_C,
+        Figure3Config,
+        run_figure3,
+    )
+
+    _, result = run_figure3(Figure3Config(seed=args.seed))
+    per_user: dict[str, dict[str, int]] = defaultdict(lambda: defaultdict(int))
+    distances: dict[str, dict[str, list]] = defaultdict(lambda: defaultdict(list))
+    for event in result.events:
+        per_user[event.entity_id][event.user_id] += 1
+        distances[event.entity_id][event.user_id].append(event.distance_km)
+    for dentist in (DENTIST_A, DENTIST_B, DENTIST_C):
+        counts = [c for c in per_user[dentist].values()]
+        repeat = [c for c in counts if c >= 2]
+        avg_distance = [
+            float(np.mean(distances[dentist][u]))
+            for u, c in per_user[dentist].items()
+            if c >= 2
+        ]
+        correlation = pearson(repeat, avg_distance)
+        print(
+            f"{dentist}: {len(counts):3d} patients, "
+            f"repeat fraction {np.mean([c > 1 for c in counts]):.2f}, "
+            f"distance-visits correlation {correlation:+.2f}"
+        )
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.privacy.anonymity import batching_network, immediate_network
+    from repro.privacy.attacks import linkage_attack, timing_attack
+    from repro.privacy.identifiers import DeviceIdentity
+    from repro.privacy.uploads import UploadScheduler, hardened_config, naive_config
+    from repro.sensing.policy import duty_cycled_policy
+    from repro.sensing.resolution import EntityResolver
+    from repro.sensing.sensors import generate_trace
+    from repro.util.clock import DAY
+
+    town, result = _build_world(args)
+    horizon = args.days * DAY
+    resolver = EntityResolver(town.entities)
+
+    for label, config, network in (
+        ("naive", naive_config(), immediate_network(seed=args.seed)),
+        ("hardened", hardened_config(), batching_network(seed=args.seed)),
+    ):
+        true_owner, activity = {}, {}
+        for index, user in enumerate(town.users):
+            trace = generate_trace(
+                user.user_id, town, result, horizon, duty_cycled_policy(), seed=args.seed
+            )
+            interactions = resolver.resolve(trace)
+            identity = DeviceIdentity.create(user.user_id, seed=index)
+            UploadScheduler(identity, config, seed=index).submit_all(interactions, network)
+            for interaction in interactions:
+                true_owner[identity.history_id(interaction.entity_id)] = user.user_id
+            activity[user.user_id] = [i.time + i.duration for i in interactions]
+        deliveries = network.deliveries_until(horizon + 3 * DAY)
+        link = linkage_attack(deliveries, true_owner)
+        timing = timing_attack(deliveries, activity, true_owner)
+        print(
+            f"{label:9s} linkage recall {link.recall:.2f}   "
+            f"timing attribution {timing.accuracy:.2f} "
+            f"(chance {timing.random_baseline:.3f})"
+        )
+    return 0
+
+
+def _cmd_redteam(args: argparse.Namespace) -> int:
+    from repro.fraud.attackers import CallSpamAttacker, EmployeeAttacker, MimicAttacker
+    from repro.fraud.detector import FraudDetector
+    from repro.fraud.profiles import build_profiles
+    from repro.privacy.anonymity import batching_network
+    from repro.privacy.history_store import HistoryStore
+    from repro.privacy.identifiers import DeviceIdentity
+    from repro.privacy.uploads import UploadScheduler, hardened_config
+    from repro.sensing.policy import duty_cycled_policy
+    from repro.sensing.resolution import EntityResolver
+    from repro.sensing.sensors import generate_trace
+    from repro.util.clock import DAY
+    from repro.world.entities import EntityKind
+
+    town, result = _build_world(args)
+    horizon = args.days * DAY
+    resolver = EntityResolver(town.entities)
+    network = batching_network(seed=args.seed)
+    store = HistoryStore()
+    for index, user in enumerate(town.users):
+        trace = generate_trace(
+            user.user_id, town, result, horizon, duty_cycled_policy(), seed=args.seed
+        )
+        UploadScheduler(
+            DeviceIdentity.create(user.user_id, seed=index), hardened_config(), seed=index
+        ).submit_all(resolver.resolve(trace), network)
+    for delivery in network.deliveries_until(horizon + 3 * DAY):
+        store.append(delivery.payload, arrival_time=delivery.arrival_time)
+
+    kinds = {entity.entity_id: entity.kind.label for entity in town.entities}
+    profiles = build_profiles(store, kinds)
+    detector = FraudDetector(profiles, kinds)
+
+    def judge(uploads):
+        attack_store = HistoryStore()
+        for upload in uploads:
+            attack_store.append(upload, arrival_time=upload.event_time)
+        [history] = attack_store.all_histories()
+        return detector.judge(history)
+
+    plumber = town.entities_of_kind(EntityKind.PLUMBER)[0].entity_id
+    restaurant = town.entities_of_kind(EntityKind.RESTAURANT)[0].entity_id
+    dentist = town.entities_of_kind(EntityKind.DENTIST)[0].entity_id
+
+    spam = CallSpamAttacker().generate(DeviceIdentity.create("s", seed=1), plumber, 10 * DAY)
+    employee = EmployeeAttacker().generate(DeviceIdentity.create("e", seed=2), restaurant, 0.0)
+    print(f"call-spam: {'DETECTED' if judge(spam.uploads).suspicious else 'evaded'}")
+    print(f"employee:  {'DETECTED' if judge(employee.uploads).suspicious else 'evaded'}")
+    if "dentist" in profiles:
+        mimic = MimicAttacker().generate(
+            DeviceIdentity.create("m", seed=3), dentist, 0.0, profiles["dentist"]
+        )
+        verdict = judge(mimic.uploads)
+        print(
+            f"mimic:     {'detected' if verdict.suspicious else 'EVADED'} "
+            f"(cost: {mimic.cost.wall_clock_days:.0f} days of realistic behaviour)"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Towards Comprehensive Repositories of Opinions' (HotNets-XV 2016)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_world_args(p):
+        p.add_argument("--users", type=int, default=80, help="population size")
+        p.add_argument("--days", type=float, default=120.0, help="simulated days")
+        p.add_argument("--seed", type=int, default=42, help="simulation seed")
+
+    measure = sub.add_parser("measure", help="regenerate the Section 2 measurement study")
+    measure.add_argument("--seed", type=int, default=2016)
+    measure.set_defaults(func=_cmd_measure)
+
+    pipeline = sub.add_parser("pipeline", help="run the full Figure 2 architecture")
+    add_world_args(pipeline)
+    pipeline.set_defaults(func=_cmd_pipeline)
+
+    search = sub.add_parser("search", help="run the pipeline, then answer one query")
+    add_world_args(search)
+    search.add_argument("--category", default="thai", help="category to search")
+    search.add_argument("--x", type=float, default=None, help="query x (km)")
+    search.add_argument("--y", type=float, default=None, help="query y (km)")
+    search.add_argument("--radius", type=float, default=10.0, help="radius (km)")
+    search.add_argument("--visualize", action="store_true", help="print Figure 3 panels")
+    search.set_defaults(func=_cmd_search)
+
+    epochs = sub.add_parser("epochs", help="operate the service over periodic syncs")
+    add_world_args(epochs)
+    epochs.add_argument("--epochs", type=int, default=6, help="number of sync epochs")
+    epochs.set_defaults(func=_cmd_epochs)
+
+    figure3 = sub.add_parser("figure3", help="the three-dentist scenario")
+    figure3.add_argument("--seed", type=int, default=42)
+    figure3.set_defaults(func=_cmd_figure3)
+
+    audit = sub.add_parser("audit", help="de-anonymization attacks, naive vs hardened")
+    add_world_args(audit)
+    audit.set_defaults(func=_cmd_audit)
+
+    redteam = sub.add_parser("redteam", help="fraud attacker zoo vs the detector")
+    add_world_args(redteam)
+    redteam.set_defaults(func=_cmd_redteam)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

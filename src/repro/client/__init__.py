@@ -1,0 +1,31 @@
+"""The RSP's smartphone app: perception, inference, transparency, sharing."""
+
+from repro.client.app import ClientStats, RSPClient, infer_home
+from repro.client.os_broker import (
+    AuditEvent,
+    EgressViolation,
+    OSPrivacyBroker,
+    Tainted,
+    contains_sensitive,
+)
+from repro.client.snapshot import LocalSnapshot
+from repro.client.transparency import (
+    InferenceEntry,
+    InferenceStatus,
+    TransparencyLog,
+)
+
+__all__ = [
+    "AuditEvent",
+    "ClientStats",
+    "EgressViolation",
+    "OSPrivacyBroker",
+    "Tainted",
+    "contains_sensitive",
+    "InferenceEntry",
+    "InferenceStatus",
+    "LocalSnapshot",
+    "RSPClient",
+    "TransparencyLog",
+    "infer_home",
+]

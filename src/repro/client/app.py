@@ -1,0 +1,236 @@
+"""The RSP's smartphone app: the client half of Figure 2.
+
+Orchestrates everything that happens on the device:
+
+1. **Perceive** — resolve the raw sensor trace into observed user-entity
+   interactions (all locally; raw location and call history never leave
+   the phone).
+2. **Remember, briefly** — keep only a recent snapshot locally, purging
+   anything past the retention threshold (Section 4.2).
+3. **Infer** — extract effort/exploration/choice-set features and run the
+   opinion classifier, journaling every inference in the transparency log
+   where the user can correct or suppress it (Section 5).
+4. **Share, anonymously** — wrap interaction records and surviving
+   inferred opinions in token-bearing envelopes and push them through the
+   anonymity network on per-upload channels with random delays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.aggregation import OpinionUpload
+from repro.core.classifier import OpinionClassifier
+from repro.core.features import extract_all_features
+from repro.core.personalization import PersonalizationWeights, PersonalizedResult, personalize
+from repro.client.snapshot import LocalSnapshot
+from repro.client.transparency import InferenceStatus, TransparencyLog
+from repro.privacy.anonymity import AnonymityNetwork
+from repro.privacy.identifiers import DeviceIdentity
+from repro.privacy.tokens import QuotaExceeded, TokenIssuer, TokenWallet
+from repro.privacy.uploads import UploadConfig, UploadScheduler, hardened_config
+from repro.sensing.location import extract_stay_points
+from repro.sensing.resolution import EntityResolver, ObservedInteraction
+from repro.sensing.traces import DeviceTrace
+from repro.core.protocol import Envelope
+from repro.util.clock import DAY
+from repro.world.entities import Entity
+from repro.world.geography import Point
+
+
+def infer_home(trace: DeviceTrace) -> Point:
+    """The client's own guess at the user's primary anchor.
+
+    The location with the most total dwell time across the trace's stay
+    points — no ground truth involved.
+    """
+    stays = extract_stay_points(trace.location_samples)
+    if not stays:
+        if trace.location_samples:
+            return trace.location_samples[0].point
+        return Point(0.0, 0.0)
+    dwell: dict[tuple[int, int], tuple[float, Point]] = {}
+    for stay in stays:
+        key = (round(stay.center.x * 2), round(stay.center.y * 2))  # ~500 m cells
+        total, _ = dwell.get(key, (0.0, stay.center))
+        dwell[key] = (total + stay.duration, stay.center)
+    return max(dwell.values(), key=lambda pair: pair[0])[1]
+
+
+@dataclass
+class ClientStats:
+    """Counters for observability and the integration tests."""
+
+    interactions_observed: int = 0
+    inferences_made: int = 0
+    inferences_abstained: int = 0
+    envelopes_submitted: int = 0
+    envelopes_deferred: int = 0
+    snapshot_purged: int = 0
+
+
+class RSPClient:
+    """One user's installation of the RSP app."""
+
+    def __init__(
+        self,
+        device_id: str,
+        catalog: list[Entity],
+        classifier: OpinionClassifier,
+        seed: int = 0,
+        upload_config: UploadConfig | None = None,
+        snapshot_retention: float = 30 * DAY,
+    ) -> None:
+        self.identity = DeviceIdentity.create(device_id, seed=seed)
+        self.catalog = {entity.entity_id: entity for entity in catalog}
+        self.classifier = classifier
+        self.resolver = EntityResolver(catalog)
+        self.scheduler = UploadScheduler(
+            self.identity, upload_config or hardened_config(), seed=seed
+        )
+        self.wallet = TokenWallet(device_id=device_id, seed=seed)
+        self.snapshot = LocalSnapshot(retention=snapshot_retention)
+        self.transparency = TransparencyLog()
+        self.stats = ClientStats()
+        self._interactions: list[ObservedInteraction] = []
+        self._pending: list[tuple[Envelope, float]] = []  # (envelope, base_time)
+        #: Interactions already staged for upload, so repeated observation
+        #: windows (periodic syncs) never double-upload a record.
+        self._staged_interactions: set[tuple[str, float]] = set()
+        #: Last staged opinion per entity, so a re-inferred unchanged
+        #: opinion is not re-uploaded every epoch.
+        self._staged_opinions: dict[str, float] = {}
+        self._inferred_home: Point | None = None
+
+    # ------------------------------------------------------------ perceive
+
+    def observe_trace(
+        self,
+        trace: DeviceTrace,
+        now: float,
+        emotion: dict[str, float] | None = None,
+    ) -> list[ObservedInteraction]:
+        """Resolve a trace, update the snapshot, infer opinions.
+
+        ``emotion`` optionally supplies per-entity wearable valence means
+        (see :mod:`repro.sensing.wearables`).
+        """
+        interactions = self.resolver.resolve(trace)
+        self._interactions = interactions
+        self.stats.interactions_observed = len(interactions)
+        self.snapshot.add_all(interactions)
+        self.stats.snapshot_purged += self.snapshot.purge(now)
+
+        home = infer_home(trace)
+        self._inferred_home = home
+        features = extract_all_features(interactions, self.catalog, home, emotion=emotion)
+        for entity_id, feature_vector in features.items():
+            opinion = self.classifier.predict(feature_vector)
+            evidence = (
+                f"{int(feature_vector.n_interactions)} interactions over "
+                f"{feature_vector.span_days:.0f} days, "
+                f"avg travel {feature_vector.mean_travel_km:.1f} km"
+            )
+            self.transparency.record(entity_id, now, opinion, evidence)
+            if opinion.abstained:
+                self.stats.inferences_abstained += 1
+            else:
+                self.stats.inferences_made += 1
+        self._stage_envelopes(features)
+        return interactions
+
+    def _stage_envelopes(self, features) -> None:
+        by_entity: dict[str, list[ObservedInteraction]] = {}
+        for interaction in self._interactions:
+            by_entity.setdefault(interaction.entity_id, []).append(interaction)
+
+        for entity_id, own in by_entity.items():
+            entry = self.transparency._entries.get(entity_id)
+            if entry is not None and entry.status is InferenceStatus.SUPPRESSED:
+                continue  # the user forbade sharing anything about this entity
+            for interaction in own:
+                key = (interaction.entity_id, interaction.time)
+                if key in self._staged_interactions:
+                    continue
+                self._staged_interactions.add(key)
+                upload = self.scheduler.build_upload(interaction)
+                self._pending.append(
+                    (
+                        Envelope(record=upload, token=None),
+                        interaction.time + interaction.duration,
+                    )
+                )
+            rating = entry.effective_rating if entry is not None else None
+            if rating is not None and self._staged_opinions.get(entity_id) != rating:
+                self._staged_opinions[entity_id] = rating
+                last = max(i.time + i.duration for i in own)
+                self._pending.append(
+                    (
+                        Envelope(
+                            record=OpinionUpload(
+                                history_id=self.identity.history_id(entity_id),
+                                entity_id=entity_id,
+                                rating=rating,
+                            ),
+                            token=None,
+                        ),
+                        last,
+                    )
+                )
+
+    # --------------------------------------------------------------- share
+
+    def acquire_tokens(self, issuer: TokenIssuer, count: int, now: float) -> int:
+        """Get up to ``count`` tokens, respecting the issuer's quota."""
+        allowed = min(count, issuer.remaining_quota(self.identity.device_id, now))
+        if allowed <= 0:
+            return 0
+        blinded = self.wallet.mint(issuer.public_key, allowed)
+        try:
+            signatures = issuer.issue(self.identity.device_id, blinded, now=now)
+        except QuotaExceeded:
+            return 0
+        self.wallet.accept_signatures(issuer.public_key, signatures)
+        return allowed
+
+    def sync(self, network: AnonymityNetwork, issuer: TokenIssuer, now: float) -> int:
+        """Attach tokens to pending envelopes and submit what quota allows.
+
+        Envelopes beyond today's token quota stay queued for the next sync
+        — rate limiting throttles, it never drops.
+        """
+        needed = len(self._pending) - self.wallet.balance
+        if needed > 0:
+            self.acquire_tokens(issuer, needed, now)
+        submitted = 0
+        still_pending: list[tuple[Envelope, float]] = []
+        for envelope, base_time in self._pending:
+            if self.wallet.balance == 0:
+                still_pending.append((envelope, base_time))
+                continue
+            stamped = Envelope(record=envelope.record, token=self.wallet.spend())
+            self.scheduler.submit_payload(stamped, base_time, network)
+            submitted += 1
+        self._pending = still_pending
+        self.stats.envelopes_submitted += submitted
+        self.stats.envelopes_deferred = len(still_pending)
+        return submitted
+
+    @property
+    def n_pending(self) -> int:
+        return len(self._pending)
+
+    # ------------------------------------------------------- personalization
+
+    def personalize_response(
+        self, response, weights: PersonalizationWeights | None = None
+    ) -> list[PersonalizedResult]:
+        """Re-rank a server search response against this user's own log.
+
+        The Section 5 install incentive, computed entirely on the device:
+        the user's inferred (or corrected) opinions and their inferred home
+        anchor adjust the server's anonymous ranking.  Requires a prior
+        ``observe_trace`` (to know the home anchor).
+        """
+        home = self._inferred_home if self._inferred_home is not None else Point(0.0, 0.0)
+        return personalize(response, self.transparency, home, weights)

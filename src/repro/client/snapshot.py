@@ -1,0 +1,78 @@
+"""The device-local recent-history snapshot (Section 4.2).
+
+"The solution is for any RSP to store only a recent snapshot of any user's
+inferred interactions on her device and store the rest of the user's
+long-term history at the RSP's servers.  When a user's device is stolen or
+compromised, only the user's recent interactions are leaked."
+
+The snapshot keeps per-entity interaction lists and purges entries older
+than a configurable threshold; :meth:`leak` is what an attacker with the
+physical device obtains, used by the tests to verify the exposure bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sensing.resolution import ObservedInteraction
+from repro.util.clock import DAY
+
+
+@dataclass
+class LocalSnapshot:
+    """Recent observed interactions, bounded by a retention threshold.
+
+    ``add`` is idempotent on (entity, start time): periodic re-observation
+    of overlapping windows — how a long-running client actually works —
+    must not duplicate entries.
+    """
+
+    retention: float = 30 * DAY
+    _by_entity: dict[str, list[ObservedInteraction]] = field(default_factory=dict)
+    _seen: set = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.retention <= 0:
+            raise ValueError("retention must be positive")
+
+    def add(self, interaction: ObservedInteraction) -> None:
+        key = (interaction.entity_id, interaction.time)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self._by_entity.setdefault(interaction.entity_id, []).append(interaction)
+
+    def add_all(self, interactions: list[ObservedInteraction]) -> None:
+        for interaction in interactions:
+            self.add(interaction)
+
+    def purge(self, now: float) -> int:
+        """Drop interactions older than the retention threshold.
+
+        Returns how many entries were purged; empty entity buckets vanish
+        entirely (their very existence would leak the relationship).
+        """
+        cutoff = now - self.retention
+        purged = 0
+        for entity_id in list(self._by_entity):
+            kept = [i for i in self._by_entity[entity_id] if i.time >= cutoff]
+            purged += len(self._by_entity[entity_id]) - len(kept)
+            if kept:
+                self._by_entity[entity_id] = kept
+            else:
+                del self._by_entity[entity_id]
+        return purged
+
+    def recent(self, entity_id: str) -> list[ObservedInteraction]:
+        return list(self._by_entity.get(entity_id, []))
+
+    def entity_ids(self) -> list[str]:
+        return list(self._by_entity)
+
+    @property
+    def n_interactions(self) -> int:
+        return sum(len(v) for v in self._by_entity.values())
+
+    def leak(self) -> dict[str, list[ObservedInteraction]]:
+        """What a device thief obtains: exactly the current snapshot."""
+        return {entity_id: list(items) for entity_id, items in self._by_entity.items()}

@@ -1,0 +1,99 @@
+"""The transparency dashboard (Section 5).
+
+"An RSP must ensure that any user of its app has visibility into the
+inferences the app has made about the user's activities ... and enable
+users to correct inaccurate inferences."  Every inference the client makes
+is journaled with the evidence behind it; the user can override a rating or
+suppress an entity entirely, and overrides win over model output in
+everything the client subsequently uploads.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.classifier import InferredOpinion
+
+
+class InferenceStatus(enum.Enum):
+    ACTIVE = "active"
+    CORRECTED = "corrected"  # user supplied their real opinion
+    SUPPRESSED = "suppressed"  # user forbade sharing anything about this entity
+
+
+@dataclass
+class InferenceEntry:
+    """One journaled inference about one entity."""
+
+    entity_id: str
+    time: float
+    model_opinion: InferredOpinion
+    evidence: str  # human-readable basis, e.g. "4 visits, avg 3.2 km traveled"
+    status: InferenceStatus = InferenceStatus.ACTIVE
+    corrected_rating: float | None = None
+
+    @property
+    def effective_rating(self) -> float | None:
+        """What the client is allowed to share: correction > model > nothing."""
+        if self.status is InferenceStatus.SUPPRESSED:
+            return None
+        if self.status is InferenceStatus.CORRECTED:
+            return self.corrected_rating
+        return self.model_opinion.rating
+
+
+@dataclass
+class TransparencyLog:
+    """The user-visible journal of everything inferred about them."""
+
+    _entries: dict[str, InferenceEntry] = field(default_factory=dict)
+
+    def record(
+        self,
+        entity_id: str,
+        time: float,
+        opinion: InferredOpinion,
+        evidence: str,
+    ) -> InferenceEntry:
+        """Journal a (new or refreshed) inference, preserving user overrides."""
+        existing = self._entries.get(entity_id)
+        if existing is not None and existing.status is not InferenceStatus.ACTIVE:
+            existing.model_opinion = opinion
+            existing.evidence = evidence
+            existing.time = time
+            return existing
+        entry = InferenceEntry(
+            entity_id=entity_id, time=time, model_opinion=opinion, evidence=evidence
+        )
+        self._entries[entity_id] = entry
+        return entry
+
+    def correct(self, entity_id: str, rating: float) -> None:
+        """The user states their actual opinion; it overrides the model."""
+        if not 0.0 <= rating <= 5.0:
+            raise ValueError("rating must lie in [0, 5]")
+        entry = self._entries.get(entity_id)
+        if entry is None:
+            raise KeyError(f"no inference recorded for {entity_id!r}")
+        entry.status = InferenceStatus.CORRECTED
+        entry.corrected_rating = rating
+
+    def suppress(self, entity_id: str) -> None:
+        """The user forbids sharing anything about this entity."""
+        entry = self._entries.get(entity_id)
+        if entry is None:
+            raise KeyError(f"no inference recorded for {entity_id!r}")
+        entry.status = InferenceStatus.SUPPRESSED
+        entry.corrected_rating = None
+
+    def entry(self, entity_id: str) -> InferenceEntry:
+        return self._entries[entity_id]
+
+    def audit(self) -> list[InferenceEntry]:
+        """Everything the app has inferred, for user review."""
+        return sorted(self._entries.values(), key=lambda e: e.entity_id)
+
+    @property
+    def n_entries(self) -> int:
+        return len(self._entries)

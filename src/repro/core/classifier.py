@@ -1,0 +1,297 @@
+"""The effort-is-endorsement opinion predictor, with abstention.
+
+Section 4.1's first approach: "infer a predictive classifier that takes as
+input observations of a user's interactions with an entity and either
+outputs a numerical rating between 0 and 5 or declares it infeasible to
+accurately gauge the user's opinion", trained by "correlating observations
+of user-entity interactions with user-provided ratings for the subset of
+users who do provide explicit input".
+
+Implementation is deliberately transparent: ridge regression over the
+standardized :class:`~repro.core.features.OpinionFeatures` vector, solved
+in closed form with numpy — no opaque dependencies, inspectable weights
+(``feature_weights`` shows *why* effort features carry the prediction).
+Abstention is two-layered, as the paper's footnote demands:
+
+* an evidence gate — too few interactions, or a history whose complaint
+  markers dominate, is declared un-inferrable rather than guessed at;
+* a confidence gate — the training residuals are bucketed by interaction
+  count, and a prediction abstains when its bucket's residual spread says
+  the model cannot beat ``max_expected_error`` stars.
+
+:class:`RepeatCountBaseline` is the strawman the A1 benchmark compares
+against: "more visits = higher rating", no effort features — exactly the
+naive inference the paper argues is confounded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.features import OpinionFeatures
+
+
+@dataclass(frozen=True)
+class InferredOpinion:
+    """The classifier's output for one (user, entity) pair."""
+
+    rating: float | None  # None when abstaining
+    confidence: float  # expected |error| proxy in stars, lower is better
+
+    @property
+    def abstained(self) -> bool:
+        return self.rating is None
+
+
+@dataclass(frozen=True)
+class ClassifierConfig:
+    """Training and abstention settings."""
+
+    #: Default is deliberately strong: local training sets are small (the
+    #: posting minority of one deployment), and heavy shrinkage beats both
+    #: overfitting and padding with a mismatched synthetic prior.
+    ridge_lambda: float = 5.0
+    #: Evidence gate: abstain below this many interactions.
+    min_interactions: int = 2
+    #: Confidence gate: abstain when the residual-based expected error for
+    #: this evidence level exceeds this many stars.
+    max_expected_error: float = 1.1
+
+    def __post_init__(self) -> None:
+        if self.ridge_lambda < 0:
+            raise ValueError("ridge_lambda must be non-negative")
+        if self.min_interactions < 1:
+            raise ValueError("min_interactions must be >= 1")
+
+
+class NotFittedError(RuntimeError):
+    """The classifier was used before training."""
+
+
+class OpinionClassifier:
+    """Ridge regression over opinion features, with calibrated abstention.
+
+    The design matrix augments the raw feature vector with a nonlinear
+    basis over the interaction count (log count and threshold indicators),
+    so the model strictly nests the best count-only predictor — any
+    advantage over :class:`RepeatCountBaseline` is then attributable to the
+    effort/exploration/choice-set features, not to functional form.
+    """
+
+    #: Residuals are bucketed by interaction count at these edges.
+    _BUCKET_EDGES = (2, 3, 5, 8, np.inf)
+    #: Count thresholds for the nonlinear basis.
+    _COUNT_KNOTS = (2.0, 3.0, 5.0, 8.0)
+
+    def __init__(self, config: ClassifierConfig | None = None) -> None:
+        self.config = config or ClassifierConfig()
+        self._weights: np.ndarray | None = None
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+        self._bucket_error: dict[int, float] = {}
+
+    # ------------------------------------------------------------- training
+
+    def fit(
+        self, features: list[OpinionFeatures], ratings: list[float]
+    ) -> "OpinionClassifier":
+        """Train on (features, explicit rating) pairs from posting users."""
+        if len(features) != len(ratings):
+            raise ValueError("features and ratings must align")
+        if len(features) < 10:
+            raise ValueError("need at least 10 training examples")
+        X = np.vstack([f.as_vector() for f in features])
+        y = np.asarray(ratings, dtype=np.float64)
+        if np.any((y < 0) | (y > 5)):
+            raise ValueError("ratings must lie in [0, 5]")
+
+        X = np.hstack([X, self._count_basis(X[:, 0])])
+        self._mean = X.mean(axis=0)
+        self._std = X.std(axis=0)
+        self._std[self._std == 0] = 1.0
+        Xs = (X - self._mean) / self._std
+        Xs = np.hstack([Xs, np.ones((Xs.shape[0], 1))])  # bias column
+
+        lam = self.config.ridge_lambda
+        regularizer = lam * np.eye(Xs.shape[1])
+        regularizer[-1, -1] = 0.0  # never shrink the bias
+        self._weights = np.linalg.solve(Xs.T @ Xs + regularizer, Xs.T @ y)
+
+        # Calibrate abstention from training residuals, bucketed by evidence.
+        # Bucket means are shrunk toward the global mean (James-Stein
+        # style): a bucket with three lucky training examples must not
+        # claim near-zero expected error.
+        predictions = Xs @ self._weights
+        residuals = np.abs(predictions - y)
+        counts = X[:, 0]  # n_interactions is the first feature
+        global_mean = float(np.mean(residuals))
+        shrinkage = 15.0
+        self._bucket_error = {}
+        for bucket, (lo, hi) in enumerate(zip((0,) + self._BUCKET_EDGES[:-1], self._BUCKET_EDGES)):
+            mask = (counts >= lo) & (counts < hi)
+            n_bucket = int(mask.sum())
+            if n_bucket >= 3:
+                bucket_mean = float(np.mean(residuals[mask]))
+                self._bucket_error[bucket] = (
+                    n_bucket * bucket_mean + shrinkage * global_mean
+                ) / (n_bucket + shrinkage)
+        if not self._bucket_error:
+            self._bucket_error[0] = global_mean
+        return self
+
+    @classmethod
+    def _count_basis(cls, counts: np.ndarray) -> np.ndarray:
+        """Nonlinear interaction-count basis: log count + knot indicators."""
+        counts = np.atleast_1d(np.asarray(counts, dtype=np.float64))
+        columns = [np.log1p(counts)]
+        columns += [(counts >= knot).astype(np.float64) for knot in cls._COUNT_KNOTS]
+        return np.column_stack(columns)
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._weights is not None
+
+    def feature_weights(self) -> dict[str, float]:
+        """Standardized regression weights per feature (for inspection).
+
+        Includes the nonlinear count-basis columns under ``count:*`` names.
+        """
+        if self._weights is None:
+            raise NotFittedError("fit() first")
+        names = OpinionFeatures.feature_names()
+        names = names + ["count:log1p"] + [
+            f"count:>={int(knot)}" for knot in self._COUNT_KNOTS
+        ]
+        return {name: float(w) for name, w in zip(names, self._weights[:-1])}
+
+    # ------------------------------------------------------------ inference
+
+    def _bucket_of(self, n_interactions: float) -> int:
+        edges = (0,) + self._BUCKET_EDGES[:-1]
+        bucket = 0
+        for index, lo in enumerate(edges):
+            if n_interactions >= lo:
+                bucket = index
+        return bucket
+
+    def _expected_error(self, n_interactions: float) -> float:
+        bucket = self._bucket_of(n_interactions)
+        while bucket >= 0:
+            if bucket in self._bucket_error:
+                return self._bucket_error[bucket]
+            bucket -= 1
+        return max(self._bucket_error.values())
+
+    def predict(self, features: OpinionFeatures) -> InferredOpinion:
+        """Predict a rating or abstain."""
+        if self._weights is None or self._mean is None or self._std is None:
+            raise NotFittedError("fit() first")
+        expected_error = self._expected_error(features.n_interactions)
+        if features.n_interactions < self.config.min_interactions:
+            return InferredOpinion(rating=None, confidence=expected_error)
+        if expected_error > self.config.max_expected_error:
+            return InferredOpinion(rating=None, confidence=expected_error)
+        raw = features.as_vector()
+        raw = np.concatenate([raw, self._count_basis(raw[0])[0]])
+        x = (raw - self._mean) / self._std
+        x = np.append(x, 1.0)
+        rating = float(np.clip(x @ self._weights, 0.0, 5.0))
+        return InferredOpinion(rating=rating, confidence=expected_error)
+
+    def predict_many(
+        self, features: dict[str, OpinionFeatures]
+    ) -> dict[str, InferredOpinion]:
+        return {entity_id: self.predict(f) for entity_id, f in features.items()}
+
+
+class RepeatCountBaseline:
+    """The naive strawman: rating rises with interaction count, nothing else.
+
+    Calibrated on the training set's count-vs-rating relation (isotonic in
+    spirit: bucket means), so it is the *best possible* count-only model —
+    the A1 comparison is fair.
+    """
+
+    _EDGES = (1, 2, 3, 5, 8, 13, np.inf)
+
+    def __init__(self) -> None:
+        self._bucket_means: list[float] | None = None
+
+    def fit(
+        self, features: list[OpinionFeatures], ratings: list[float]
+    ) -> "RepeatCountBaseline":
+        if len(features) != len(ratings):
+            raise ValueError("features and ratings must align")
+        counts = np.asarray([f.n_interactions for f in features])
+        y = np.asarray(ratings, dtype=np.float64)
+        means: list[float] = []
+        overall = float(y.mean()) if y.size else 2.5
+        for lo, hi in zip((0,) + self._EDGES[:-1], self._EDGES):
+            mask = (counts >= lo) & (counts < hi)
+            means.append(float(y[mask].mean()) if mask.any() else overall)
+        self._bucket_means = means
+        return self
+
+    def predict(self, features: OpinionFeatures) -> InferredOpinion:
+        if self._bucket_means is None:
+            raise NotFittedError("fit() first")
+        edges = (0,) + self._EDGES[:-1]
+        bucket = 0
+        for index, lo in enumerate(edges):
+            if features.n_interactions >= lo:
+                bucket = index
+        return InferredOpinion(
+            rating=float(np.clip(self._bucket_means[bucket], 0.0, 5.0)),
+            confidence=1.0,
+        )
+
+
+def synthetic_training_pairs(
+    n: int, seed: int = 0
+) -> tuple[list[OpinionFeatures], list[float]]:
+    """Cold-start training pairs from a behavioural prior.
+
+    A freshly deployed RSP has no posting users to learn from in a new
+    market; real systems bootstrap from their global population.  This
+    generator stands in for that global data: it samples (features, rating)
+    pairs from the behavioural regularities the paper postulates — liked
+    entities attract more interactions, longer travel, exploration followed
+    by settling; disliked ones show churn and complaint markers.  The
+    pipeline mixes these in only when locally collected training data is
+    too thin (see :func:`repro.service.pipeline.train_classifier`).
+    """
+    from repro.util.rng import make_rng
+
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rng = make_rng(seed, "classifier-bootstrap")
+    features: list[OpinionFeatures] = []
+    ratings: list[float] = []
+    for _ in range(n):
+        opinion = float(rng.uniform(0.5, 5.0))
+        liked = opinion / 5.0
+        count = max(1, int(rng.poisson(1 + 6 * liked)))
+        travel = float(rng.uniform(0.5, 1.0 + 6.0 * liked))
+        features.append(
+            OpinionFeatures(
+                n_interactions=float(count),
+                span_days=float(rng.uniform(5, 150) * (0.3 + liked)),
+                mean_gap_days=float(rng.uniform(5, 60)),
+                mean_travel_km=travel,
+                max_travel_km=travel * float(rng.uniform(1.0, 1.5)),
+                mean_duration_min=float(rng.uniform(30, 90)),
+                total_duration_hours=count * float(rng.uniform(0.5, 1.5)),
+                excess_travel_km=travel - float(rng.uniform(0.5, 2.0)),
+                n_alternatives_tried=float(rng.integers(0, 4)),
+                tried_before_settling=float(rng.random() < 0.3 + 0.4 * liked),
+                switched_away=float(rng.random() < 0.7 * (1 - liked)),
+                n_similar_nearby=float(rng.integers(0, 10)),
+                call_fraction=0.0,
+                short_call_fraction=float((1 - liked) * rng.random() * 0.5),
+                burst_fraction=float((1 - liked) * rng.random() * 0.5),
+            )
+        )
+        ratings.append(float(np.clip(round(opinion + rng.normal(0, 0.3)), 0, 5)))
+    return features, ratings

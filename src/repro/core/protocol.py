@@ -1,0 +1,33 @@
+"""The wire protocol between the RSP's client and service.
+
+Two record kinds travel over the anonymity network, each wrapped in an
+:class:`Envelope` carrying one rate-limiting upload token:
+
+* :class:`~repro.privacy.history_store.InteractionUpload` — one inferred
+  user-entity interaction (feeds histories, fraud profiles, and the
+  comparative visualizations);
+* :class:`~repro.core.aggregation.OpinionUpload` — one inferred rating
+  (feeds the inferred-opinion summaries).
+
+Explicit reviews are *not* anonymous — users post them under their account
+exactly as on today's services — so they go through
+:meth:`repro.service.server.RSPServer.post_review` directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.aggregation import OpinionUpload
+from repro.privacy.history_store import InteractionUpload
+from repro.privacy.tokens import UploadToken
+
+AnonymousRecord = InteractionUpload | OpinionUpload
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One anonymous upload: a record plus its spend-once token."""
+
+    record: AnonymousRecord
+    token: UploadToken | None

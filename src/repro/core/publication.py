@@ -1,0 +1,123 @@
+"""Safe publication of aggregate summaries — defeating differencing.
+
+Section 4.2 warns that an RSP "could change its interface in a manner that
+enables other users to infer the entities with which a particular user has
+interacted" (citing Calandrino et al.'s "You Might Also Like" attacks
+[15]).  The sharpest instance is *differencing*: if the interface shows
+exact inferred-opinion counts and refreshes continuously, an observer who
+suspects Alice visited dentist D just watches D's count tick from 17 to 18
+the day after her appointment.
+
+The defense is to publish coarsened snapshots:
+
+* **thresholding** — no inferred summary is shown at all until at least
+  ``min_count`` anonymous users back it (small counts are both noisy and
+  identifying);
+* **rounding** — published counts are rounded to multiples of
+  ``round_to``, so a single user's contribution is invisible;
+* **batched publication** — summaries refresh on a schedule, not on every
+  upload, so an increment cannot be timed against one person's behaviour.
+
+:func:`differencing_attack` implements the adversary so the A13 benchmark
+can show exact/continuous publication leaking and the coarsened policy
+reducing the leak to (near) nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.aggregation import EntityOpinionSummary
+
+
+@dataclass(frozen=True)
+class PublicationPolicy:
+    """How aggregate summaries are coarsened before publication."""
+
+    #: Minimum backing users before any inferred aggregate is shown.
+    min_count: int = 5
+    #: Published counts are rounded down to multiples of this.
+    round_to: int = 5
+    #: Published means are rounded to this many decimals (star precision).
+    mean_decimals: int = 1
+
+    def __post_init__(self) -> None:
+        if self.min_count < 1:
+            raise ValueError("min_count must be >= 1")
+        if self.round_to < 1:
+            raise ValueError("round_to must be >= 1")
+
+
+def exact_policy() -> PublicationPolicy:
+    """The strawman: publish exact counts and means immediately."""
+    return PublicationPolicy(min_count=1, round_to=1, mean_decimals=6)
+
+
+def coarsened_policy() -> PublicationPolicy:
+    """The safe default: threshold at 5, round counts to 5, 0.1-star means."""
+    return PublicationPolicy(min_count=5, round_to=5, mean_decimals=1)
+
+
+@dataclass(frozen=True)
+class PublishedSummary:
+    """What the interface actually shows for one entity."""
+
+    entity_id: str
+    shown: bool
+    n_opinions: int  # rounded; 0 when not shown
+    mean: float | None  # rounded; None when not shown
+
+
+def publish(summary: EntityOpinionSummary, policy: PublicationPolicy) -> PublishedSummary:
+    """Coarsen one entity's summary for display."""
+    backing = summary.n_inferred_opinions + summary.n_explicit_reviews
+    if backing < policy.min_count:
+        return PublishedSummary(entity_id=summary.entity_id, shown=False, n_opinions=0, mean=None)
+    rounded_count = (backing // policy.round_to) * policy.round_to
+    mean = summary.combined_mean
+    rounded_mean = round(mean, policy.mean_decimals) if mean is not None else None
+    return PublishedSummary(
+        entity_id=summary.entity_id,
+        shown=True,
+        n_opinions=rounded_count,
+        mean=rounded_mean,
+    )
+
+
+@dataclass(frozen=True)
+class DifferencingReport:
+    """Outcome of a differencing campaign across published snapshots."""
+
+    n_targets: int
+    n_confirmed: int  # targets whose activity the observer confirmed
+
+    @property
+    def success_rate(self) -> float:
+        if self.n_targets == 0:
+            return 0.0
+        return self.n_confirmed / self.n_targets
+
+
+def differencing_attack(
+    snapshots_before: dict[str, PublishedSummary],
+    snapshots_after: dict[str, PublishedSummary],
+    suspected: list[tuple[str, str]],
+) -> DifferencingReport:
+    """Confirm suspicions by differencing two published snapshots.
+
+    ``suspected`` holds (user, entity) guesses; a guess is *confirmed* when
+    the entity's published opinion count visibly increased between the
+    snapshots the observer knows bracket the user's suspected interaction.
+    (With several users active per entity per interval the increment is
+    ambiguous; this models the worst case where the observer knows the
+    target was the only candidate — the defense must work even then.)
+    """
+    confirmed = 0
+    for _, entity_id in suspected:
+        before = snapshots_before.get(entity_id)
+        after = snapshots_after.get(entity_id)
+        count_before = before.n_opinions if before is not None and before.shown else 0
+        count_after = after.n_opinions if after is not None and after.shown else 0
+        if count_after > count_before:
+            confirmed += 1
+    return DifferencingReport(n_targets=len(suspected), n_confirmed=confirmed)

@@ -1,0 +1,124 @@
+"""Review reminders — the alternative Section 3 considers and dismisses.
+
+"If an RSP attempts to increase the chances of its users posting reviews
+by reminding them to do so ... an RSP will need the ability to track a
+user's interactions in the physical world in order to even identify when a
+user should be sent a reminder."  So reminders require the same sensing
+substrate as implicit inference, keep the explicit-input bottleneck, and
+add prompt fatigue on top.
+
+This module models the reminder strategy so the A15 benchmark can compare
+it fairly against implicit inference *on the same detected interactions*:
+
+* after each detected visit the app may prompt (rate-limited);
+* a prompt converts to a review with probability proportional to the
+  user's posting propensity, boosted by the nudge — reminders genuinely
+  help the users who were already inclined;
+* every prompt risks annoying the user into uninstalling
+  (``churn_per_prompt``), after which the RSP gets nothing from them —
+  no reviews *and* no implicit inferences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.clock import WEEK
+from repro.util.rng import make_rng
+
+
+@dataclass(frozen=True)
+class ReminderPolicy:
+    """How aggressively the app prompts."""
+
+    #: Probability of prompting after a detected visit (before rate limit).
+    prompt_probability: float = 1.0
+    #: At most this many prompts per user per week.
+    max_prompts_per_week: float = 2.0
+    #: Multiplier on the user's spontaneous posting propensity when nudged.
+    acceptance_boost: float = 5.0
+    #: Probability each prompt annoys the user into uninstalling.
+    churn_per_prompt: float = 0.02
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.prompt_probability <= 1.0:
+            raise ValueError("prompt_probability must lie in [0, 1]")
+        if self.max_prompts_per_week <= 0:
+            raise ValueError("max_prompts_per_week must be positive")
+        if self.acceptance_boost < 1.0:
+            raise ValueError("a reminder cannot make posting less likely than baseline")
+        if not 0.0 <= self.churn_per_prompt <= 1.0:
+            raise ValueError("churn_per_prompt must lie in [0, 1]")
+
+
+@dataclass(frozen=True)
+class ReminderOutcome:
+    """What a reminder campaign produced across a population."""
+
+    n_users: int
+    n_prompts: int
+    n_reviews_gained: int
+    n_churned_users: int
+
+    @property
+    def churn_rate(self) -> float:
+        if self.n_users == 0:
+            return 0.0
+        return self.n_churned_users / self.n_users
+
+    @property
+    def reviews_per_prompt(self) -> float:
+        if self.n_prompts == 0:
+            return 0.0
+        return self.n_reviews_gained / self.n_prompts
+
+
+def simulate_reminders(
+    visit_times_by_user: dict[str, list[float]],
+    posting_propensity: dict[str, float],
+    horizon: float,
+    policy: ReminderPolicy | None = None,
+    seed: int = 0,
+) -> ReminderOutcome:
+    """Run a reminder campaign over each user's detected visit stream.
+
+    ``visit_times_by_user`` is what the app's sensing layer detected (the
+    same input implicit inference gets); ``posting_propensity`` is each
+    user's spontaneous likelihood of posting, which the nudge multiplies.
+    Returns the aggregate campaign outcome, counting only reviews *gained*
+    (prompted posts; spontaneous posting is accounted elsewhere).
+    """
+    policy = policy or ReminderPolicy()
+    n_prompts = 0
+    n_reviews = 0
+    n_churned = 0
+    for user_id, visit_times in visit_times_by_user.items():
+        rng = make_rng(seed, f"reminders/{user_id}")
+        propensity = posting_propensity.get(user_id, 0.0)
+        accept_probability = min(0.9, propensity * policy.acceptance_boost)
+        churned = False
+        window_start = 0.0
+        prompts_in_window = 0
+        for visit_time in sorted(visit_times):
+            if churned or visit_time > horizon:
+                break
+            if visit_time - window_start >= WEEK:
+                window_start = visit_time
+                prompts_in_window = 0
+            if prompts_in_window >= policy.max_prompts_per_week:
+                continue
+            if rng.random() >= policy.prompt_probability:
+                continue
+            prompts_in_window += 1
+            n_prompts += 1
+            if rng.random() < accept_probability:
+                n_reviews += 1
+            if rng.random() < policy.churn_per_prompt:
+                churned = True
+                n_churned += 1
+    return ReminderOutcome(
+        n_users=len(visit_times_by_user),
+        n_prompts=n_prompts,
+        n_reviews_gained=n_reviews,
+        n_churned_users=n_churned,
+    )

@@ -1,0 +1,222 @@
+"""The attacker zoo: fake-activity strategies from Section 4.3.
+
+Each attacker fabricates the interaction history it wants the RSP to
+believe, together with the *cost* of staging it — because the paper's
+defense is economic: "raise the bar ... fraudulent users will have to incur
+significant cost and effort to mimic the activities of a typical user."
+
+* :class:`CallSpamAttacker` — "make several back-to-back phone calls to the
+  electrician, hanging up immediately after calling" (paper's own example).
+  Cheap (minutes of effort) and loud; the BURST/SHORT_DURATION checks catch it.
+* :class:`EmployeeAttacker` — "any employee at a restaurant can use his
+  presence at the restaurant daily as evidence" (paper's second example).
+  Free for an employee; the REGULARITY/VOLUME checks catch it.
+* :class:`SybilAttacker` — many registered devices each contribute one or
+  two plausible interactions.  Individually unjudgeable, but each tiny
+  history has limited influence and every device needs token issuance.
+* :class:`MimicAttacker` — samples spacing and duration from the typical
+  profile itself: statistically undetectable by construction, and therefore
+  the cost bound — faking one dentist endorsement means showing up for
+  realistic appointment durations spread over months to years.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fraud.profiles import TypicalProfile
+from repro.privacy.history_store import InteractionUpload
+from repro.privacy.identifiers import DeviceIdentity
+from repro.util.clock import DAY, HOUR, MINUTE
+from repro.util.rng import make_rng
+
+
+@dataclass(frozen=True)
+class AttackCost:
+    """What staging the fake activity costs the attacker."""
+
+    #: Calendar time the campaign spans, seconds.
+    wall_clock: float
+    #: Time physically spent interacting (on the phone, on premises), seconds.
+    active_effort: float
+    #: Number of fabricated interactions.
+    n_interactions: int
+    #: Devices/accounts the attacker must control.
+    n_devices: int = 1
+
+    @property
+    def wall_clock_days(self) -> float:
+        return self.wall_clock / DAY
+
+
+@dataclass(frozen=True)
+class AttackResult:
+    """The uploads an attack produces plus its cost."""
+
+    name: str
+    uploads: list[InteractionUpload]
+    cost: AttackCost
+
+
+def _upload(
+    identity: DeviceIdentity,
+    entity_id: str,
+    interaction_type: str,
+    t: float,
+    duration: float,
+    travel_km: float,
+) -> InteractionUpload:
+    return InteractionUpload(
+        history_id=identity.history_id(entity_id),
+        entity_id=entity_id,
+        interaction_type=interaction_type,
+        event_time=t,
+        duration=duration,
+        travel_km=travel_km,
+    )
+
+
+@dataclass(frozen=True)
+class CallSpamAttacker:
+    """Back-to-back short calls over a couple of days."""
+
+    n_calls: int = 25
+    campaign_days: float = 2.0
+    call_duration: float = 8.0  # hang up almost immediately
+
+    def generate(
+        self, identity: DeviceIdentity, entity_id: str, start_time: float, seed: int = 0
+    ) -> AttackResult:
+        rng = make_rng(seed, "call-spam")
+        uploads = []
+        t = start_time
+        for _ in range(self.n_calls):
+            uploads.append(
+                _upload(identity, entity_id, "call", t, self.call_duration, 0.0)
+            )
+            t += float(rng.uniform(2 * MINUTE, self.campaign_days * DAY / self.n_calls))
+        return AttackResult(
+            name="call-spam",
+            uploads=uploads,
+            cost=AttackCost(
+                wall_clock=t - start_time,
+                active_effort=self.n_calls * self.call_duration,
+                n_interactions=self.n_calls,
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class EmployeeAttacker:
+    """Daily long presence at the entity (e.g. a waiter at the restaurant)."""
+
+    n_days: int = 45
+    shift_hours: float = 8.0
+
+    def generate(
+        self, identity: DeviceIdentity, entity_id: str, start_time: float, seed: int = 0
+    ) -> AttackResult:
+        rng = make_rng(seed, "employee")
+        uploads = []
+        for day in range(self.n_days):
+            t = start_time + day * DAY + float(rng.uniform(-20 * MINUTE, 20 * MINUTE))
+            uploads.append(
+                _upload(identity, entity_id, "visit", t, self.shift_hours * HOUR, 0.2)
+            )
+        return AttackResult(
+            name="employee",
+            uploads=uploads,
+            cost=AttackCost(
+                wall_clock=self.n_days * DAY,
+                # Presence is free for a real employee, but the *history*
+                # still exists only because they are there daily.
+                active_effort=0.0,
+                n_interactions=self.n_days,
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class SybilAttacker:
+    """Many devices, each a tiny plausible history."""
+
+    n_devices: int = 20
+    interactions_per_device: int = 2
+    gap_days: float = 30.0
+    visit_duration: float = 1.2 * HOUR
+
+    def generate_all(
+        self, entity_id: str, start_time: float, seed: int = 0
+    ) -> list[AttackResult]:
+        results = []
+        for index in range(self.n_devices):
+            identity = DeviceIdentity.create(f"sybil-{index:03d}", seed=seed * 1000 + index)
+            rng = make_rng(seed, f"sybil/{index}")
+            uploads = []
+            t = start_time + float(rng.uniform(0, 10 * DAY))
+            for _ in range(self.interactions_per_device):
+                uploads.append(
+                    _upload(identity, entity_id, "visit", t, self.visit_duration, 3.0)
+                )
+                t += self.gap_days * DAY * float(rng.uniform(0.6, 1.4))
+            results.append(
+                AttackResult(
+                    name="sybil",
+                    uploads=uploads,
+                    cost=AttackCost(
+                        wall_clock=t - start_time,
+                        active_effort=0.0,  # fabricated remotely per device
+                        n_interactions=self.interactions_per_device,
+                        n_devices=1,
+                    ),
+                )
+            )
+        return results
+
+
+@dataclass(frozen=True)
+class MimicAttacker:
+    """Statistically faithful forgery: sample the typical profile itself.
+
+    Undetectable by a profile-based detector — which is the point: the cost
+    of undetectable fraud *is* the cost of behaving like a real customer.
+    A competent mimic respects every band of the profile, including the
+    total interaction count (``n_interactions=None`` stays at the honest
+    median so the VOLUME check cannot fire).
+    """
+
+    n_interactions: int | None = None
+
+    def generate(
+        self,
+        identity: DeviceIdentity,
+        entity_id: str,
+        start_time: float,
+        profile: TypicalProfile,
+        seed: int = 0,
+    ) -> AttackResult:
+        rng = make_rng(seed, "mimic")
+        count = self.n_interactions
+        if count is None:
+            count = max(2, int(round(profile.counts.median)))
+        count = min(count, max(2, int(profile.counts.p95)))
+        uploads = []
+        t = start_time
+        active = 0.0
+        for index in range(count):
+            duration = float(
+                rng.uniform(profile.durations.p05, profile.durations.p95)
+            )
+            uploads.append(_upload(identity, entity_id, "visit", t, duration, 4.0))
+            active += duration
+            if index + 1 < count:
+                t += float(rng.uniform(profile.gaps.p05, profile.gaps.p95))
+        return AttackResult(
+            name="mimic",
+            uploads=uploads,
+            cost=AttackCost(
+                wall_clock=t - start_time,
+                active_effort=active,
+                n_interactions=count,
+            ),
+        )

@@ -1,0 +1,205 @@
+"""Remote attestation and trustworthy sensing (Section 4.3).
+
+"To combat such attacks, RSPs can employ remote attestation [31, 26] to
+confirm that the client has not been modified and use techniques for
+trustworthy sensing [22, 21, 29, 23, 33] to ensure that the sensor inputs
+received by the client are legitimate."
+
+Simulated with the same trust structure the cited systems provide:
+
+* **Attestation** — every device carries a build measurement (the hash of
+  the client code it runs) signed against a per-device key provisioned by
+  the platform.  The RSP keeps a registry of genuine build hashes; a
+  modified client produces a quote with the wrong measurement and is
+  refused token issuance — cutting it off from uploading anything at all.
+* **Trustworthy sensing** — sensor readings carry an HMAC from a key that
+  (in the cited designs) lives in trusted hardware and never reaches the
+  app.  A client can therefore prove its GPS fixes came from the sensor
+  stack; fabricated readings carry no valid tag and are rejected before
+  they influence inference.
+
+Both are *simulations of trust roots*, not of cryptographic novelty: keys
+are provisioned by an in-simulation platform vendor, and the adversaries
+(modified client, sensor spoofing) are modelled as actors without access
+to those keys — the precise assumption the cited hardware provides.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+from repro.sensing.traces import LocationSample
+
+
+def _hmac(key: bytes, payload: bytes) -> bytes:
+    return hmac.new(key, payload, hashlib.sha256).digest()
+
+
+# ------------------------------------------------------------ attestation
+
+
+@dataclass(frozen=True)
+class AttestationQuote:
+    """A device's signed statement of the client build it is running."""
+
+    device_id: str
+    build_hash: str
+    nonce: bytes
+    tag: bytes  # HMAC(device_key, device_id || build_hash || nonce)
+
+
+class PlatformVendor:
+    """The trusted-hardware root: provisions per-device attestation keys.
+
+    The RSP talks to the vendor only to validate quotes; devices hold their
+    key inside the (simulated) secure element — the adversary models below
+    never receive it.
+    """
+
+    def __init__(self, vendor_secret: bytes = b"platform-vendor-root") -> None:
+        self._vendor_secret = vendor_secret
+
+    def device_key(self, device_id: str) -> bytes:
+        return _hmac(self._vendor_secret, f"device:{device_id}".encode())
+
+    def make_quote(self, device_id: str, build_hash: str, nonce: bytes) -> AttestationQuote:
+        """What the secure element signs for a device running ``build_hash``.
+
+        The element measures the *actually running* client; a modified
+        client cannot ask it to sign the genuine hash.
+        """
+        payload = f"{device_id}|{build_hash}|".encode() + nonce
+        return AttestationQuote(
+            device_id=device_id,
+            build_hash=build_hash,
+            nonce=nonce,
+            tag=_hmac(self.device_key(device_id), payload),
+        )
+
+
+class AttestationVerifier:
+    """The RSP's attestation endpoint."""
+
+    def __init__(self, vendor: PlatformVendor, genuine_builds: set[str]) -> None:
+        if not genuine_builds:
+            raise ValueError("need at least one genuine build hash")
+        self._vendor = vendor
+        self._genuine = set(genuine_builds)
+        self._used_nonces: set[bytes] = set()
+
+    def register_build(self, build_hash: str) -> None:
+        """Add a new genuine client release."""
+        self._genuine.add(build_hash)
+
+    def verify(self, quote: AttestationQuote) -> bool:
+        """Accept a quote once: correct key, genuine build, fresh nonce."""
+        if quote.nonce in self._used_nonces:
+            return False
+        payload = f"{quote.device_id}|{quote.build_hash}|".encode() + quote.nonce
+        expected = _hmac(self._vendor.device_key(quote.device_id), payload)
+        if not hmac.compare_digest(expected, quote.tag):
+            return False
+        if quote.build_hash not in self._genuine:
+            return False
+        self._used_nonces.add(quote.nonce)
+        return True
+
+
+def client_build_hash(client_code: str) -> str:
+    """Measure a client build (stand-in for a real binary measurement)."""
+    return hashlib.sha256(client_code.encode()).hexdigest()
+
+
+# ------------------------------------------------------ trustworthy sensing
+
+
+@dataclass(frozen=True)
+class SignedLocationSample:
+    """A GPS fix with its trusted-sensor authenticity tag."""
+
+    sample: LocationSample
+    device_id: str
+    tag: bytes
+
+
+class TrustedSensorStack:
+    """The (simulated) sensor hub that tags every reading it produces."""
+
+    def __init__(self, vendor: PlatformVendor, device_id: str) -> None:
+        self._key = _hmac(vendor.device_key(device_id), b"sensor-subkey")
+        self.device_id = device_id
+
+    def _payload(self, sample: LocationSample) -> bytes:
+        return (
+            f"{self.device_id}|{sample.time:.3f}|{sample.point.x:.6f}|"
+            f"{sample.point.y:.6f}|{sample.accuracy_km:.4f}"
+        ).encode()
+
+    def emit(self, sample: LocationSample) -> SignedLocationSample:
+        """Produce an authenticated reading (only the real stack can)."""
+        return SignedLocationSample(
+            sample=sample, device_id=self.device_id, tag=_hmac(self._key, self._payload(sample))
+        )
+
+    def verify(self, signed: SignedLocationSample) -> bool:
+        """Check a reading's tag (run by the verifying party with the key
+        derivable from the vendor root)."""
+        if signed.device_id != self.device_id:
+            return False
+        return hmac.compare_digest(self._key, self._key) and hmac.compare_digest(
+            _hmac(self._key, self._payload(signed.sample)), signed.tag
+        )
+
+
+class SensorInputVerifier:
+    """RSP- or client-side filter: drop readings without valid sensor tags."""
+
+    def __init__(self, vendor: PlatformVendor) -> None:
+        self._vendor = vendor
+        self.rejected = 0
+
+    def filter_authentic(
+        self, signed_samples: list[SignedLocationSample]
+    ) -> list[LocationSample]:
+        """Keep only readings the device's real sensor stack produced."""
+        authentic: list[LocationSample] = []
+        stacks: dict[str, TrustedSensorStack] = {}
+        for signed in signed_samples:
+            stack = stacks.get(signed.device_id)
+            if stack is None:
+                stack = TrustedSensorStack(self._vendor, signed.device_id)
+                stacks[signed.device_id] = stack
+            if stack.verify(signed):
+                authentic.append(signed.sample)
+            else:
+                self.rejected += 1
+        return authentic
+
+
+# ------------------------------------------------------------- adversaries
+
+
+def forge_quote_without_key(device_id: str, build_hash: str, nonce: bytes) -> AttestationQuote:
+    """A modified client guessing a quote tag (it has no device key)."""
+    return AttestationQuote(
+        device_id=device_id,
+        build_hash=build_hash,
+        nonce=nonce,
+        tag=hashlib.sha256(b"hopeful-forgery" + nonce).digest(),
+    )
+
+
+def spoof_location_samples(
+    device_id: str, samples: list[LocationSample]
+) -> list[SignedLocationSample]:
+    """Fabricated GPS readings from a fake-location app (no sensor key)."""
+    return [
+        SignedLocationSample(
+            sample=sample,
+            device_id=device_id,
+            tag=hashlib.sha256(f"spoof|{sample.time}".encode()).digest(),
+        )
+        for sample in samples
+    ]

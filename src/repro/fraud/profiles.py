@@ -1,0 +1,142 @@
+"""Typical-user activity profiles, merged from anonymous histories.
+
+Section 4.3's key observation: "the vast majority of users are not
+malicious", so the anonymously stored per-(user, entity) histories can be
+merged into a profile of how a *typical* user interacts with entities of a
+given kind — how far apart the interactions fall, how long they last, how
+many accumulate.  Nothing in this computation names a user; it only pools
+feature values across histories, which is exactly the access the store's
+update-only design permits.
+
+Profiles are represented as percentile bands rather than parametric fits:
+interaction gaps are multi-modal (a dentist history mixes 6-month cleanings
+with next-day follow-ups) and the detector only needs calibrated extremes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.privacy.history_store import HistoryStore, InteractionHistory
+
+
+@dataclass(frozen=True)
+class FeatureBand:
+    """Percentile summary of one feature across the honest population."""
+
+    p01: float
+    p05: float
+    median: float
+    p95: float
+    p99: float
+    n_samples: int
+
+    @classmethod
+    def from_values(cls, values: Iterable[float]) -> "FeatureBand":
+        array = np.asarray(list(values), dtype=np.float64)
+        if array.size == 0:
+            raise ValueError("cannot build a band from no samples")
+        return cls(
+            p01=float(np.percentile(array, 1)),
+            p05=float(np.percentile(array, 5)),
+            median=float(np.percentile(array, 50)),
+            p95=float(np.percentile(array, 95)),
+            p99=float(np.percentile(array, 99)),
+            n_samples=int(array.size),
+        )
+
+    def below_floor(self, value: float) -> bool:
+        """Is ``value`` beneath the 1st percentile of honest behaviour?"""
+        return value < self.p01
+
+    def above_ceiling(self, value: float) -> bool:
+        """Is ``value`` beyond the 99th percentile of honest behaviour?"""
+        return value > self.p99
+
+
+@dataclass(frozen=True)
+class TypicalProfile:
+    """How typical users interact with entities of one kind.
+
+    ``gaps`` — seconds between consecutive interactions in one history;
+    ``durations`` — per-interaction durations;
+    ``counts`` — interactions accumulated per history over the window.
+    """
+
+    kind_label: str
+    gaps: FeatureBand
+    durations: FeatureBand
+    counts: FeatureBand
+    n_histories: int
+
+
+def _kind_of(entity_id: str, entity_kinds: dict[str, str]) -> str | None:
+    return entity_kinds.get(entity_id)
+
+
+def build_profiles(
+    store: HistoryStore,
+    entity_kinds: dict[str, str],
+    min_history_length: int = 2,
+) -> dict[str, TypicalProfile]:
+    """Merge every stored history into per-kind typical profiles.
+
+    ``entity_kinds`` maps entity_id -> kind label (public catalog data).
+    Histories shorter than ``min_history_length`` contribute counts but no
+    gap statistics (they have none).
+    """
+    gaps: dict[str, list[float]] = {}
+    durations: dict[str, list[float]] = {}
+    counts: dict[str, list[float]] = {}
+    histories: dict[str, int] = {}
+
+    for history in store.all_histories():
+        kind = _kind_of(history.entity_id, entity_kinds)
+        if kind is None:
+            continue
+        histories[kind] = histories.get(kind, 0) + 1
+        counts.setdefault(kind, []).append(float(history.n_interactions))
+        durations.setdefault(kind, []).extend(history.durations())
+        if history.n_interactions >= min_history_length:
+            gaps.setdefault(kind, []).extend(history.gaps())
+
+    profiles: dict[str, TypicalProfile] = {}
+    for kind in histories:
+        if not gaps.get(kind) or not durations.get(kind):
+            continue
+        profiles[kind] = TypicalProfile(
+            kind_label=kind,
+            gaps=FeatureBand.from_values(gaps[kind]),
+            durations=FeatureBand.from_values(durations[kind]),
+            counts=FeatureBand.from_values(counts[kind]),
+            n_histories=histories[kind],
+        )
+    return profiles
+
+
+def profile_from_histories(
+    kind_label: str, histories: list[InteractionHistory]
+) -> TypicalProfile:
+    """Build one profile directly from a list of histories (test helper and
+    building block for per-entity profiles)."""
+    if not histories:
+        raise ValueError("need at least one history")
+    all_gaps: list[float] = []
+    all_durations: list[float] = []
+    all_counts: list[float] = []
+    for history in histories:
+        all_counts.append(float(history.n_interactions))
+        all_durations.extend(history.durations())
+        all_gaps.extend(history.gaps())
+    if not all_gaps:
+        raise ValueError("histories contain no repeat interactions; no gap statistics")
+    return TypicalProfile(
+        kind_label=kind_label,
+        gaps=FeatureBand.from_values(all_gaps),
+        durations=FeatureBand.from_values(all_durations),
+        counts=FeatureBand.from_values(all_counts),
+        n_histories=len(histories),
+    )

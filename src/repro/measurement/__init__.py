@@ -1,0 +1,83 @@
+"""The paper's Section 2 measurement study over a synthetic review ecosystem.
+
+Generative service models calibrated to the paper's published statistics,
+the crawler that queries them the way the authors queried the real
+services, and the analyses that regenerate Table 1 and Figure 1.
+"""
+
+from repro.measurement.analysis import (
+    ExampleQueryStat,
+    Figure1a,
+    Figure1b,
+    Figure1c,
+    Table1,
+    Table1Row,
+    example_query,
+    figure1a,
+    figure1b,
+    figure1c,
+    table1,
+)
+from repro.measurement.crawler import CrawlDataset, QueryResult, crawl_service
+from repro.measurement.engagement import (
+    EngagementDataset,
+    EngagementSpec,
+    google_play_spec,
+    measure_engagement,
+    youtube_spec,
+)
+from repro.measurement.participation import ParticipationReport, participation_report
+from repro.measurement.services import (
+    ANGIES_CATEGORIES,
+    HEALTHGRADES_CATEGORIES,
+    YELP_CATEGORIES,
+    ServiceSpec,
+    all_service_specs,
+    angies_spec,
+    healthgrades_spec,
+    yelp_spec,
+)
+from repro.measurement.zipcodes import (
+    MOST_POPULOUS_ZIPCODES,
+    NEW_YORK,
+    PHILADELPHIA,
+    ZipCode,
+    zipcode_by_code,
+)
+
+__all__ = [
+    "ANGIES_CATEGORIES",
+    "CrawlDataset",
+    "EngagementDataset",
+    "EngagementSpec",
+    "ExampleQueryStat",
+    "Figure1a",
+    "Figure1b",
+    "Figure1c",
+    "HEALTHGRADES_CATEGORIES",
+    "MOST_POPULOUS_ZIPCODES",
+    "ParticipationReport",
+    "participation_report",
+    "NEW_YORK",
+    "PHILADELPHIA",
+    "QueryResult",
+    "ServiceSpec",
+    "Table1",
+    "Table1Row",
+    "YELP_CATEGORIES",
+    "ZipCode",
+    "all_service_specs",
+    "angies_spec",
+    "crawl_service",
+    "example_query",
+    "figure1a",
+    "figure1b",
+    "figure1c",
+    "google_play_spec",
+    "healthgrades_spec",
+    "measure_engagement",
+    "table1",
+    "yelp_spec",
+    "youtube_spec",
+    "zipcode_by_code",
+]

@@ -1,0 +1,165 @@
+"""Analyses of the crawl data: Table 1 and Figure 1, as code.
+
+Each function consumes :class:`~repro.measurement.crawler.CrawlDataset` /
+:class:`~repro.measurement.engagement.EngagementDataset` objects and returns
+a small result dataclass with (a) the arrays a plotting library would need,
+(b) the headline statistics the paper reports in prose, and (c) a
+``render()`` method that prints the paper's figure as ASCII.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.measurement.crawler import CrawlDataset
+from repro.measurement.engagement import EngagementDataset
+from repro.util.ascii_plot import render_cdfs, render_table
+from repro.util.stats import EmpiricalCDF
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of Table 1: service, #categories, #entities."""
+
+    service: str
+    n_categories: int
+    n_entities: int
+
+
+@dataclass(frozen=True)
+class Table1:
+    """Table 1: summary of measurements."""
+
+    rows: tuple[Table1Row, ...]
+
+    def render(self) -> str:
+        return render_table(
+            ["Service", "# of Categories", "# of Entities"],
+            [[row.service, row.n_categories, f"{row.n_entities:,}"] for row in self.rows],
+        )
+
+
+def table1(datasets: Sequence[CrawlDataset]) -> Table1:
+    """Compute Table 1 from crawl datasets."""
+    return Table1(
+        rows=tuple(
+            Table1Row(
+                service=dataset.service,
+                n_categories=dataset.n_categories,
+                n_entities=dataset.n_entities,
+            )
+            for dataset in datasets
+        )
+    )
+
+
+@dataclass(frozen=True)
+class Figure1a:
+    """Figure 1(a): distribution across entities of number of reviews."""
+
+    cdfs: dict[str, EmpiricalCDF]
+
+    def median(self, service: str) -> float:
+        return self.cdfs[service].median
+
+    def fraction_with_at_most(self, service: str, n_reviews: int) -> float:
+        return self.cdfs[service].evaluate(n_reviews)
+
+    def render(self) -> str:
+        return render_cdfs(self.cdfs, x_label="No. of reviews")
+
+
+def figure1a(datasets: Sequence[CrawlDataset]) -> Figure1a:
+    """CDF of per-entity review counts for each service."""
+    return Figure1a(
+        cdfs={
+            dataset.service: EmpiricalCDF.from_values(dataset.all_review_counts())
+            for dataset in datasets
+        }
+    )
+
+
+@dataclass(frozen=True)
+class Figure1b:
+    """Figure 1(b): per-query counts of entities with >= ``threshold`` reviews."""
+
+    threshold: int
+    cdfs: dict[str, EmpiricalCDF]
+
+    def median(self, service: str) -> float:
+        return self.cdfs[service].median
+
+    def render(self) -> str:
+        return render_cdfs(
+            self.cdfs,
+            x_label=f"No. of entities with at least {self.threshold} reviews",
+        )
+
+
+def figure1b(datasets: Sequence[CrawlDataset], threshold: int = 50) -> Figure1b:
+    """Distribution across queries of well-reviewed result counts."""
+    return Figure1b(
+        threshold=threshold,
+        cdfs={
+            dataset.service: EmpiricalCDF.from_values(
+                # The CDF axis starts at 1 in the paper; queries with zero
+                # well-reviewed results still count (they sit at the left edge).
+                dataset.per_query_counts_with_at_least(threshold)
+            )
+            for dataset in datasets
+        },
+    )
+
+
+@dataclass(frozen=True)
+class ExampleQueryStat:
+    """A named example query the paper calls out in prose."""
+
+    service: str
+    zipcode: str
+    category: str
+    n_entities: int
+    n_well_reviewed: int
+
+
+def example_query(
+    dataset: CrawlDataset, zipcode: str, category: str, threshold: int = 50
+) -> ExampleQueryStat:
+    """Reproduce one of the paper's named example queries."""
+    query = dataset.query(zipcode, category)
+    return ExampleQueryStat(
+        service=dataset.service,
+        zipcode=zipcode,
+        category=category,
+        n_entities=query.n_entities,
+        n_well_reviewed=query.n_with_at_least(threshold),
+    )
+
+
+@dataclass(frozen=True)
+class Figure1c:
+    """Figure 1(c): explicit vs implicit interaction counts."""
+
+    cdfs: dict[str, EmpiricalCDF]  # e.g. "Google Play installs" -> CDF
+    median_gaps: dict[str, float]  # service -> implicit/explicit median ratio
+
+    def render(self) -> str:
+        return render_cdfs(self.cdfs, x_label="No. of users")
+
+
+def figure1c(datasets: Sequence[EngagementDataset]) -> Figure1c:
+    """Explicit-vs-implicit CDFs plus the headline median gaps."""
+    cdfs: dict[str, EmpiricalCDF] = {}
+    gaps: dict[str, float] = {}
+    for dataset in datasets:
+        cdfs[f"{dataset.service} {dataset.implicit_label}"] = EmpiricalCDF.from_values(
+            dataset.implicit
+        )
+        cdfs[f"{dataset.service} {dataset.explicit_label}"] = EmpiricalCDF.from_values(
+            np.maximum(dataset.explicit, 1)
+        )
+        gaps[dataset.service] = dataset.median_gap()
+    return Figure1c(cdfs=cdfs, median_gaps=gaps)

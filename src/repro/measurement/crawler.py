@@ -1,0 +1,98 @@
+"""The measurement crawler: issue queries, collect review counts.
+
+Mirrors the paper's methodology exactly: for each service, one query per
+(most-populous-zipcode, category) pair, collecting the review count of every
+matching entity.  The output :class:`CrawlDataset` is the object every
+Section 2 analysis consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.measurement.services import ServiceSpec
+from repro.measurement.zipcodes import MOST_POPULOUS_ZIPCODES, ZipCode
+from repro.util.rng import derive_seed, make_rng
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """The crawl result of one (zipcode, category) query."""
+
+    service: str
+    zipcode: str
+    category: str
+    review_counts: np.ndarray  # one entry per matching entity
+
+    @property
+    def n_entities(self) -> int:
+        return int(self.review_counts.size)
+
+    def n_with_at_least(self, threshold: int) -> int:
+        """How many matched entities have >= ``threshold`` reviews —
+        the Figure 1(b) statistic."""
+        return int(np.count_nonzero(self.review_counts >= threshold))
+
+
+@dataclass(frozen=True)
+class CrawlDataset:
+    """Everything crawled from one service."""
+
+    service: str
+    n_categories: int
+    queries: tuple[QueryResult, ...]
+
+    @property
+    def n_queries(self) -> int:
+        return len(self.queries)
+
+    @property
+    def n_entities(self) -> int:
+        """Total entities discovered across all queries (Table 1)."""
+        return sum(query.n_entities for query in self.queries)
+
+    def all_review_counts(self) -> np.ndarray:
+        """Per-entity review counts pooled over all queries (Figure 1(a))."""
+        return np.concatenate([query.review_counts for query in self.queries])
+
+    def per_query_counts_with_at_least(self, threshold: int = 50) -> np.ndarray:
+        """Per-query counts of entities with >= ``threshold`` reviews
+        (Figure 1(b))."""
+        return np.asarray(
+            [query.n_with_at_least(threshold) for query in self.queries], dtype=np.int64
+        )
+
+    def query(self, zipcode: str, category: str) -> QueryResult:
+        for result in self.queries:
+            if result.zipcode == zipcode and result.category == category:
+                return result
+        raise KeyError(f"no query ({zipcode!r}, {category!r}) in {self.service} crawl")
+
+
+def crawl_service(
+    spec: ServiceSpec,
+    seed: int = 0,
+    zipcodes: tuple[ZipCode, ...] = MOST_POPULOUS_ZIPCODES,
+) -> CrawlDataset:
+    """Run the full measurement crawl against one service model."""
+    queries: list[QueryResult] = []
+    for zipcode in zipcodes:
+        for category in spec.categories:
+            query_seed = derive_seed(seed, f"{spec.name}/{zipcode.code}/{category}")
+            size_rng = make_rng(query_seed, "size")
+            review_rng = make_rng(query_seed, "reviews")
+            n_entities = spec.query_size(size_rng, zipcode.code, category)
+            counts = spec.review_counts(review_rng, n_entities)
+            queries.append(
+                QueryResult(
+                    service=spec.name,
+                    zipcode=zipcode.code,
+                    category=category,
+                    review_counts=counts,
+                )
+            )
+    return CrawlDataset(
+        service=spec.name, n_categories=len(spec.categories), queries=tuple(queries)
+    )

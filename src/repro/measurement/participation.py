@@ -1,0 +1,98 @@
+"""Contribution concentration: the "1/9/90 rule" behind the review paucity.
+
+The paper's root-cause claim (Section 1, citing Yelp's own "1/9/90" blog
+post [11]): "the vast majority of users largely consume opinions shared by
+others but seldom post reviews themselves."  This module measures that
+concentration on a simulated population — what share of all reviews the
+top 1% and next 9% of contributors wrote, the overall review rate per
+interaction, and the Gini coefficient of review counts across users — so
+the behavioural simulator's participation structure can be validated
+against the rule the paper leans on.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.stats import gini
+from repro.world.behavior import SimulationResult
+
+
+@dataclass(frozen=True)
+class ParticipationReport:
+    """Who writes the reviews."""
+
+    n_users: int
+    n_interacting_users: int
+    n_reviewing_users: int
+    n_interactions: int
+    n_reviews: int
+    #: Share of all reviews written by the top 1% of reviewers.
+    top1_share: float
+    #: Share written by the next 9% (percentiles 90-99).
+    next9_share: float
+    #: Share written by everyone else (the "90").
+    rest_share: float
+    #: Gini of per-user review counts (1 = total concentration).
+    review_gini: float
+
+    @property
+    def reviews_per_interaction(self) -> float:
+        if self.n_interactions == 0:
+            return 0.0
+        return self.n_reviews / self.n_interactions
+
+    @property
+    def silent_majority_fraction(self) -> float:
+        """Fraction of interacting users who never reviewed anything."""
+        if self.n_interacting_users == 0:
+            return 0.0
+        return 1.0 - self.n_reviewing_users / self.n_interacting_users
+
+
+def participation_report(result: SimulationResult, n_users: int) -> ParticipationReport:
+    """Measure contribution concentration over a simulated population.
+
+    ``n_users`` is the population size (users with zero interactions still
+    count toward the distribution's base).
+    """
+    interactions_per_user: dict[str, int] = defaultdict(int)
+    for event in result.events:
+        interactions_per_user[event.user_id] += 1
+    reviews_per_user: dict[str, int] = defaultdict(int)
+    for review in result.reviews:
+        reviews_per_user[review.user_id] += 1
+
+    counts = np.zeros(n_users, dtype=np.float64)
+    for index, user_id in enumerate(sorted(interactions_per_user)):
+        if index < n_users:
+            counts[index] = reviews_per_user.get(user_id, 0)
+    # Users who interacted but are beyond n_users (shouldn't happen) or
+    # users with no interactions keep zero counts — both are "the 90".
+    all_review_counts = np.zeros(n_users, dtype=np.float64)
+    review_values = sorted(reviews_per_user.values(), reverse=True)
+    all_review_counts[: len(review_values)] = review_values
+
+    total_reviews = float(all_review_counts.sum())
+    top1_n = max(1, round(0.01 * n_users))
+    next9_n = max(1, round(0.09 * n_users))
+    if total_reviews > 0:
+        top1 = float(all_review_counts[:top1_n].sum()) / total_reviews
+        next9 = float(all_review_counts[top1_n : top1_n + next9_n].sum()) / total_reviews
+    else:
+        top1 = next9 = 0.0
+
+    return ParticipationReport(
+        n_users=n_users,
+        n_interacting_users=len(interactions_per_user),
+        n_reviewing_users=len(reviews_per_user),
+        n_interactions=sum(interactions_per_user.values()),
+        n_reviews=len(result.reviews),
+        top1_share=top1,
+        next9_share=next9,
+        rest_share=max(0.0, 1.0 - top1 - next9) if total_reviews > 0 else 0.0,
+        review_gini=gini(all_review_counts),
+    )

@@ -1,0 +1,192 @@
+"""Generative models of the crawled review services.
+
+The paper crawled Yelp, Angie's List, and Healthgrades in 2016; that data is
+proprietary and ephemeral, so we substitute generative models calibrated to
+every statistic the paper publishes:
+
+* Table 1 — number of categories and total entities discovered
+  (9/24,417 Yelp; 24/26,066 Angie's List; 4/24,922 Healthgrades).
+* Figure 1(a) — per-entity review-count medians (25 / 8 / 5).
+* Figure 1(b) — per-query counts of entities with >= 50 reviews
+  (medians 12 / 2 / 1) including the two named example queries
+  (127 Chinese restaurants near 19120 with 4 >= 50;
+  248 dentists near 11368 with 13 >= 50).
+
+Model structure, per service:
+
+1. Each (zipcode, category) query matches ``n`` entities, with ``n`` drawn
+   from a heavy-tailed :class:`~repro.util.distributions.DiscreteLogNormal`
+   whose mean reproduces the Table 1 totals.
+2. Each matched entity's review count is drawn from a log-normal whose
+   median depends on the query's size through
+   ``median = base_median * (reference_size / n) ** dilution``:
+   in saturated markets (Yelp: 127 Chinese restaurants in one zipcode)
+   reader attention is divided and per-entity review counts fall
+   (``dilution > 0``), while for doctors a bigger market correlates with
+   more patient traffic per practice (``dilution < 0``) — this is what
+   reconciles the paper's median-query statistics with its named extreme
+   examples, which sit on opposite sides of the median for Yelp vs
+   Healthgrades.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.distributions import DiscreteLogNormal
+from repro.util.rng import make_rng
+from repro.measurement.zipcodes import MOST_POPULOUS_ZIPCODES, ZipCode
+
+#: Yelp's nine queried cuisines (Section 2: "9 popular cuisines").
+YELP_CATEGORIES: tuple[str, ...] = (
+    "chinese",
+    "italian",
+    "mexican",
+    "japanese",
+    "indian",
+    "thai",
+    "american",
+    "mediterranean",
+    "korean",
+)
+
+#: Healthgrades' four queried specialities (Section 2).
+HEALTHGRADES_CATEGORIES: tuple[str, ...] = (
+    "dentist",
+    "family_medicine",
+    "pediatrics",
+    "plastic_surgery",
+)
+
+#: Angie's List's 24 service-provider categories (Section 2: "all 24 types").
+ANGIES_CATEGORIES: tuple[str, ...] = (
+    "electrician",
+    "plumber",
+    "gardener",
+    "house_cleaning",
+    "handyman",
+    "hvac",
+    "roofing",
+    "painting",
+    "landscaping",
+    "pest_control",
+    "flooring",
+    "remodeling",
+    "tree_service",
+    "garage_doors",
+    "locksmith",
+    "moving",
+    "appliance_repair",
+    "window_installation",
+    "fencing",
+    "concrete",
+    "gutter_cleaning",
+    "drywall",
+    "carpet_cleaning",
+    "pool_service",
+)
+
+
+@dataclass(frozen=True)
+class ServiceSpec:
+    """Calibration of one review service's generative model."""
+
+    name: str
+    categories: tuple[str, ...]
+    #: Median of the per-query matching-entity count.
+    query_size_median: float
+    #: Shape of the per-query matching-entity count distribution.
+    query_size_sigma: float
+    #: Median review count of an entity in a reference-sized query.
+    review_median: float
+    #: Shape of the per-entity review-count distribution.
+    review_sigma: float
+    #: Query size at which the review median equals ``review_median``.
+    reference_query_size: float
+    #: Exponent of market-size dilution (see module docstring).
+    dilution: float
+    #: Hard cap matching the top of the paper's Figure 1(a) axis.
+    review_cap: int = 4096
+    #: Named query overrides: (zipcode, category) -> exact entity count,
+    #: reproducing the example queries the paper calls out.
+    query_overrides: dict[tuple[str, str], int] = field(default_factory=dict)
+
+    @property
+    def n_queries(self) -> int:
+        return len(MOST_POPULOUS_ZIPCODES) * len(self.categories)
+
+    def query_size(self, rng: int | np.random.Generator, zipcode: str, category: str) -> int:
+        """Number of entities matching one (zipcode, category) query."""
+        override = self.query_overrides.get((zipcode, category))
+        if override is not None:
+            return override
+        dist = DiscreteLogNormal(
+            median=self.query_size_median, sigma=self.query_size_sigma, minimum=1
+        )
+        return int(dist.sample(make_rng(rng), 1)[0])
+
+    def review_counts(self, rng: int | np.random.Generator, n_entities: int) -> np.ndarray:
+        """Review counts for the ``n_entities`` matched by one query."""
+        if n_entities < 1:
+            raise ValueError("a query must match at least one entity")
+        scaled_median = self.review_median * (
+            self.reference_query_size / n_entities
+        ) ** self.dilution
+        dist = DiscreteLogNormal(
+            median=max(scaled_median, 0.25),
+            sigma=self.review_sigma,
+            minimum=0,
+            maximum=self.review_cap,
+        )
+        return dist.sample(make_rng(rng), n_entities)
+
+
+def yelp_spec() -> ServiceSpec:
+    """Yelp: 9 cuisines, 50 zipcodes, ~24.4k restaurants, review median 25."""
+    return ServiceSpec(
+        name="Yelp",
+        categories=YELP_CATEGORIES,
+        query_size_median=48.0,
+        query_size_sigma=0.50,
+        review_median=25.0,
+        review_sigma=0.80,
+        reference_query_size=61.6,
+        dilution=1.0,
+        query_overrides={("19120", "chinese"): 127},
+    )
+
+
+def angies_spec() -> ServiceSpec:
+    """Angie's List: 24 categories, ~26.1k providers, review median 8."""
+    return ServiceSpec(
+        name="Angie's List",
+        categories=ANGIES_CATEGORIES,
+        query_size_median=14.5,
+        query_size_sigma=0.90,
+        review_median=8.0,
+        review_sigma=1.90,
+        reference_query_size=15.0,
+        dilution=0.0,
+    )
+
+
+def healthgrades_spec() -> ServiceSpec:
+    """Healthgrades: 4 specialities, ~24.9k doctors, review median 5."""
+    return ServiceSpec(
+        name="Healthgrades",
+        categories=HEALTHGRADES_CATEGORIES,
+        query_size_median=97.0,
+        query_size_sigma=0.70,
+        review_median=5.0,
+        review_sigma=1.15,
+        reference_query_size=158.6,
+        dilution=-0.5,
+        query_overrides={("11368", "dentist"): 248},
+    )
+
+
+def all_service_specs() -> tuple[ServiceSpec, ServiceSpec, ServiceSpec]:
+    """The three services of Table 1, in the paper's order."""
+    return yelp_spec(), angies_spec(), healthgrades_spec()

@@ -1,0 +1,94 @@
+"""The query locations of the paper's measurement study.
+
+Section 2: "we focus on locations where the number of reviews are likely to
+be high by using the most populous zipcode in each of the 50 states".  The
+paper names two of them explicitly — 19120 (Philadelphia, PA) and 11368
+(Corona/New York, NY) — which we preserve exactly so the named example
+queries of Figure 1(b) can be reproduced.  The remaining 48 are one
+representative high-population zipcode per state; the study's statistics
+depend only on there being 50 urban locations, not on which ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ZipCode:
+    """One query location: a zipcode and the state it represents."""
+
+    code: str
+    state: str
+    city: str
+
+
+#: Philadelphia zipcode named in the paper's Yelp example (127 Chinese
+#: restaurants, 4 with >= 50 reviews).
+PHILADELPHIA = ZipCode("19120", "PA", "Philadelphia")
+
+#: New York zipcode named in the paper's Healthgrades example (248 dentists,
+#: 13 with >= 50 reviews).
+NEW_YORK = ZipCode("11368", "NY", "New York")
+
+#: One populous zipcode per US state, PA and NY matching the paper exactly.
+MOST_POPULOUS_ZIPCODES: tuple[ZipCode, ...] = (
+    ZipCode("35242", "AL", "Birmingham"),
+    ZipCode("99504", "AK", "Anchorage"),
+    ZipCode("85032", "AZ", "Phoenix"),
+    ZipCode("72701", "AR", "Fayetteville"),
+    ZipCode("90011", "CA", "Los Angeles"),
+    ZipCode("80219", "CO", "Denver"),
+    ZipCode("06010", "CT", "Bristol"),
+    ZipCode("19720", "DE", "New Castle"),
+    ZipCode("33311", "FL", "Fort Lauderdale"),
+    ZipCode("30044", "GA", "Lawrenceville"),
+    ZipCode("96817", "HI", "Honolulu"),
+    ZipCode("83709", "ID", "Boise"),
+    ZipCode("60629", "IL", "Chicago"),
+    ZipCode("46227", "IN", "Indianapolis"),
+    ZipCode("50317", "IA", "Des Moines"),
+    ZipCode("67214", "KS", "Wichita"),
+    ZipCode("40214", "KY", "Louisville"),
+    ZipCode("70072", "LA", "Marrero"),
+    ZipCode("04103", "ME", "Portland"),
+    ZipCode("21215", "MD", "Baltimore"),
+    ZipCode("02301", "MA", "Brockton"),
+    ZipCode("48228", "MI", "Detroit"),
+    ZipCode("55106", "MN", "Saint Paul"),
+    ZipCode("39503", "MS", "Gulfport"),
+    ZipCode("63116", "MO", "Saint Louis"),
+    ZipCode("59801", "MT", "Missoula"),
+    ZipCode("68107", "NE", "Omaha"),
+    ZipCode("89110", "NV", "Las Vegas"),
+    ZipCode("03103", "NH", "Manchester"),
+    ZipCode("08701", "NJ", "Lakewood"),
+    ZipCode("87121", "NM", "Albuquerque"),
+    NEW_YORK,
+    ZipCode("28269", "NC", "Charlotte"),
+    ZipCode("58103", "ND", "Fargo"),
+    ZipCode("43229", "OH", "Columbus"),
+    ZipCode("73099", "OK", "Yukon"),
+    ZipCode("97229", "OR", "Portland"),
+    PHILADELPHIA,
+    ZipCode("02907", "RI", "Providence"),
+    ZipCode("29464", "SC", "Mount Pleasant"),
+    ZipCode("57106", "SD", "Sioux Falls"),
+    ZipCode("37013", "TN", "Antioch"),
+    ZipCode("77084", "TX", "Houston"),
+    ZipCode("84120", "UT", "West Valley City"),
+    ZipCode("05401", "VT", "Burlington"),
+    ZipCode("23464", "VA", "Virginia Beach"),
+    ZipCode("98052", "WA", "Redmond"),
+    ZipCode("25705", "WV", "Huntington"),
+    ZipCode("53215", "WI", "Milwaukee"),
+    ZipCode("82601", "WY", "Casper"),
+)
+
+
+def zipcode_by_code(code: str) -> ZipCode:
+    """Look up one of the study zipcodes by its code."""
+    for zipcode in MOST_POPULOUS_ZIPCODES:
+        if zipcode.code == code:
+            return zipcode
+    raise KeyError(f"zipcode {code!r} is not part of the measurement study")

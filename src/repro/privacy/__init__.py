@@ -1,0 +1,92 @@
+"""Privacy machinery: blind tokens, unlinkable storage, anonymous uploads.
+
+Implements Section 4.2 end to end — the ``hash(Ru, e)`` record identifiers,
+the update-only server-side history store, the asynchronous per-entity
+upload channels over a batching anonymity network, and Chaum blind-signature
+rate-limiting tokens — plus the adversaries that motivate each mechanism.
+"""
+
+from repro.privacy.anonymity import (
+    AnonymityNetwork,
+    Delivery,
+    batching_network,
+    immediate_network,
+)
+from repro.privacy.attacks import (
+    CorruptionReport,
+    LinkageReport,
+    TimingReport,
+    corruption_attack,
+    expected_guesses_for_collision,
+    linkage_attack,
+    timing_attack,
+)
+from repro.privacy.blindsig import (
+    BlindingResult,
+    RSAKeyPair,
+    RSAPublicKey,
+    blind,
+    generate_keypair,
+    generate_prime,
+    is_probable_prime,
+    unblind,
+)
+from repro.privacy.history_store import (
+    FoldedStats,
+    HistoryStore,
+    InteractionHistory,
+    InteractionUpload,
+    StoredRecord,
+)
+from repro.privacy.identifiers import DeviceIdentity, generate_user_secret
+from repro.privacy.tokens import (
+    QuotaExceeded,
+    TokenIssuer,
+    TokenRedeemer,
+    TokenWallet,
+    UploadToken,
+)
+from repro.privacy.uploads import (
+    UploadConfig,
+    UploadScheduler,
+    hardened_config,
+    naive_config,
+)
+
+__all__ = [
+    "AnonymityNetwork",
+    "BlindingResult",
+    "CorruptionReport",
+    "Delivery",
+    "DeviceIdentity",
+    "FoldedStats",
+    "HistoryStore",
+    "InteractionHistory",
+    "InteractionUpload",
+    "LinkageReport",
+    "QuotaExceeded",
+    "RSAKeyPair",
+    "RSAPublicKey",
+    "StoredRecord",
+    "TimingReport",
+    "TokenIssuer",
+    "TokenRedeemer",
+    "TokenWallet",
+    "UploadConfig",
+    "UploadScheduler",
+    "UploadToken",
+    "batching_network",
+    "blind",
+    "corruption_attack",
+    "expected_guesses_for_collision",
+    "generate_keypair",
+    "generate_prime",
+    "generate_user_secret",
+    "hardened_config",
+    "immediate_network",
+    "is_probable_prime",
+    "linkage_attack",
+    "naive_config",
+    "timing_attack",
+    "unblind",
+]

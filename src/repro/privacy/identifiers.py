@@ -1,0 +1,52 @@
+"""Device-side record identifiers: the paper's ``hash(Ru, e)`` scheme.
+
+When a user installs the RSP's app it picks a random secret ``Ru`` and
+stores only that.  The history of interactions with entity ``e`` lives at
+the server under identifier ``hash(Ru, e)``; the device recomputes the
+identifier on demand and never stores an (entity -> identifier) map, so a
+stolen phone reveals ``Ru`` but not which entities the user interacted
+with, and the server cannot link two identifiers to the same user.
+
+The properties this module guarantees (tested in
+``tests/privacy/test_identifiers.py``):
+
+* deterministic — the same device always addresses the same history;
+* unlinkable — identifiers for different entities share no structure;
+* non-invertible — an identifier reveals neither ``Ru`` nor the entity;
+* update-only safe — knowing ``Ru`` alone does not let an attacker *read*
+  anything, because the server exposes no retrieval API (see
+  :mod:`repro.privacy.history_store`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.hashing import record_id
+from repro.util.rng import make_rng
+
+
+def generate_user_secret(seed: int, label: str = "install") -> int:
+    """Draw the 256-bit install-time secret ``Ru``."""
+    rng = make_rng(seed, f"user-secret/{label}")
+    return int.from_bytes(rng.bytes(32), "big")
+
+
+@dataclass(frozen=True)
+class DeviceIdentity:
+    """The secret a device holds, and the identifiers it derives.
+
+    ``device_id`` is the *issuance-side* identity (used only when
+    requesting rate-limited tokens); ``secret`` never leaves the device.
+    """
+
+    device_id: str
+    secret: int
+
+    @classmethod
+    def create(cls, device_id: str, seed: int) -> "DeviceIdentity":
+        return cls(device_id=device_id, secret=generate_user_secret(seed, device_id))
+
+    def history_id(self, entity_id: str) -> str:
+        """The server-side identifier of this device's history for one entity."""
+        return record_id(self.secret, entity_id)

@@ -1,0 +1,157 @@
+"""Rate-limited upload tokens built on blind signatures.
+
+The issuance side sees devices (it must, to rate-limit per device); the
+redemption side sees only anonymous uploads.  Blindness guarantees the two
+sides cannot be joined: a redeemed token is cryptographically unlinkable to
+the issuance request that produced it.
+
+Flow:
+
+* A device calls :meth:`TokenIssuer.issue` with blinded token identifiers;
+  the issuer enforces a per-device daily quota and signs blindly.
+* The device unblinds and holds :class:`UploadToken` objects.
+* Every anonymous upload presents one token; :class:`TokenRedeemer`
+  verifies the signature and rejects double-spends.
+
+The quota bounds history-corruption attempts: even a malicious device can
+inject at most ``quota_per_day`` bogus records per day (Section 4.2), and
+each of those still needs a 2^-256 record-identifier collision to corrupt
+anyone else's history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.privacy.blindsig import (
+    BlindingResult,
+    RSAKeyPair,
+    blind,
+    generate_keypair,
+    unblind,
+)
+from repro.util.clock import DAY
+from repro.util.rng import make_rng
+
+
+@dataclass(frozen=True)
+class UploadToken:
+    """A spendable upload token: an identifier and its RSA signature."""
+
+    token_id: bytes
+    signature: int
+
+
+class QuotaExceeded(Exception):
+    """The device asked for more tokens than its rate limit allows."""
+
+
+class TokenIssuer:
+    """The RSP's token-issuing endpoint (sees device identities)."""
+
+    def __init__(self, quota_per_day: int = 48, key_seed: int = 0, key_bits: int = 512) -> None:
+        if quota_per_day < 1:
+            raise ValueError("quota must be >= 1")
+        self.quota_per_day = quota_per_day
+        self._keypair: RSAKeyPair = generate_keypair(bits=key_bits, seed=key_seed)
+        self._issued_today: dict[str, int] = {}
+        self._window_start: dict[str, float] = {}
+
+    @property
+    def public_key(self):
+        return self._keypair.public
+
+    def issue(self, device_id: str, blinded_values: list[int], now: float) -> list[int]:
+        """Blind-sign the given values, enforcing the per-device quota.
+
+        Raises :class:`QuotaExceeded` if the device would exceed its daily
+        allowance; no partial issuance happens in that case.
+        """
+        window = self._window_start.get(device_id)
+        if window is None or now - window >= DAY:
+            self._window_start[device_id] = now
+            self._issued_today[device_id] = 0
+        used = self._issued_today[device_id]
+        if used + len(blinded_values) > self.quota_per_day:
+            raise QuotaExceeded(
+                f"device {device_id} requested {len(blinded_values)} tokens "
+                f"with {self.quota_per_day - used} remaining today"
+            )
+        self._issued_today[device_id] = used + len(blinded_values)
+        return [self._keypair.sign_raw(value) for value in blinded_values]
+
+    def remaining_quota(self, device_id: str, now: float) -> int:
+        window = self._window_start.get(device_id)
+        if window is None or now - window >= DAY:
+            return self.quota_per_day
+        return self.quota_per_day - self._issued_today.get(device_id, 0)
+
+
+class TokenRedeemer:
+    """The RSP's anonymous-upload endpoint (sees only tokens)."""
+
+    def __init__(self, public_key) -> None:
+        self._public = public_key
+        self._spent: set[bytes] = set()
+
+    def redeem(self, token: UploadToken) -> bool:
+        """Accept a token exactly once; forged and replayed tokens fail."""
+        if token.token_id in self._spent:
+            return False
+        if not self._public.verify(token.token_id, token.signature):
+            return False
+        self._spent.add(token.token_id)
+        return True
+
+    @property
+    def n_redeemed(self) -> int:
+        return len(self._spent)
+
+
+@dataclass
+class TokenWallet:
+    """Client-side token management: mint, get signed, spend."""
+
+    device_id: str
+    seed: int = 0
+    _pending: list[BlindingResult] = field(default_factory=list)
+    _tokens: list[UploadToken] = field(default_factory=list)
+    _minted: int = 0
+
+    def mint(self, public_key, count: int) -> list[int]:
+        """Create ``count`` fresh blinded token identifiers to send for signing."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        rng = make_rng(self.seed, f"wallet/{self.device_id}")
+        blinded: list[int] = []
+        for _ in range(count):
+            token_id = bytes(rng.bytes(32)) + self._minted.to_bytes(8, "big")
+            self._minted += 1
+            result = blind(public_key, token_id, seed=int(rng.integers(0, 2**62)))
+            self._pending.append(result)
+            blinded.append(result.blinded)
+        return blinded
+
+    def accept_signatures(self, public_key, blind_signatures: list[int]) -> None:
+        """Unblind the issuer's responses into spendable tokens."""
+        if len(blind_signatures) > len(self._pending):
+            raise ValueError("more signatures than pending blindings")
+        for signature in blind_signatures:
+            blinding = self._pending.pop(0)
+            token = UploadToken(
+                token_id=blinding.message,
+                signature=unblind(public_key, blinding, signature),
+            )
+            if not public_key.verify(token.token_id, token.signature):
+                raise ValueError("issuer returned an invalid signature")
+            self._tokens.append(token)
+
+    def spend(self) -> UploadToken:
+        """Take one token from the wallet."""
+        if not self._tokens:
+            raise ValueError("wallet is empty")
+        return self._tokens.pop(0)
+
+    @property
+    def balance(self) -> int:
+        return len(self._tokens)

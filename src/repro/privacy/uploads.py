@@ -1,0 +1,142 @@
+"""Client-side upload scheduling: how inferences leave the device.
+
+Section 4.2's prescriptions, each of which is a knob here so the attack
+benchmarks can toggle it:
+
+* **Asynchronous uploads** — "since there is no need for real-time
+  dissemination ... an RSP's app can upload all of its inferences
+  asynchronously, thereby preventing timing attacks."  Each record is
+  submitted after a random delay of up to ``max_upload_delay``.
+* **Independent channels** — "for every entity with which a user
+  interacts, the app should upload its inferences on an independent
+  anonymous channel."  In the hardened configuration every upload carries
+  a fresh random channel tag; the naive configuration reuses one stable
+  per-device tag, which is what a lazy implementation would do and what
+  the linkage attack exploits.
+* **Coarse event times** — feature usefulness needs inter-interaction
+  gaps at day granularity, not second-precision timestamps; quantizing
+  removes the cross-entity co-occurrence signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.privacy.anonymity import AnonymityNetwork
+from repro.privacy.history_store import InteractionUpload
+from repro.privacy.identifiers import DeviceIdentity
+from repro.sensing.resolution import InteractionType, ObservedInteraction
+from repro.util.clock import DAY, HOUR
+from repro.util.rng import make_rng
+
+
+@dataclass(frozen=True)
+class UploadConfig:
+    """Privacy posture of the upload path."""
+
+    #: Maximum random delay before a record is submitted (0 = immediate).
+    max_upload_delay: float = 24 * HOUR
+    #: Event-time quantum; timestamps are floored to multiples of this.
+    time_granularity: float = DAY
+    #: True = one stable channel tag per device (the naive design the
+    #: linkage attack defeats); False = fresh tag per upload.
+    reuse_channel_tag: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_upload_delay < 0:
+            raise ValueError("delay must be non-negative")
+        if self.time_granularity <= 0:
+            raise ValueError("granularity must be positive")
+
+
+def hardened_config() -> UploadConfig:
+    """The paper's design: async, coarse timestamps, per-upload channels."""
+    return UploadConfig(
+        max_upload_delay=24 * HOUR, time_granularity=DAY, reuse_channel_tag=False
+    )
+
+
+def naive_config() -> UploadConfig:
+    """The strawman: immediate, precise, one channel per device."""
+    return UploadConfig(max_upload_delay=0.0, time_granularity=1.0, reuse_channel_tag=True)
+
+
+class UploadScheduler:
+    """Turns a device's observed interactions into network submissions."""
+
+    def __init__(
+        self,
+        identity: DeviceIdentity,
+        config: UploadConfig | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.identity = identity
+        self.config = config or hardened_config()
+        self._rng = make_rng(seed, f"uploads/{identity.device_id}")
+        self._stable_tag = f"chan-{identity.device_id}"
+
+    def _channel_tag(self) -> str:
+        if self.config.reuse_channel_tag:
+            return self._stable_tag
+        return f"chan-{int(self._rng.integers(0, 2**62)):016x}"
+
+    def build_upload(self, interaction: ObservedInteraction) -> InteractionUpload:
+        """Convert one observed interaction into its anonymous record."""
+        quantum = self.config.time_granularity
+        return InteractionUpload(
+            history_id=self.identity.history_id(interaction.entity_id),
+            entity_id=interaction.entity_id,
+            interaction_type=interaction.interaction_type.value,
+            event_time=(interaction.time // quantum) * quantum,
+            duration=interaction.duration,
+            travel_km=interaction.travel_km,
+        )
+
+    def submit_payload(
+        self,
+        payload,
+        base_time: float,
+        network: AnonymityNetwork,
+    ) -> None:
+        """Submit one arbitrary payload with the configured privacy posture
+        (random delay, fresh-or-stable channel tag).
+
+        Used by the client app to ship envelopes (interaction record +
+        token, or opinion upload + token) through the same path.
+        """
+        delay = (
+            float(self._rng.uniform(0, self.config.max_upload_delay))
+            if self.config.max_upload_delay > 0
+            else 0.0
+        )
+        network.submit(
+            payload=payload,
+            submit_time=base_time + delay,
+            channel_tag=self._channel_tag(),
+        )
+
+    def submit_all(
+        self,
+        interactions: list[ObservedInteraction],
+        network: AnonymityNetwork,
+    ) -> int:
+        """Schedule every interaction for upload; returns how many were sent.
+
+        Submission time = event time + random delay, so nothing about the
+        wire traffic is synchronous with the user's physical behaviour.
+        """
+        submitted = 0
+        for interaction in interactions:
+            upload = self.build_upload(interaction)
+            delay = (
+                float(self._rng.uniform(0, self.config.max_upload_delay))
+                if self.config.max_upload_delay > 0
+                else 0.0
+            )
+            network.submit(
+                payload=upload,
+                submit_time=interaction.time + interaction.duration + delay,
+                channel_tag=self._channel_tag(),
+            )
+            submitted += 1
+        return submitted

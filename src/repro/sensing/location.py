@@ -1,0 +1,116 @@
+"""Stay-point extraction: from GPS fixes to dwell episodes.
+
+The classic trajectory-mining primitive: a *stay point* is a maximal run of
+consecutive fixes that remain within ``radius_km`` of the run's centroid
+for at least ``min_duration`` seconds.  Stay points are the unit the entity
+resolver matches against venues; travel segments between them provide the
+"distance travelled since previous stationary spot" feature the paper
+names (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sensing.traces import LocationSample
+from repro.world.geography import Point
+
+
+@dataclass(frozen=True)
+class StayPoint:
+    """A dwell episode extracted from the location stream."""
+
+    center: Point
+    start: float
+    end: float
+    n_samples: int
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class StayPointConfig:
+    """Extraction thresholds.
+
+    Defaults suit urban venue visits: 150 m radius tolerates GPS noise and
+    building footprints; 10 minutes filters out traffic lights and queues;
+    2 samples is the minimum for a dwell to be evidenced at all.
+    """
+
+    radius_km: float = 0.15
+    min_duration: float = 600.0
+    min_samples: int = 2
+
+    def __post_init__(self) -> None:
+        if self.radius_km <= 0:
+            raise ValueError("radius must be positive")
+        if self.min_duration <= 0:
+            raise ValueError("min_duration must be positive")
+        if self.min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+
+
+def extract_stay_points(
+    samples: list[LocationSample],
+    config: StayPointConfig | None = None,
+) -> list[StayPoint]:
+    """Extract stay points from a time-ordered location stream.
+
+    Greedy single pass: grow the current cluster while each new fix stays
+    within ``radius_km`` of the running centroid; on departure, flush the
+    cluster if it satisfies the duration and sample-count thresholds.
+    """
+    config = config or StayPointConfig()
+    stays: list[StayPoint] = []
+    if not samples:
+        return stays
+
+    cluster: list[LocationSample] = [samples[0]]
+    cx, cy = samples[0].point.x, samples[0].point.y
+
+    def flush() -> None:
+        duration = cluster[-1].time - cluster[0].time
+        if len(cluster) >= config.min_samples and duration >= config.min_duration:
+            stays.append(
+                StayPoint(
+                    center=Point(cx, cy),
+                    start=cluster[0].time,
+                    end=cluster[-1].time,
+                    n_samples=len(cluster),
+                )
+            )
+
+    for sample in samples[1:]:
+        if sample.time < cluster[-1].time:
+            raise ValueError("location samples must be time-ordered")
+        if sample.point.distance_to(Point(cx, cy)) <= config.radius_km:
+            cluster.append(sample)
+            n = len(cluster)
+            cx += (sample.point.x - cx) / n
+            cy += (sample.point.y - cy) / n
+        else:
+            flush()
+            cluster = [sample]
+            cx, cy = sample.point.x, sample.point.y
+    flush()
+    return stays
+
+
+def travel_distance_before(
+    stays: list[StayPoint], index: int
+) -> float:
+    """Distance from the previous stay point to stay ``index`` (km).
+
+    This is the paper's effort feature: how far the user travelled since
+    their previous stationary spot.  The first stay has no predecessor and
+    reports 0.
+    """
+    if not 0 <= index < len(stays):
+        raise IndexError("stay index out of range")
+    if index == 0:
+        return 0.0
+    return stays[index - 1].center.distance_to(stays[index].center)

@@ -1,0 +1,224 @@
+"""The device: turning ground-truth activity into raw sensor streams.
+
+Given the physical-world events of :mod:`repro.world`, this module produces
+what a phone would actually record — noisy GPS fixes under a sampling
+policy, call-log rows (including personal calls that have nothing to do
+with any entity), and payment records.  Downstream inference sees only
+these streams; nothing in them names an entity or an opinion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sensing.policy import SensingPolicy, duty_cycled_policy
+from repro.sensing.traces import CallRecord, DeviceTrace, LocationSample, PaymentRecord
+from repro.util.clock import DAY, MINUTE
+from repro.util.rng import make_rng
+from repro.world.behavior import SimulationResult
+from repro.world.events import CallEvent, VisitEvent
+from repro.world.geography import Point, travel_time_seconds
+from repro.world.population import Town
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Knobs of the sensor model."""
+
+    #: Std-dev of GPS noise, km (~30 m).
+    gps_noise_km: float = 0.03
+    #: Delay after becoming stationary before the first fix.
+    first_fix_delay: float = 30.0
+    #: Personal (non-entity) calls per day, polluting the call log.
+    personal_calls_per_day: float = 3.0
+    #: Probability that a restaurant visit produces a payment record.
+    payment_probability: float = 0.8
+    #: Average urban travel speed used to synthesize travel segments.
+    speed_kmh: float = 25.0
+
+
+@dataclass(frozen=True)
+class _Stay:
+    location: Point
+    start: float
+    end: float
+
+
+def _stays_for_user(
+    visits: list[VisitEvent],
+    town: Town,
+    horizon: float,
+    speed_kmh: float,
+) -> list[_Stay]:
+    """Reconstruct the user's stay timeline: anchored, visiting, anchored..."""
+    stays: list[_Stay] = []
+    cursor = 0.0
+    for visit in visits:
+        entity = town.entity(visit.entity_id)
+        travel = travel_time_seconds(visit.origin, entity.location, speed_kmh)
+        depart = max(cursor, visit.start_time - travel)
+        if depart > cursor:
+            stays.append(_Stay(location=visit.origin, start=cursor, end=depart))
+        stays.append(
+            _Stay(location=entity.location, start=visit.start_time, end=visit.end_time)
+        )
+        cursor = visit.end_time + travel
+    if cursor < horizon and visits:
+        stays.append(_Stay(location=visits[-1].origin, start=cursor, end=horizon))
+    if not visits:
+        return []
+    return [stay for stay in stays if stay.end > stay.start]
+
+
+def _stay_fix_times(stay: _Stay, policy: SensingPolicy, config: TraceConfig) -> list[float]:
+    times: list[float] = []
+    if policy.burst_offsets:
+        for offset in policy.burst_offsets:
+            t = stay.start + offset
+            if t < stay.end:
+                times.append(t)
+        cursor = stay.start + policy.burst_offsets[-1] + policy.stationary_interval
+    else:
+        cursor = stay.start + config.first_fix_delay
+    while cursor < stay.end:
+        times.append(cursor)
+        cursor += policy.stationary_interval
+    return times
+
+
+def _sample_stay(
+    stay: _Stay,
+    policy: SensingPolicy,
+    config: TraceConfig,
+    rng: np.random.Generator,
+) -> list[LocationSample]:
+    samples: list[LocationSample] = []
+    for t in _stay_fix_times(stay, policy, config):
+        noisy = Point(
+            stay.location.x + float(rng.normal(0, config.gps_noise_km)),
+            stay.location.y + float(rng.normal(0, config.gps_noise_km)),
+        )
+        samples.append(LocationSample(time=t, point=noisy, accuracy_km=config.gps_noise_km))
+    return samples
+
+
+def _sample_travel(
+    origin: Point,
+    destination: Point,
+    start: float,
+    end: float,
+    policy: SensingPolicy,
+    config: TraceConfig,
+    rng: np.random.Generator,
+) -> list[LocationSample]:
+    if policy.moving_interval is None or end <= start:
+        return []
+    samples: list[LocationSample] = []
+    t = start + policy.moving_interval
+    while t < end:
+        fraction = (t - start) / (end - start)
+        x = origin.x + fraction * (destination.x - origin.x)
+        y = origin.y + fraction * (destination.y - origin.y)
+        noisy = Point(
+            x + float(rng.normal(0, config.gps_noise_km)),
+            y + float(rng.normal(0, config.gps_noise_km)),
+        )
+        samples.append(LocationSample(time=t, point=noisy, accuracy_km=config.gps_noise_km))
+        t += policy.moving_interval
+    return samples
+
+
+def generate_trace(
+    user_id: str,
+    town: Town,
+    result: SimulationResult,
+    horizon: float,
+    policy: SensingPolicy | None = None,
+    config: TraceConfig | None = None,
+    seed: int = 0,
+) -> DeviceTrace:
+    """Produce the device trace one user's phone would have recorded.
+
+    ``horizon`` is the end of the observation window in simulated seconds
+    (events beyond it are ignored).
+    """
+    policy = policy or duty_cycled_policy()
+    config = config or TraceConfig()
+    rng = make_rng(seed, f"trace/{user_id}")
+    trace = DeviceTrace(user_id=user_id)
+
+    visits = [
+        event
+        for event in result.events
+        if isinstance(event, VisitEvent)
+        and event.user_id == user_id
+        and event.start_time < horizon
+    ]
+    visits.sort(key=lambda v: v.start_time)
+
+    stays = _stays_for_user(visits, town, horizon, config.speed_kmh)
+    for index, stay in enumerate(stays):
+        trace.location_samples.extend(_sample_stay(stay, policy, config, rng))
+        if index + 1 < len(stays):
+            nxt = stays[index + 1]
+            trace.location_samples.extend(
+                _sample_travel(
+                    stay.location, nxt.location, stay.end, nxt.start, policy, config, rng
+                )
+            )
+
+    for event in result.events:
+        if (
+            isinstance(event, CallEvent)
+            and event.user_id == user_id
+            and event.start_time < horizon
+        ):
+            entity = town.entity(event.entity_id)
+            trace.call_records.append(
+                CallRecord(time=event.start_time, number=entity.phone, duration=event.duration)
+            )
+
+    # Personal calls: numbers outside the entity directory that resolution
+    # must learn to ignore.
+    n_personal = int(rng.poisson(config.personal_calls_per_day * horizon / DAY))
+    for _ in range(n_personal):
+        trace.call_records.append(
+            CallRecord(
+                time=float(rng.uniform(0, horizon)),
+                number=f"+1-777-{int(rng.integers(0, 10**7)):07d}",
+                duration=float(rng.exponential(180.0)),
+            )
+        )
+
+    for visit in visits:
+        entity = town.entity(visit.entity_id)
+        if entity.kind.label == "restaurant" and rng.random() < config.payment_probability:
+            trace.payment_records.append(
+                PaymentRecord(
+                    time=visit.end_time,
+                    merchant_name=entity.entity_id,
+                    amount=float(rng.uniform(8, 120)),
+                )
+            )
+
+    trace.sort()
+    return trace
+
+
+def generate_traces(
+    town: Town,
+    result: SimulationResult,
+    horizon: float,
+    policy: SensingPolicy | None = None,
+    config: TraceConfig | None = None,
+    seed: int = 0,
+) -> dict[str, DeviceTrace]:
+    """Traces for every user in the town."""
+    return {
+        user.user_id: generate_trace(
+            user.user_id, town, result, horizon, policy, config, seed
+        )
+        for user in town.users
+    }

@@ -1,0 +1,42 @@
+"""The RSP server and the end-to-end Figure 2 pipeline."""
+
+from repro.service.epochs import EpochReport, EpochsOutcome, run_epochs
+from repro.service.evaluation import (
+    CalibrationBin,
+    CoverageDiagnostics,
+    KindAccuracy,
+    abstention_calibration,
+    accuracy_by_kind,
+    coverage_diagnostics,
+)
+from repro.service.pipeline import (
+    PipelineConfig,
+    PipelineOutcome,
+    collect_training_data,
+    run_full_pipeline,
+    train_classifier,
+)
+from repro.core.protocol import AnonymousRecord, Envelope
+from repro.service.server import ExplicitReview, MaintenanceReport, RSPServer
+
+__all__ = [
+    "AnonymousRecord",
+    "CalibrationBin",
+    "CoverageDiagnostics",
+    "EpochReport",
+    "EpochsOutcome",
+    "KindAccuracy",
+    "abstention_calibration",
+    "accuracy_by_kind",
+    "coverage_diagnostics",
+    "run_epochs",
+    "Envelope",
+    "ExplicitReview",
+    "MaintenanceReport",
+    "PipelineConfig",
+    "PipelineOutcome",
+    "RSPServer",
+    "collect_training_data",
+    "run_full_pipeline",
+    "train_classifier",
+]

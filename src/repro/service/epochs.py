@@ -1,0 +1,136 @@
+"""Multi-epoch operation: the RSP as a long-running service.
+
+The single-shot pipeline of :mod:`repro.service.pipeline` processes one
+observation window; a deployed RSP runs forever — clients sync
+periodically, token quotas renew daily, inferences firm up as histories
+lengthen, and the server re-runs maintenance on a schedule.  This driver
+simulates that: the horizon is split into epochs, and in each epoch every
+client observes its trace so far, stages only the *new* interactions
+(repeated observation never double-uploads), syncs under quota, and the
+server ingests whatever the anonymity network has released.
+
+The epoch reports expose the quantities a service team would watch on a
+dashboard: record growth, opinion churn, fraud rejections, coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.client.app import RSPClient
+from repro.core.classifier import OpinionClassifier
+from repro.privacy.anonymity import AnonymityNetwork, batching_network
+from repro.sensing.policy import duty_cycled_policy
+from repro.sensing.sensors import generate_trace
+from repro.service.pipeline import PipelineConfig, train_classifier
+from repro.service.server import MaintenanceReport, RSPServer
+from repro.util.clock import DAY
+from repro.world.behavior import SimulationResult
+from repro.world.population import Town
+
+
+@dataclass(frozen=True)
+class EpochReport:
+    """What one epoch did to the service."""
+
+    epoch: int
+    end_time: float
+    new_records: int
+    total_records: int
+    total_histories: int
+    n_opinions: int
+    envelopes_deferred: int
+    maintenance: MaintenanceReport
+
+
+@dataclass
+class EpochsOutcome:
+    """The long-running deployment's final state and per-epoch history."""
+
+    server: RSPServer
+    clients: dict[str, RSPClient]
+    reports: list[EpochReport] = field(default_factory=list)
+
+    @property
+    def n_epochs(self) -> int:
+        return len(self.reports)
+
+
+def run_epochs(
+    town: Town,
+    result: SimulationResult,
+    config: PipelineConfig | None = None,
+    n_epochs: int = 6,
+    classifier: OpinionClassifier | None = None,
+    max_users: int | None = None,
+) -> EpochsOutcome:
+    """Operate the service over ``n_epochs`` equal slices of the horizon."""
+    if n_epochs < 1:
+        raise ValueError("need at least one epoch")
+    config = config or PipelineConfig()
+    horizon = config.horizon_days * DAY
+    epoch_length = horizon / n_epochs
+
+    if classifier is None:
+        classifier = train_classifier(
+            town, result, horizon, config.classifier, seed=config.seed
+        )
+
+    server = RSPServer(
+        catalog=town.entities,
+        quota_per_day=config.quota_per_day,
+        key_seed=config.seed,
+        key_bits=config.key_bits,
+    )
+    network: AnonymityNetwork = batching_network(
+        batch_interval=config.batch_interval, seed=config.seed
+    )
+
+    users = town.users if max_users is None else town.users[:max_users]
+    clients: dict[str, RSPClient] = {
+        user.user_id: RSPClient(
+            device_id=user.user_id,
+            catalog=town.entities,
+            classifier=classifier,
+            seed=config.seed * 100_003 + index,
+            upload_config=config.upload,
+        )
+        for index, user in enumerate(users)
+    }
+
+    outcome = EpochsOutcome(server=server, clients=clients)
+    records_before = 0
+    for epoch in range(1, n_epochs + 1):
+        end_time = epoch * epoch_length
+
+        for review in result.reviews:
+            if (epoch - 1) * epoch_length <= review.time < end_time:
+                server.post_review(
+                    review.user_id, review.entity_id, review.rating, review.time
+                )
+
+        for user in users:
+            client = clients[user.user_id]
+            trace = generate_trace(
+                user.user_id, town, result, end_time, duty_cycled_policy(), seed=config.seed
+            )
+            client.observe_trace(trace, now=end_time)
+            client.sync(network, server.issuer, now=end_time)
+
+        server.receive_all(network.deliveries_until(end_time + 2 * DAY))
+        maintenance = server.run_maintenance()
+
+        outcome.reports.append(
+            EpochReport(
+                epoch=epoch,
+                end_time=end_time,
+                new_records=server.history_store.n_records - records_before,
+                total_records=server.history_store.n_records,
+                total_histories=server.history_store.n_histories,
+                n_opinions=server.n_opinions,
+                envelopes_deferred=sum(c.n_pending for c in clients.values()),
+                maintenance=maintenance,
+            )
+        )
+        records_before = server.history_store.n_records
+    return outcome

@@ -1,0 +1,152 @@
+"""Evaluation utilities: scoring the RSP against simulator ground truth.
+
+The paper could not evaluate its vision; the simulator can.  This module
+computes the diagnostics a deployed RSP team would track:
+
+* per-entity-kind inference error — restaurants (many interactions per
+  pair) should infer better than plumbers (one call sequence per year);
+* abstention calibration — when the classifier claims an expected error of
+  e stars, is the realized error actually near e?
+* coverage diagnostics — which entities gained opinions, and how the gain
+  distributes over the long tail the paper cares about.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.service.pipeline import PipelineOutcome
+from repro.world.behavior import SimulationResult
+from repro.world.population import Town
+
+
+@dataclass(frozen=True)
+class KindAccuracy:
+    """Inference accuracy for one entity kind."""
+
+    kind: str
+    n_predictions: int
+    n_abstentions: int
+    mae: float
+
+    @property
+    def coverage(self) -> float:
+        total = self.n_predictions + self.n_abstentions
+        return self.n_predictions / total if total else 0.0
+
+
+def accuracy_by_kind(
+    town: Town, result: SimulationResult, outcome: PipelineOutcome
+) -> dict[str, KindAccuracy]:
+    """Per-kind MAE and coverage of the deployed clients' inferences."""
+    kind_of = {entity.entity_id: entity.kind.label for entity in town.entities}
+    errors: dict[str, list[float]] = defaultdict(list)
+    abstained: dict[str, int] = defaultdict(int)
+    for user_id, client in outcome.clients.items():
+        for entry in client.transparency.audit():
+            kind = kind_of.get(entry.entity_id)
+            if kind is None:
+                continue
+            rating = entry.effective_rating
+            if rating is None:
+                abstained[kind] += 1
+                continue
+            truth = result.opinions.get((user_id, entry.entity_id))
+            if truth is not None:
+                errors[kind].append(abs(rating - truth.opinion))
+    report: dict[str, KindAccuracy] = {}
+    for kind in set(errors) | set(abstained):
+        kind_errors = errors.get(kind, [])
+        report[kind] = KindAccuracy(
+            kind=kind,
+            n_predictions=len(kind_errors),
+            n_abstentions=abstained.get(kind, 0),
+            mae=float(np.mean(kind_errors)) if kind_errors else float("nan"),
+        )
+    return report
+
+
+@dataclass(frozen=True)
+class CalibrationBin:
+    """Claimed-vs-realized error for one confidence band."""
+
+    claimed_low: float
+    claimed_high: float
+    n: int
+    mean_claimed: float
+    mean_realized: float
+
+
+def abstention_calibration(
+    result: SimulationResult,
+    outcome: PipelineOutcome,
+    bin_edges: tuple[float, ...] = (0.0, 0.6, 0.8, 1.0, 1.2, 10.0),
+) -> list[CalibrationBin]:
+    """Is the classifier's expected-error estimate honest?
+
+    Buckets every non-abstained inference by the confidence the classifier
+    attached to it and compares the claimed expected error against the
+    realized mean absolute error in each bucket.
+    """
+    rows: list[tuple[float, float]] = []  # (claimed, realized)
+    for user_id, client in outcome.clients.items():
+        for entry in client.transparency.audit():
+            opinion = entry.model_opinion
+            if opinion.abstained or entry.effective_rating is None:
+                continue
+            truth = result.opinions.get((user_id, entry.entity_id))
+            if truth is None:
+                continue
+            rows.append((opinion.confidence, abs(entry.effective_rating - truth.opinion)))
+    bins: list[CalibrationBin] = []
+    for low, high in zip(bin_edges[:-1], bin_edges[1:]):
+        members = [(c, r) for c, r in rows if low <= c < high]
+        if not members:
+            continue
+        bins.append(
+            CalibrationBin(
+                claimed_low=low,
+                claimed_high=high,
+                n=len(members),
+                mean_claimed=float(np.mean([c for c, _ in members])),
+                mean_realized=float(np.mean([r for _, r in members])),
+            )
+        )
+    return bins
+
+
+@dataclass(frozen=True)
+class CoverageDiagnostics:
+    """How the opinion gain distributes over entities."""
+
+    n_entities_with_opinions_before: int
+    n_entities_with_opinions_after: int
+    n_rescued_entities: int  # zero reviews before, >0 opinions after
+    gini_before: float
+    gini_after: float
+
+
+def coverage_diagnostics(town: Town, outcome: PipelineOutcome) -> CoverageDiagnostics:
+    """The long-tail story: inference mostly helps unreviewed entities, and
+    spreads opinions more evenly across entities (lower Gini)."""
+    from repro.util.stats import gini
+
+    all_entities = list(town.entities)
+    before = [outcome.explicit_per_entity.get(e.entity_id, 0) for e in all_entities]
+    after = [
+        outcome.total_per_entity.get(
+            e.entity_id, outcome.explicit_per_entity.get(e.entity_id, 0)
+        )
+        for e in all_entities
+    ]
+    rescued = sum(1 for b, a in zip(before, after) if b == 0 and a > 0)
+    return CoverageDiagnostics(
+        n_entities_with_opinions_before=sum(1 for b in before if b > 0),
+        n_entities_with_opinions_after=sum(1 for a in after if a > 0),
+        n_rescued_entities=rescued,
+        gini_before=gini(before) if any(before) else 1.0,
+        gini_after=gini(after) if any(after) else 1.0,
+    )

@@ -1,0 +1,305 @@
+"""The end-to-end Figure 2 pipeline: world → sensing → client → server.
+
+This is the integration driver behind the F2 benchmark and the A2
+coverage claim.  It stitches every layer together exactly as the paper's
+architecture diagram draws it:
+
+1. simulate the physical world (ground-truth opinions stay inside the
+   simulator);
+2. train the opinion classifier on the posting minority — correlating
+   their observed interactions with the ratings they chose to post;
+3. run every user's client: sense, resolve, infer, and upload through the
+   anonymity network with tokens;
+4. run the server: token checking, fraud filtering, aggregation;
+5. score the outcome against ground truth: opinion coverage before/after,
+   inference accuracy, abstention behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.client.app import RSPClient
+from repro.core.classifier import ClassifierConfig, OpinionClassifier
+from repro.core.features import OpinionFeatures, extract_all_features
+from repro.client.app import infer_home
+from repro.privacy.anonymity import AnonymityNetwork, batching_network
+from repro.privacy.uploads import UploadConfig, hardened_config
+from repro.sensing.policy import SensingPolicy, duty_cycled_policy
+from repro.sensing.sensors import TraceConfig, generate_trace
+from repro.service.server import RSPServer
+from repro.util.clock import DAY
+from repro.world.behavior import SimulationResult
+from repro.world.population import Town
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Settings of one full-pipeline run."""
+
+    horizon_days: float = 180.0
+    quota_per_day: int = 96
+    key_bits: int = 256  # simulation substrate; small keys keep runs fast
+    batch_interval: float = 6 * 3600.0
+    upload: UploadConfig = field(default_factory=hardened_config)
+    classifier: ClassifierConfig = field(default_factory=ClassifierConfig)
+    #: Feed the wearable affect channel (Section 3.1's scoped-out idea)
+    #: into feature extraction for both training and deployment.
+    use_wearables: bool = False
+    seed: int = 0
+
+
+@dataclass
+class PipelineOutcome:
+    """Everything the benchmarks score."""
+
+    server: RSPServer
+    clients: dict[str, RSPClient]
+    #: entity_id -> number of explicit reviews (the world before the paper).
+    explicit_per_entity: dict[str, int]
+    #: entity_id -> explicit + surviving inferred opinions (the world after).
+    total_per_entity: dict[str, int]
+    #: |inferred - truth| for every non-abstained inference with known truth.
+    inference_errors: list[float]
+    #: |posted rating - truth| for explicit reviews (the accuracy yardstick).
+    review_errors: list[float]
+    n_inferences: int = 0
+    n_abstentions: int = 0
+
+    @property
+    def mean_absolute_error(self) -> float:
+        if not self.inference_errors:
+            return float("nan")
+        return float(np.mean(self.inference_errors))
+
+    @property
+    def abstention_rate(self) -> float:
+        total = self.n_inferences + self.n_abstentions
+        if total == 0:
+            return 0.0
+        return self.n_abstentions / total
+
+    def median_opinions_before(self) -> float:
+        counts = [self.explicit_per_entity.get(e, 0) for e in self.total_per_entity]
+        return float(np.median(counts)) if counts else 0.0
+
+    def median_opinions_after(self) -> float:
+        counts = list(self.total_per_entity.values())
+        return float(np.median(counts)) if counts else 0.0
+
+    def coverage_gain(self) -> float:
+        """Mean opinions-per-entity ratio, after vs before (entities with
+        any opinion)."""
+        before = sum(self.explicit_per_entity.get(e, 0) for e in self.total_per_entity)
+        after = sum(self.total_per_entity.values())
+        if before == 0:
+            return float("inf") if after > 0 else 1.0
+        return after / before
+
+
+def collect_training_data(
+    town: Town,
+    result: SimulationResult,
+    horizon: float,
+    policy: SensingPolicy | None = None,
+    trace_config: TraceConfig | None = None,
+    seed: int = 0,
+    use_wearables: bool = False,
+) -> tuple[list[OpinionFeatures], list[float]]:
+    """Build (features, rating) pairs from the posting minority.
+
+    For every posted review, extract the reviewer's observed features for
+    the reviewed entity from their own device trace — exactly the training
+    signal the RSP can legitimately collect (the user volunteered the
+    rating; the features come from their consenting client).
+    """
+    policy = policy or duty_cycled_policy()
+    catalog = {entity.entity_id: entity for entity in town.entities}
+    reviews_by_user: dict[str, list] = {}
+    for review in result.reviews:
+        reviews_by_user.setdefault(review.user_id, []).append(review)
+
+    features: list[OpinionFeatures] = []
+    ratings: list[float] = []
+    from repro.sensing.resolution import EntityResolver
+
+    resolver = EntityResolver(town.entities)
+    for user_id, reviews in reviews_by_user.items():
+        trace = generate_trace(user_id, town, result, horizon, policy, trace_config, seed)
+        interactions = resolver.resolve(trace)
+        if not interactions:
+            continue
+        home = infer_home(trace)
+        emotion = None
+        if use_wearables:
+            from repro.sensing.wearables import (
+                generate_emotion_trace,
+                mean_valence_by_entity,
+            )
+
+            emotion = mean_valence_by_entity(
+                generate_emotion_trace(user_id, result, horizon, seed=seed)
+            )
+        per_entity = extract_all_features(interactions, catalog, home, emotion=emotion)
+        for review in reviews:
+            feature_vector = per_entity.get(review.entity_id)
+            if feature_vector is None:
+                continue
+            features.append(feature_vector)
+            ratings.append(float(review.rating))
+    return features, ratings
+
+
+#: Below this many locally collected (features, rating) pairs, training is
+#: padded with the cold-start behavioural prior (a stand-in for the global
+#: user base a real RSP would pretrain on).
+MIN_LOCAL_TRAINING_PAIRS = 30
+
+
+def train_classifier(
+    town: Town,
+    result: SimulationResult,
+    horizon: float,
+    config: ClassifierConfig | None = None,
+    seed: int = 0,
+    use_wearables: bool = False,
+) -> OpinionClassifier:
+    """Train the opinion classifier from posted reviews.
+
+    Small or young deployments may not have enough posting users to learn
+    from; in that case the local pairs are topped up with
+    :func:`repro.core.classifier.synthetic_training_pairs`, the cold-start
+    prior, so the pipeline degrades gracefully instead of failing.
+    """
+    from repro.core.classifier import synthetic_training_pairs
+
+    features, ratings = collect_training_data(
+        town, result, horizon, seed=seed, use_wearables=use_wearables
+    )
+    if len(features) < MIN_LOCAL_TRAINING_PAIRS:
+        pad_n = MIN_LOCAL_TRAINING_PAIRS - len(features) + 20
+        pad_features, pad_ratings = synthetic_training_pairs(pad_n, seed=seed)
+        features = features + pad_features
+        ratings = ratings + pad_ratings
+    classifier = OpinionClassifier(config)
+    classifier.fit(features, ratings)
+    return classifier
+
+
+def run_full_pipeline(
+    town: Town,
+    result: SimulationResult,
+    config: PipelineConfig | None = None,
+    classifier: OpinionClassifier | None = None,
+    max_users: int | None = None,
+) -> PipelineOutcome:
+    """Run the complete Figure 2 architecture and score it."""
+    config = config or PipelineConfig()
+    horizon = config.horizon_days * DAY
+    if classifier is None:
+        classifier = train_classifier(
+            town,
+            result,
+            horizon,
+            config.classifier,
+            seed=config.seed,
+            use_wearables=config.use_wearables,
+        )
+
+    server = RSPServer(
+        catalog=town.entities,
+        quota_per_day=config.quota_per_day,
+        key_seed=config.seed,
+        key_bits=config.key_bits,
+    )
+    network: AnonymityNetwork = batching_network(
+        batch_interval=config.batch_interval, seed=config.seed
+    )
+
+    # The legacy path: posting users file explicit reviews as before.
+    for review in result.reviews:
+        if review.time < horizon:
+            server.post_review(review.user_id, review.entity_id, review.rating, review.time)
+
+    users = town.users if max_users is None else town.users[:max_users]
+    clients: dict[str, RSPClient] = {}
+    history_owner: dict[str, str] = {}  # scoring only
+    for index, user in enumerate(users):
+        client = RSPClient(
+            device_id=user.user_id,
+            catalog=town.entities,
+            classifier=classifier,
+            seed=config.seed * 100_003 + index,
+            upload_config=config.upload,
+        )
+        trace = generate_trace(
+            user.user_id, town, result, horizon, duty_cycled_policy(), seed=config.seed
+        )
+        emotion = None
+        if config.use_wearables:
+            from repro.sensing.wearables import (
+                generate_emotion_trace,
+                mean_valence_by_entity,
+            )
+
+            emotion = mean_valence_by_entity(
+                generate_emotion_trace(user.user_id, result, horizon, seed=config.seed)
+            )
+        client.observe_trace(trace, now=horizon, emotion=emotion)
+        client.sync(network, server.issuer, now=horizon)
+        clients[user.user_id] = client
+        for entity_id in client.transparency._entries:
+            history_owner[client.identity.history_id(entity_id)] = user.user_id
+
+    server.receive_all(network.deliveries_until(horizon + 3 * DAY))
+    server.run_maintenance()
+
+    # ---------------------------------------------------------- scoring
+    explicit_per_entity: dict[str, int] = {}
+    for review in result.reviews:
+        if review.time < horizon:
+            explicit_per_entity[review.entity_id] = (
+                explicit_per_entity.get(review.entity_id, 0) + 1
+            )
+    total_per_entity: dict[str, int] = {}
+    for entity_id in server.catalog:
+        summary = server.summary(entity_id)
+        if summary is None:
+            if entity_id in explicit_per_entity:
+                total_per_entity[entity_id] = explicit_per_entity[entity_id]
+            continue
+        if summary.total_opinions > 0:
+            total_per_entity[entity_id] = summary.total_opinions
+
+    inference_errors: list[float] = []
+    n_inferences = 0
+    n_abstentions = 0
+    for user_id, client in clients.items():
+        for entry in client.transparency.audit():
+            rating = entry.effective_rating
+            if rating is None:
+                n_abstentions += 1
+                continue
+            n_inferences += 1
+            truth = result.opinions.get((user_id, entry.entity_id))
+            if truth is not None:
+                inference_errors.append(abs(rating - truth.opinion))
+
+    review_errors: list[float] = []
+    for review in result.reviews:
+        truth = result.opinions.get((review.user_id, review.entity_id))
+        if truth is not None:
+            review_errors.append(abs(review.rating - truth.opinion))
+
+    return PipelineOutcome(
+        server=server,
+        clients=clients,
+        explicit_per_entity=explicit_per_entity,
+        total_per_entity=total_per_entity,
+        inference_errors=inference_errors,
+        review_errors=review_errors,
+        n_inferences=n_inferences,
+        n_abstentions=n_abstentions,
+    )

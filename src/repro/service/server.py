@@ -1,0 +1,224 @@
+"""The RSP's service: the server half of Figure 2.
+
+Holds the four stores (explicit reviews, anonymous interaction histories,
+anonymous inferred opinions, spent tokens), runs the maintenance cycle
+(fraud profiles → history filtering → opinion summaries), and answers
+search queries with explicit reviews, inferred summaries, and comparative
+visualizations side by side.
+
+Token checking happens here, once per envelope, before dispatching the
+record to its store — forged, replayed, or missing tokens bounce the whole
+envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.aggregation import EntityOpinionSummary, OpinionUpload, summarize_entity
+from repro.core.discovery import DiscoveryService, Query, SearchResponse
+from repro.core.visualization import ComparativeVisualization, compare_entities
+from repro.fraud.attestation import AttestationQuote, AttestationVerifier
+from repro.fraud.detector import DetectorConfig, FraudDetector, HistoryVerdict
+from repro.fraud.profiles import build_profiles
+from repro.privacy.anonymity import Delivery
+from repro.privacy.history_store import HistoryStore, InteractionHistory, InteractionUpload
+from repro.privacy.tokens import TokenIssuer, TokenRedeemer
+from repro.core.protocol import Envelope
+from repro.world.entities import Entity
+
+
+@dataclass(frozen=True)
+class ExplicitReview:
+    """A review posted under a user account, like on today's services."""
+
+    user_id: str
+    entity_id: str
+    rating: int
+    time: float
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.rating <= 5:
+            raise ValueError("rating must lie in 1..5")
+
+
+@dataclass
+class MaintenanceReport:
+    """Outcome of one maintenance cycle."""
+
+    n_histories: int = 0
+    n_rejected_histories: int = 0
+    n_opinions_received: int = 0
+    n_opinions_kept: int = 0
+    rejected: list[HistoryVerdict] = field(default_factory=list)
+
+
+class RSPServer:
+    """The re-architected recommendation service."""
+
+    def __init__(
+        self,
+        catalog: list[Entity],
+        quota_per_day: int = 48,
+        key_seed: int = 0,
+        key_bits: int = 512,
+        require_tokens: bool = True,
+        detector_config: DetectorConfig | None = None,
+        attestation: AttestationVerifier | None = None,
+    ) -> None:
+        if not catalog:
+            raise ValueError("catalog must be non-empty")
+        self.catalog = {entity.entity_id: entity for entity in catalog}
+        self.entity_kinds = {e.entity_id: e.kind.label for e in catalog}
+        self.issuer = TokenIssuer(
+            quota_per_day=quota_per_day, key_seed=key_seed, key_bits=key_bits
+        )
+        self.require_tokens = require_tokens
+        self.attestation = attestation
+        self.rejected_attestations = 0
+        self._redeemer = TokenRedeemer(self.issuer.public_key)
+        self.history_store = HistoryStore()
+        # Latest inferred opinion per anonymous history (latest-wins: the
+        # client re-uploads when its inference for an entity changes).
+        self._opinions: dict[str, OpinionUpload] = {}
+        self._reviews: dict[str, list[ExplicitReview]] = {}
+        self._discovery = DiscoveryService(catalog)
+        self._detector_config = detector_config
+        self._summaries: dict[str, EntityOpinionSummary] = {}
+        self._accepted_histories: dict[str, list[InteractionHistory]] = {}
+        self.rejected_envelopes = 0
+
+    # ------------------------------------------------------------- intake
+
+    def issue_tokens(
+        self,
+        device_id: str,
+        blinded_values: list[int],
+        now: float,
+        quote: AttestationQuote | None = None,
+    ) -> list[int]:
+        """Blind-sign upload tokens for an attested device.
+
+        When the server was built with an attestation verifier (Section
+        4.3's remote-attestation defense), a valid fresh quote from a
+        genuine client build is required — modified clients are cut off
+        from uploading *anything* because they can never obtain tokens.
+        """
+        if self.attestation is not None:
+            if quote is None or not self.attestation.verify(quote):
+                self.rejected_attestations += 1
+                raise PermissionError(
+                    f"device {device_id} failed attestation; no tokens issued"
+                )
+        return self.issuer.issue(device_id, blinded_values, now=now)
+
+    def post_review(self, user_id: str, entity_id: str, rating: int, time: float) -> None:
+        """Accept an explicit, attributed review (the legacy path)."""
+        if entity_id not in self.catalog:
+            raise KeyError(f"unknown entity {entity_id!r}")
+        self._reviews.setdefault(entity_id, []).append(
+            ExplicitReview(user_id=user_id, entity_id=entity_id, rating=rating, time=time)
+        )
+
+    def receive(self, delivery: Delivery[Envelope]) -> bool:
+        """Process one anonymous envelope off the network."""
+        envelope = delivery.payload
+        if self.require_tokens:
+            if envelope.token is None or not self._redeemer.redeem(envelope.token):
+                self.rejected_envelopes += 1
+                return False
+        record = envelope.record
+        if isinstance(record, InteractionUpload):
+            if record.entity_id not in self.catalog:
+                self.rejected_envelopes += 1
+                return False
+            return self.history_store.append(record, arrival_time=delivery.arrival_time)
+        if isinstance(record, OpinionUpload):
+            if record.entity_id not in self.catalog:
+                self.rejected_envelopes += 1
+                return False
+            self._opinions[record.history_id] = record
+            return True
+        self.rejected_envelopes += 1
+        return False
+
+    def receive_all(self, deliveries: list[Delivery[Envelope]]) -> int:
+        return sum(1 for delivery in deliveries if self.receive(delivery))
+
+    # -------------------------------------------------------- maintenance
+
+    def run_maintenance(self) -> MaintenanceReport:
+        """Rebuild fraud profiles, filter histories, recompute summaries."""
+        report = MaintenanceReport(
+            n_histories=self.history_store.n_histories,
+            n_opinions_received=len(self._opinions),
+        )
+        profiles = build_profiles(self.history_store, self.entity_kinds)
+        detector = FraudDetector(profiles, self.entity_kinds, self._detector_config)
+        accepted, rejected = detector.filter_store(self.history_store)
+        report.n_rejected_histories = len(rejected)
+        report.rejected = rejected
+
+        self._accepted_histories = {}
+        for history in accepted:
+            self._accepted_histories.setdefault(history.entity_id, []).append(history)
+
+        surviving_ids = {history.history_id for history in accepted}
+        kept_opinions = [
+            o for o in self._opinions.values() if o.history_id in surviving_ids
+        ]
+        report.n_opinions_kept = len(kept_opinions)
+
+        opinions_by_entity: dict[str, list[OpinionUpload]] = {}
+        for opinion in kept_opinions:
+            opinions_by_entity.setdefault(opinion.entity_id, []).append(opinion)
+
+        self._summaries = {}
+        entity_ids = (
+            set(self._accepted_histories)
+            | set(opinions_by_entity)
+            | set(self._reviews)
+        )
+        for entity_id in entity_ids:
+            self._summaries[entity_id] = summarize_entity(
+                entity_id=entity_id,
+                histories=self._accepted_histories.get(entity_id, []),
+                inferred=opinions_by_entity.get(entity_id, []),
+                explicit_ratings=[
+                    float(r.rating) for r in self._reviews.get(entity_id, [])
+                ],
+            )
+        return report
+
+    # -------------------------------------------------------------- query
+
+    def summary(self, entity_id: str) -> EntityOpinionSummary | None:
+        return self._summaries.get(entity_id)
+
+    def reviews_for(self, entity_id: str) -> list[ExplicitReview]:
+        return list(self._reviews.get(entity_id, []))
+
+    def search(self, query: Query, compare_top: int = 3) -> SearchResponse:
+        """Answer a query with ranked results plus comparative visualizations
+        of the top candidates (Figure 3 as a product feature)."""
+        response = self._discovery.search(query, self._summaries)
+        visualization: ComparativeVisualization | None = None
+        top = [r.entity.entity_id for r in response.results[:compare_top]]
+        if top:
+            visualization = compare_entities(
+                {
+                    entity_id: self._accepted_histories.get(entity_id, [])
+                    for entity_id in top
+                }
+            )
+        return SearchResponse(
+            query=response.query, results=response.results, visualization=visualization
+        )
+
+    @property
+    def n_explicit_reviews(self) -> int:
+        return sum(len(reviews) for reviews in self._reviews.values())
+
+    @property
+    def n_opinions(self) -> int:
+        return len(self._opinions)

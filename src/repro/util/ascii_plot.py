@@ -1,0 +1,96 @@
+"""Terminal rendering of the paper's figures.
+
+The examples and benchmark harnesses regenerate Figure 1 and Figure 3 as
+text: CDFs on a log-2 x-axis (matching the paper's axes exactly) and
+horizontal-bar histograms.  Keeping rendering here means the analysis code
+returns plain arrays and stays testable.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.util.stats import EmpiricalCDF
+
+_SERIES_MARKS = "*+xo#@"
+
+
+def log2_grid(max_value: float, min_value: float = 1.0) -> np.ndarray:
+    """Powers of two spanning [min_value, max_value] — Figure 1's x-axis."""
+    if max_value < min_value:
+        max_value = min_value
+    lo = int(math.floor(math.log2(max(min_value, 1.0))))
+    hi = int(math.ceil(math.log2(max(max_value, 1.0))))
+    return np.power(2.0, np.arange(lo, hi + 1))
+
+
+def render_cdfs(
+    series: Mapping[str, EmpiricalCDF],
+    x_label: str,
+    width: int = 64,
+    height: int = 16,
+) -> str:
+    """Render several CDFs on a shared log-2 x-axis as ASCII art."""
+    if not series:
+        raise ValueError("nothing to plot")
+    max_x = max(float(cdf.sorted_values[-1]) for cdf in series.values())
+    grid = log2_grid(max_x)
+    columns = np.interp(
+        np.log2(grid),
+        (np.log2(grid[0]), np.log2(grid[-1]) if grid.size > 1 else np.log2(grid[0]) + 1),
+        (0, width - 1),
+    ).astype(int)
+
+    canvas = [[" "] * width for _ in range(height)]
+    for series_index, (name, cdf) in enumerate(series.items()):
+        mark = _SERIES_MARKS[series_index % len(_SERIES_MARKS)]
+        fractions = cdf.evaluate_many(grid)
+        for column, fraction in zip(columns, fractions):
+            row = height - 1 - int(round(fraction * (height - 1)))
+            canvas[row][column] = mark
+
+    lines = []
+    for row_index, row in enumerate(canvas):
+        fraction = 1.0 - row_index / (height - 1)
+        lines.append(f"{fraction:4.2f} |" + "".join(row))
+    axis = "     +" + "-" * width
+    ticks = "      " + "".join(
+        str(int(grid[i])).ljust(max(1, width // max(1, grid.size)))
+        for i in range(grid.size)
+    )[:width]
+    legend = "  ".join(
+        f"{_SERIES_MARKS[i % len(_SERIES_MARKS)]} {name}" for i, name in enumerate(series)
+    )
+    return "\n".join(lines + [axis, ticks, f"      x: {x_label} (log2)", f"      {legend}"])
+
+
+def render_histogram(
+    labels: Sequence[str],
+    counts: Sequence[float],
+    title: str,
+    width: int = 48,
+) -> str:
+    """Render a labelled horizontal-bar histogram (Figure 3(a) style)."""
+    if len(labels) != len(counts):
+        raise ValueError("labels and counts must align")
+    peak = max((float(c) for c in counts), default=0.0)
+    lines = [title]
+    for label, count in zip(labels, counts):
+        bar_length = 0 if peak == 0 else int(round(width * float(count) / peak))
+        lines.append(f"  {label:>12} | {'#' * bar_length} {count:g}")
+    return "\n".join(lines)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a simple aligned table (Table 1 style)."""
+    cells = [[str(h) for h in headers]] + [[str(value) for value in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    rendered = []
+    for row_index, row in enumerate(cells):
+        rendered.append("  ".join(value.ljust(widths[i]) for i, value in enumerate(row)))
+        if row_index == 0:
+            rendered.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    return "\n".join(rendered)

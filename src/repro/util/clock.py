@@ -1,0 +1,55 @@
+"""Simulated time.
+
+All timestamps in the library are ``float`` seconds on a simulated timeline
+starting at 0.  A shared :class:`SimClock` lets the client, the anonymity
+network, and the attack harnesses observe a consistent notion of "now"
+without any dependence on wall-clock time — which is what makes the timing
+attacks of :mod:`repro.privacy.attacks` deterministic and testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+MINUTE: float = 60.0
+HOUR: float = 60.0 * MINUTE
+DAY: float = 24.0 * HOUR
+WEEK: float = 7.0 * DAY
+YEAR: float = 365.0 * DAY
+
+
+@dataclass
+class SimClock:
+    """A monotonically advancing simulated clock."""
+
+    _now: float = field(default=0.0)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Advance the clock by ``seconds`` (must be non-negative)."""
+        if seconds < 0:
+            raise ValueError("cannot advance a clock backwards")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Advance the clock to an absolute ``timestamp`` (must not be in the past)."""
+        if timestamp < self._now:
+            raise ValueError(
+                f"cannot move clock backwards from {self._now:.1f} to {timestamp:.1f}"
+            )
+        self._now = timestamp
+        return self._now
+
+
+def format_time(seconds: float) -> str:
+    """Render a simulated timestamp as ``'Nd HH:MM'`` for logs and examples."""
+    days = int(seconds // DAY)
+    remainder = seconds - days * DAY
+    hours = int(remainder // HOUR)
+    minutes = int((remainder - hours * HOUR) // MINUTE)
+    return f"{days}d {hours:02d}:{minutes:02d}"

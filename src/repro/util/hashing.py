@@ -1,0 +1,40 @@
+"""Stable hashing helpers.
+
+Python's builtin ``hash`` is salted per process, so anything that must be
+reproducible across runs — record identifiers, deterministic tie-breaking —
+goes through SHA-256 here.  :func:`record_id` implements the paper's
+``hash(Ru, e)`` construction (Section 4.2): the identifier under which a
+user's interaction history with one entity is stored at the RSP's servers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def stable_digest(*parts: object) -> bytes:
+    """SHA-256 digest of the ``repr`` of each part, joined unambiguously."""
+    hasher = hashlib.sha256()
+    for part in parts:
+        encoded = repr(part).encode("utf-8")
+        hasher.update(len(encoded).to_bytes(4, "big"))
+        hasher.update(encoded)
+    return hasher.digest()
+
+
+def stable_u64(*parts: object) -> int:
+    """A stable 64-bit unsigned integer derived from ``parts``."""
+    return int.from_bytes(stable_digest(*parts)[:8], "big")
+
+
+def record_id(user_secret: int, entity_id: str) -> str:
+    """The paper's ``hash(Ru, e)`` record identifier.
+
+    ``user_secret`` is the random number ``Ru`` the RSP's app picks at
+    install time; ``entity_id`` identifies the entity.  The hex digest is
+    what the app sends (anonymously) to the server.  Because SHA-256 is
+    one-way and ``Ru`` is high-entropy, the server cannot link two record
+    identifiers belonging to the same user, and cannot recover ``Ru`` or the
+    entity from an identifier alone.
+    """
+    return stable_digest("record-id", user_secret, entity_id).hex()

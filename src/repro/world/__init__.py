@@ -1,0 +1,65 @@
+"""Physical-world simulator: geography, entities, users, and behaviour.
+
+This package is the ground-truth substrate the paper lacks: it generates
+user-entity interactions (visits, phone calls) from latent opinions, so the
+RSP's implicit inference can be *scored* against what users actually think.
+"""
+
+from repro.world.behavior import (
+    BehaviorConfig,
+    BehaviorSimulator,
+    PostedReview,
+    SimulationResult,
+)
+from repro.world.entities import (
+    DEFAULT_CATEGORIES,
+    Entity,
+    EntityKind,
+    InteractionStyle,
+    make_phone_number,
+)
+from repro.world.events import CallEvent, Event, EventKind, GroundTruthOpinion, VisitEvent
+from repro.world.geography import CityGrid, Point, Zone, travel_time_seconds
+from repro.world.population import Town, TownConfig, build_town
+from repro.world.scenarios import (
+    DENTIST_A,
+    DENTIST_B,
+    DENTIST_C,
+    Figure3Config,
+    figure3_town,
+    run_figure3,
+)
+from repro.world.users import User, sample_posting_propensity, sample_user
+
+__all__ = [
+    "DEFAULT_CATEGORIES",
+    "DENTIST_A",
+    "DENTIST_B",
+    "DENTIST_C",
+    "BehaviorConfig",
+    "BehaviorSimulator",
+    "CallEvent",
+    "CityGrid",
+    "Entity",
+    "EntityKind",
+    "Event",
+    "EventKind",
+    "Figure3Config",
+    "GroundTruthOpinion",
+    "InteractionStyle",
+    "Point",
+    "PostedReview",
+    "SimulationResult",
+    "Town",
+    "TownConfig",
+    "User",
+    "VisitEvent",
+    "Zone",
+    "build_town",
+    "figure3_town",
+    "make_phone_number",
+    "run_figure3",
+    "sample_posting_propensity",
+    "sample_user",
+    "travel_time_seconds",
+]

@@ -1,0 +1,143 @@
+"""Entities: the restaurants, doctors, and service providers users interact with.
+
+The paper's three measured services map onto three *interaction styles*:
+
+* restaurants — frequent, short-notice, often group visits (Yelp);
+* doctors/dentists — rare, appointment-driven visits (Healthgrades);
+* service providers (electricians, plumbers, ...) — rare, phone-mediated
+  engagements, often without the user travelling at all (Angie's List).
+
+Every entity carries a latent ``quality`` in [0, 5] — the ground truth the
+RSP tries to recover — plus observable attributes (price level, category)
+that drive user choice and the "similar options nearby" feature of
+Section 4.1.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.world.geography import Point
+
+
+class InteractionStyle(enum.Enum):
+    """How users engage with an entity kind."""
+
+    VISIT_FREQUENT = "visit_frequent"  # restaurants, cafes
+    VISIT_APPOINTMENT = "visit_appointment"  # doctors, dentists
+    CALL_SERVICE = "call_service"  # plumbers, electricians
+
+
+class EntityKind(enum.Enum):
+    """The kinds of entities covered by the paper's three services."""
+
+    RESTAURANT = ("restaurant", InteractionStyle.VISIT_FREQUENT)
+    DENTIST = ("dentist", InteractionStyle.VISIT_APPOINTMENT)
+    FAMILY_MEDICINE = ("family_medicine", InteractionStyle.VISIT_APPOINTMENT)
+    PEDIATRICS = ("pediatrics", InteractionStyle.VISIT_APPOINTMENT)
+    PLASTIC_SURGERY = ("plastic_surgery", InteractionStyle.VISIT_APPOINTMENT)
+    ELECTRICIAN = ("electrician", InteractionStyle.CALL_SERVICE)
+    PLUMBER = ("plumber", InteractionStyle.CALL_SERVICE)
+    GARDENER = ("gardener", InteractionStyle.CALL_SERVICE)
+
+    def __init__(self, label: str, style: InteractionStyle) -> None:
+        self.label = label
+        self.style = style
+
+    @property
+    def is_visited(self) -> bool:
+        return self.style in (InteractionStyle.VISIT_FREQUENT, InteractionStyle.VISIT_APPOINTMENT)
+
+    @property
+    def is_called(self) -> bool:
+        return self.style is InteractionStyle.CALL_SERVICE
+
+
+#: Sub-categories per kind (cuisines for restaurants); used for the
+#: "number of similar options" feature and for measurement queries.
+DEFAULT_CATEGORIES: dict[EntityKind, tuple[str, ...]] = {
+    EntityKind.RESTAURANT: (
+        "chinese",
+        "italian",
+        "mexican",
+        "japanese",
+        "indian",
+        "thai",
+        "american",
+        "mediterranean",
+        "korean",
+    ),
+    EntityKind.DENTIST: ("dentist",),
+    EntityKind.FAMILY_MEDICINE: ("family_medicine",),
+    EntityKind.PEDIATRICS: ("pediatrics",),
+    EntityKind.PLASTIC_SURGERY: ("plastic_surgery",),
+    EntityKind.ELECTRICIAN: ("electrician",),
+    EntityKind.PLUMBER: ("plumber",),
+    EntityKind.GARDENER: ("gardener",),
+}
+
+
+@dataclass(frozen=True)
+class Entity:
+    """A physical-world entity listed on a recommendation service.
+
+    Attributes
+    ----------
+    entity_id:
+        Stable string identifier, e.g. ``"restaurant-0042"``.
+    kind / category:
+        Kind (restaurant, dentist, ...) and sub-category (cuisine or the
+        kind's own label).
+    location:
+        Where the entity sits in the city.
+    quality:
+        Latent true quality in [0, 5]; the expected opinion of a user with
+        neutral taste.  Ground truth only — never visible to the RSP.
+    price_level:
+        1 (cheap) .. 4 (expensive); an observable attribute used when
+        computing "similar nearby options".
+    phone:
+        Synthetic phone number; call logs reference entities through it.
+    """
+
+    entity_id: str
+    kind: EntityKind
+    category: str
+    location: Point
+    quality: float
+    price_level: int = 2
+    phone: str = ""
+    attributes: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.quality <= 5.0:
+            raise ValueError("quality must lie in [0, 5]")
+        if not 1 <= self.price_level <= 4:
+            raise ValueError("price_level must lie in 1..4")
+
+    def similarity_to(self, other: "Entity") -> float:
+        """Attribute similarity in [0, 1] used for choice-set features.
+
+        Two entities are comparable options when they share a category and
+        price point; Section 4.1 notes similarity is multi-dimensional and
+        hard — this deliberately simple observable proxy (category, price,
+        shared tags) is what an RSP could actually compute.
+        """
+        if self.kind is not other.kind:
+            return 0.0
+        score = 0.0
+        if self.category == other.category:
+            score += 0.6
+        score += 0.2 * (1.0 - abs(self.price_level - other.price_level) / 3.0)
+        mine, theirs = set(self.attributes), set(other.attributes)
+        if mine or theirs:
+            score += 0.2 * len(mine & theirs) / max(1, len(mine | theirs))
+        else:
+            score += 0.2
+        return min(1.0, score)
+
+
+def make_phone_number(index: int) -> str:
+    """Deterministic synthetic phone number for entity ``index``."""
+    return f"+1-555-{index // 10000:03d}-{index % 10000:04d}"

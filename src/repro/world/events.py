@@ -1,0 +1,79 @@
+"""Ground-truth interaction events emitted by the behaviour simulator.
+
+These are *physical-world facts*: user u was at restaurant e from t to
+t+duration, or called plumber p for 90 seconds.  The sensing layer
+(:mod:`repro.sensing`) observes noisy projections of these events (GPS
+samples, call-log rows); the RSP never sees the events themselves, and in
+particular never sees ``true_opinion`` — that lives only in the simulator
+and is used to score inference accuracy.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.world.geography import Point
+
+
+class EventKind(enum.Enum):
+    VISIT = "visit"
+    CALL = "call"
+
+
+@dataclass(frozen=True)
+class VisitEvent:
+    """A physical visit by a user to an entity.
+
+    ``origin`` is where the trip started (home or work) and
+    ``distance_km`` the trip length — the paper's primary effort signal.
+    ``group_id`` is non-empty when the visit happened as part of a social
+    group (Section 4.1's group-deflation concern).
+    """
+
+    user_id: str
+    entity_id: str
+    start_time: float
+    duration: float
+    origin: Point
+    distance_km: float
+    group_id: str = ""
+
+    kind: EventKind = EventKind.VISIT
+
+    @property
+    def end_time(self) -> float:
+        return self.start_time + self.duration
+
+
+@dataclass(frozen=True)
+class CallEvent:
+    """A phone call from a user to an entity (service providers)."""
+
+    user_id: str
+    entity_id: str
+    start_time: float
+    duration: float
+
+    kind: EventKind = EventKind.CALL
+
+    @property
+    def end_time(self) -> float:
+        return self.start_time + self.duration
+
+
+Event = VisitEvent | CallEvent
+
+
+@dataclass(frozen=True)
+class GroundTruthOpinion:
+    """The simulator's record of what a user actually thinks of an entity."""
+
+    user_id: str
+    entity_id: str
+    opinion: float  # 0..5
+    settled: bool  # True once the user has enough experience to have a firm view
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.opinion <= 5.0:
+            raise ValueError("opinion must lie in [0, 5]")

@@ -1,0 +1,130 @@
+"""Planar geography for the simulated city.
+
+The paper's inference features are spatial — "the distance traveled by a
+user to visit a dentist" is its canonical effort signal — so the world needs
+geometry, but nothing about it requires real map data.  We model a city as a
+square of ``size_km`` kilometres partitioned into a grid of rectangular
+*zones*.  Zones play the role of the paper's zipcodes: the measurement
+crawler issues (zone, category) queries, and users' homes and workplaces are
+placed zone by zone so population density is controllable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import make_rng
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """A location in the city, in kilometres from the south-west corner."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance in kilometres."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def offset(self, dx: float, dy: float) -> "Point":
+        return Point(self.x + dx, self.y + dy)
+
+
+@dataclass(frozen=True)
+class Zone:
+    """One grid cell of the city — the analogue of a zipcode."""
+
+    zone_id: str
+    row: int
+    col: int
+    x_min: float
+    y_min: float
+    x_max: float
+    y_max: float
+
+    @property
+    def center(self) -> Point:
+        return Point((self.x_min + self.x_max) / 2.0, (self.y_min + self.y_max) / 2.0)
+
+    def contains(self, point: Point) -> bool:
+        return self.x_min <= point.x < self.x_max and self.y_min <= point.y < self.y_max
+
+    def sample_point(self, rng: int | np.random.Generator) -> Point:
+        """A uniformly random location inside the zone."""
+        gen = make_rng(rng)
+        return Point(
+            float(gen.uniform(self.x_min, self.x_max)),
+            float(gen.uniform(self.y_min, self.y_max)),
+        )
+
+
+class CityGrid:
+    """A square city split into ``rows x cols`` zones.
+
+    Zone identifiers look like synthetic zipcodes (``"Z0703"`` for row 7,
+    column 3) so measurement output reads like the paper's query tables.
+    """
+
+    def __init__(self, size_km: float = 20.0, rows: int = 5, cols: int = 5) -> None:
+        if size_km <= 0:
+            raise ValueError("size_km must be positive")
+        if rows < 1 or cols < 1:
+            raise ValueError("grid must have at least one zone")
+        self.size_km = float(size_km)
+        self.rows = rows
+        self.cols = cols
+        self._zones: list[Zone] = []
+        cell_w = size_km / cols
+        cell_h = size_km / rows
+        for row in range(rows):
+            for col in range(cols):
+                self._zones.append(
+                    Zone(
+                        zone_id=f"Z{row:02d}{col:02d}",
+                        row=row,
+                        col=col,
+                        x_min=col * cell_w,
+                        y_min=row * cell_h,
+                        x_max=(col + 1) * cell_w,
+                        y_max=(row + 1) * cell_h,
+                    )
+                )
+
+    @property
+    def zones(self) -> list[Zone]:
+        return list(self._zones)
+
+    def zone_by_id(self, zone_id: str) -> Zone:
+        for zone in self._zones:
+            if zone.zone_id == zone_id:
+                return zone
+        raise KeyError(f"unknown zone {zone_id!r}")
+
+    def zone_containing(self, point: Point) -> Zone:
+        """The zone containing ``point`` (edges clamp into the city)."""
+        col = min(self.cols - 1, max(0, int(point.x / (self.size_km / self.cols))))
+        row = min(self.rows - 1, max(0, int(point.y / (self.size_km / self.rows))))
+        return self._zones[row * self.cols + col]
+
+    def sample_point(self, rng: int | np.random.Generator) -> Point:
+        gen = make_rng(rng)
+        return Point(float(gen.uniform(0, self.size_km)), float(gen.uniform(0, self.size_km)))
+
+    def clamp(self, point: Point) -> Point:
+        """Clamp a point into the city bounds."""
+        return Point(
+            min(max(point.x, 0.0), self.size_km),
+            min(max(point.y, 0.0), self.size_km),
+        )
+
+
+def travel_time_seconds(origin: Point, destination: Point, speed_kmh: float = 25.0) -> float:
+    """Door-to-door travel time at an average urban speed."""
+    if speed_kmh <= 0:
+        raise ValueError("speed must be positive")
+    distance = origin.distance_to(destination)
+    return distance / speed_kmh * 3600.0

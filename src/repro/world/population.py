@@ -1,0 +1,176 @@
+"""Population and town construction.
+
+A :class:`Town` bundles a city grid, its entities, and its users — the input
+to both the behaviour simulator and (indirectly, through sensing) the RSP.
+Construction is fully parameterized and seeded so benchmarks can sweep town
+size without touching the generators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.rng import make_rng
+from repro.world.entities import (
+    DEFAULT_CATEGORIES,
+    Entity,
+    EntityKind,
+    make_phone_number,
+)
+from repro.world.geography import CityGrid, Point
+from repro.world.users import User, sample_user
+
+
+@dataclass(frozen=True)
+class TownConfig:
+    """Parameters of the synthetic town."""
+
+    n_users: int = 200
+    size_km: float = 20.0
+    grid_rows: int = 5
+    grid_cols: int = 5
+    #: Entities per kind; tuned so a town of default size has realistic density.
+    entities_per_kind: dict[EntityKind, int] = field(
+        default_factory=lambda: {
+            EntityKind.RESTAURANT: 60,
+            EntityKind.DENTIST: 12,
+            EntityKind.FAMILY_MEDICINE: 10,
+            EntityKind.PEDIATRICS: 6,
+            EntityKind.PLASTIC_SURGERY: 4,
+            EntityKind.ELECTRICIAN: 10,
+            EntityKind.PLUMBER: 10,
+            EntityKind.GARDENER: 8,
+        }
+    )
+    #: Mean/std of latent entity quality.
+    quality_mean: float = 3.2
+    quality_std: float = 0.9
+    #: Average social-group size for group restaurant visits; 0 disables groups.
+    group_size: int = 3
+    #: Fraction of users belonging to some social group.
+    group_membership: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.n_users < 1:
+            raise ValueError("n_users must be >= 1")
+        if self.group_size < 0:
+            raise ValueError("group_size must be non-negative")
+
+
+@dataclass
+class Town:
+    """A complete simulated town: geography, entities, and people."""
+
+    grid: CityGrid
+    entities: list[Entity]
+    users: list[User]
+
+    def entity(self, entity_id: str) -> Entity:
+        for entity in self.entities:
+            if entity.entity_id == entity_id:
+                return entity
+        raise KeyError(f"unknown entity {entity_id!r}")
+
+    def user(self, user_id: str) -> User:
+        for user in self.users:
+            if user.user_id == user_id:
+                return user
+        raise KeyError(f"unknown user {user_id!r}")
+
+    def entities_of_kind(self, kind: EntityKind) -> list[Entity]:
+        return [entity for entity in self.entities if entity.kind is kind]
+
+    @property
+    def phone_directory(self) -> dict[str, str]:
+        """phone number -> entity_id, the mapping the RSP client resolves calls with."""
+        return {entity.phone: entity.entity_id for entity in self.entities if entity.phone}
+
+
+def build_entities(
+    config: TownConfig, grid: CityGrid, seed: int
+) -> list[Entity]:
+    """Place entities of every kind uniformly across the town."""
+    entities: list[Entity] = []
+    phone_index = 0
+    for kind, count in config.entities_per_kind.items():
+        rng = make_rng(seed, f"entities[{kind.label}]")
+        categories = DEFAULT_CATEGORIES[kind]
+        for index in range(count):
+            location = grid.sample_point(rng)
+            quality = float(
+                np.clip(rng.normal(config.quality_mean, config.quality_std), 0.0, 5.0)
+            )
+            category = categories[int(rng.integers(0, len(categories)))]
+            entities.append(
+                Entity(
+                    entity_id=f"{kind.label}-{index:04d}",
+                    kind=kind,
+                    category=category,
+                    location=location,
+                    quality=quality,
+                    price_level=int(rng.integers(1, 5)),
+                    phone=make_phone_number(phone_index),
+                )
+            )
+            phone_index += 1
+    return entities
+
+
+def build_users(config: TownConfig, grid: CityGrid, seed: int) -> list[User]:
+    """Draw the population, including social-group assignments."""
+    all_categories: tuple[str, ...] = tuple(
+        category
+        for kind in config.entities_per_kind
+        for category in DEFAULT_CATEGORIES[kind]
+    )
+    rng = make_rng(seed, "users")
+    users: list[User] = []
+    group_counter = 0
+    pending_group: list[int] = []
+    group_assignment: dict[int, tuple[str, ...]] = {}
+    for index in range(config.n_users):
+        if config.group_size > 0 and rng.random() < config.group_membership:
+            pending_group.append(index)
+            if len(pending_group) >= config.group_size:
+                group_id = f"group-{group_counter:04d}"
+                group_counter += 1
+                for member in pending_group:
+                    group_assignment[member] = (group_id,)
+                pending_group = []
+    for index in range(config.n_users):
+        user_rng = make_rng(seed, f"user[{index}]")
+        home = grid.sample_point(user_rng)
+        work = grid.sample_point(user_rng)
+        user = sample_user(
+            user_rng,
+            user_id=f"user-{index:04d}",
+            home=home,
+            work=work,
+            categories=all_categories,
+        )
+        groups = group_assignment.get(index, ())
+        if groups:
+            user = User(
+                user_id=user.user_id,
+                home=user.home,
+                work=user.work,
+                posting_propensity=user.posting_propensity,
+                category_affinity=user.category_affinity,
+                price_preference=user.price_preference,
+                mobility=user.mobility,
+                exploration=user.exploration,
+                group_ids=groups,
+            )
+        users.append(user)
+    return users
+
+
+def build_town(config: TownConfig | None = None, seed: int = 0) -> Town:
+    """Construct a complete town from a config and a seed."""
+    config = config or TownConfig()
+    grid = CityGrid(size_km=config.size_km, rows=config.grid_rows, cols=config.grid_cols)
+    entities = build_entities(config, grid, seed)
+    users = build_users(config, grid, seed)
+    return Town(grid=grid, entities=entities, users=users)

@@ -1,0 +1,219 @@
+"""Prebuilt scenarios matching situations the paper describes.
+
+:func:`figure3_town` constructs the three-dentist situation of Figure 3:
+
+* **Dentist A** — low quality; users try it once and switch, so it shows
+  very few repeat patients (Figure 3(a)).
+* **Dentist B** — high quality; patients stick with it and *travel far* to
+  keep coming, so across its patients the average distance travelled
+  correlates strongly with visit count (Figure 3(b)).
+* **Dentist C** — mediocre but surrounded by a captive local population
+  with low mobility and near-zero exploration; it accumulates as many
+  repeat visits as B, but its patients travel almost nowhere, so the
+  distance-visits correlation is weak — repeat interaction that is
+  convenience, not endorsement.
+
+The scenario exists so the comparative-visualization pipeline
+(:mod:`repro.core.visualization`) can be validated against the qualitative
+claims of the figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.rng import make_rng
+from repro.world.behavior import BehaviorConfig, BehaviorSimulator, SimulationResult
+from repro.world.entities import Entity, EntityKind, make_phone_number
+from repro.world.geography import CityGrid, Point
+from repro.world.population import Town
+from repro.world.users import User
+
+
+#: Entity ids used by the Figure 3 scenario.
+DENTIST_A = "dentist-A"
+DENTIST_B = "dentist-B"
+DENTIST_C = "dentist-C"
+
+
+@dataclass(frozen=True)
+class Figure3Config:
+    """Size and duration of the Figure 3 scenario."""
+
+    n_regional_users: int = 150
+    n_local_users: int = 40
+    duration_days: float = 730.0  # two years: enough appointments to show repeats
+    appointment_needs_per_year: float = 6.0
+    #: Fraction of regional users who are established fans of dentist B
+    #: (discovered it before the observation window began).
+    fan_fraction: float = 0.4
+    seed: int = 42
+
+
+@dataclass(frozen=True)
+class Figure3Scenario:
+    """Everything needed to simulate the Figure 3 situation."""
+
+    town: Town
+    behaviour: BehaviorConfig
+    initial_opinions: dict[tuple[str, str], float]
+
+    def simulate(self, seed: int) -> SimulationResult:
+        simulator = BehaviorSimulator(
+            users=self.town.users,
+            entities=self.town.entities,
+            config=self.behaviour,
+            seed=seed,
+            initial_opinions=self.initial_opinions,
+        )
+        return simulator.run()
+
+
+def figure3_town(config: Figure3Config | None = None) -> Figure3Scenario:
+    """Build the three-dentist town and a behaviour config tuned for it."""
+    config = config or Figure3Config()
+    grid = CityGrid(size_km=12.0, rows=3, cols=3)
+    rng = make_rng(config.seed, "figure3")
+
+    dentists = [
+        Entity(
+            entity_id=DENTIST_A,
+            kind=EntityKind.DENTIST,
+            category="dentist",
+            location=Point(6.0, 7.0),
+            quality=1.8,
+            price_level=2,
+            phone=make_phone_number(9001),
+        ),
+        Entity(
+            entity_id=DENTIST_B,
+            kind=EntityKind.DENTIST,
+            category="dentist",
+            location=Point(6.0, 5.0),
+            quality=3.9,
+            price_level=2,
+            phone=make_phone_number(9002),
+        ),
+        Entity(
+            entity_id=DENTIST_C,
+            kind=EntityKind.DENTIST,
+            category="dentist",
+            location=Point(1.0, 1.0),
+            quality=2.9,
+            price_level=2,
+            phone=make_phone_number(9003),
+        ),
+    ]
+
+    # Filler dentists, one per grid zone: the unremarkable local option most
+    # non-fans default to.  Without them a three-dentist town would force
+    # every user to one of A/B/C regardless of distance, washing out the
+    # distance-vs-visits signal the figure is about.
+    for zone_index, zone in enumerate(grid.zones):
+        dentists.append(
+            Entity(
+                entity_id=f"dentist-filler-{zone_index:02d}",
+                kind=EntityKind.DENTIST,
+                category="dentist",
+                location=zone.center,
+                quality=3.0,
+                price_level=2,
+                phone=make_phone_number(9100 + zone_index),
+            )
+        )
+
+    # A ring of decent alternatives around C: without them, C would be
+    # the corner neighbourhood's genuinely best option and would earn
+    # legitimate mid-distance regulars, which is not the situation the
+    # figure sketches (C's repeats should be captive convenience only).
+    for ring_index, (x, y) in enumerate(((2.6, 1.0), (1.0, 2.6), (2.4, 2.4))):
+        dentists.append(
+            Entity(
+                entity_id=f"dentist-ring-{ring_index}",
+                kind=EntityKind.DENTIST,
+                category="dentist",
+                location=Point(x, y),
+                quality=3.3,
+                price_level=2,
+                phone=make_phone_number(9200 + ring_index),
+            )
+        )
+
+    users: list[User] = []
+    initial_opinions: dict[tuple[str, str], float] = {}
+    # Regional users: spread across town, mobile, willing to explore.  A
+    # fraction of them are established fans of B — they discovered its
+    # quality before the observation window (a referral, a previous
+    # neighbourhood) and keep travelling back, which is exactly the
+    # effort-is-endorsement signal Figure 3(b) visualizes.
+    for index in range(config.n_regional_users):
+        home = grid.sample_point(rng)
+        work = grid.sample_point(rng)
+        user_id = f"regional-{index:03d}"
+        is_fan = rng.random() < config.fan_fraction
+        users.append(
+            User(
+                user_id=user_id,
+                home=home,
+                work=work,
+                posting_propensity=0.02,
+                # Fans are picky: they rate ordinary dentists below par and
+                # B far above it, which is why they keep making the trip.
+                category_affinity={
+                    "dentist": float(rng.normal(-0.5 if is_fan else -0.2, 0.2))
+                },
+                price_preference=2,
+                mobility=float(rng.uniform(4.0, 8.0)),
+                exploration=float(rng.uniform(0.15, 0.4)),
+                # Committed patients keep regular check-up schedules.
+                engagement=float(rng.uniform(2.2, 3.2) if is_fan else rng.uniform(0.3, 0.8)),
+            )
+        )
+        if is_fan:
+            initial_opinions[(user_id, DENTIST_B)] = float(rng.uniform(4.7, 5.0))
+    # Local users: clustered around C, immobile, and incurious — C keeps
+    # their business without earning it (laziness, not loyalty).
+    for index in range(config.n_local_users):
+        home = Point(
+            float(rng.uniform(0.6, 1.4)),
+            float(rng.uniform(0.6, 1.4)),
+        )
+        user_id = f"local-{index:03d}"
+        users.append(
+            User(
+                user_id=user_id,
+                home=home,
+                work=home,
+                posting_propensity=0.02,
+                category_affinity={"dentist": float(rng.normal(0.2, 0.2))},
+                price_preference=2,
+                mobility=0.8,
+                exploration=0.01,
+                # Locals vary in how often they bother going at all; their
+                # visit counts reflect habit, not distance or endorsement.
+                engagement=float(rng.uniform(0.5, 2.2)),
+            )
+        )
+        initial_opinions[(user_id, DENTIST_C)] = float(rng.uniform(2.8, 3.4))
+
+    town = Town(grid=grid, entities=dentists, users=users)
+    behaviour = BehaviorConfig(
+        duration_days=config.duration_days,
+        appointment_needs_per_year=config.appointment_needs_per_year,
+        laziness=0.35,
+        # Dentist choice is far more deliberate than restaurant choice: a
+        # sharp softmax and a high distance cost keep users from sampling
+        # far-away dentists on a whim, which would drown the
+        # distance-vs-visits signal in noise.
+        choice_temperature=0.25,
+        exploration_temperature=0.2,
+        distance_weight=1.5,
+    )
+    return Figure3Scenario(town=town, behaviour=behaviour, initial_opinions=initial_opinions)
+
+
+def run_figure3(config: Figure3Config | None = None) -> tuple[Town, SimulationResult]:
+    """Build and simulate the Figure 3 scenario."""
+    config = config or Figure3Config()
+    scenario = figure3_town(config)
+    return scenario.town, scenario.simulate(config.seed)

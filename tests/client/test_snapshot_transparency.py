@@ -1,0 +1,111 @@
+"""Tests for the local snapshot and the transparency log."""
+
+import pytest
+
+from repro.client.snapshot import LocalSnapshot
+from repro.client.transparency import InferenceStatus, TransparencyLog
+from repro.core.classifier import InferredOpinion
+from repro.sensing.resolution import InteractionType, ObservedInteraction
+from repro.util.clock import DAY
+
+
+def interaction(entity="e1", day=0.0):
+    return ObservedInteraction(
+        entity_id=entity,
+        interaction_type=InteractionType.VISIT,
+        time=day * DAY,
+        duration=1800.0,
+        travel_km=1.0,
+    )
+
+
+class TestLocalSnapshot:
+    def test_retention_positive(self):
+        with pytest.raises(ValueError):
+            LocalSnapshot(retention=0)
+
+    def test_add_and_recent(self):
+        snapshot = LocalSnapshot()
+        snapshot.add(interaction("e1", 1))
+        snapshot.add(interaction("e1", 2))
+        assert len(snapshot.recent("e1")) == 2
+        assert snapshot.recent("missing") == []
+
+    def test_purge_drops_old_entries(self):
+        snapshot = LocalSnapshot(retention=30 * DAY)
+        snapshot.add(interaction("e1", 0))
+        snapshot.add(interaction("e1", 50))
+        purged = snapshot.purge(now=60 * DAY)
+        assert purged == 1
+        assert len(snapshot.recent("e1")) == 1
+
+    def test_purge_removes_empty_entity_buckets(self):
+        """Even the *existence* of an old relationship must disappear."""
+        snapshot = LocalSnapshot(retention=10 * DAY)
+        snapshot.add(interaction("old-dentist", 0))
+        snapshot.purge(now=100 * DAY)
+        assert "old-dentist" not in snapshot.entity_ids()
+
+    def test_leak_bounded_by_retention(self):
+        """The theft scenario of Section 4.2: only recent data leaks."""
+        snapshot = LocalSnapshot(retention=30 * DAY)
+        for day in range(0, 365, 5):
+            snapshot.add(interaction("e1", day))
+        snapshot.purge(now=365 * DAY)
+        leaked = snapshot.leak()
+        for interactions in leaked.values():
+            for leaked_interaction in interactions:
+                assert leaked_interaction.time >= (365 - 30) * DAY
+
+    def test_leak_is_a_copy(self):
+        snapshot = LocalSnapshot()
+        snapshot.add(interaction("e1", 1))
+        leaked = snapshot.leak()
+        leaked["e1"].clear()
+        assert len(snapshot.recent("e1")) == 1
+
+
+class TestTransparencyLog:
+    def opinion(self, rating=4.0):
+        return InferredOpinion(rating=rating, confidence=0.5)
+
+    def test_record_and_audit(self):
+        log = TransparencyLog()
+        log.record("e1", 0.0, self.opinion(), evidence="3 visits")
+        log.record("e2", 0.0, InferredOpinion(rating=None, confidence=2.0), evidence="1 visit")
+        audit = log.audit()
+        assert [entry.entity_id for entry in audit] == ["e1", "e2"]
+        assert audit[0].effective_rating == 4.0
+        assert audit[1].effective_rating is None
+
+    def test_correction_overrides_model(self):
+        log = TransparencyLog()
+        log.record("e1", 0.0, self.opinion(4.0), evidence="x")
+        log.correct("e1", 1.0)
+        assert log.entry("e1").effective_rating == 1.0
+        assert log.entry("e1").status is InferenceStatus.CORRECTED
+
+    def test_correction_survives_reinference(self):
+        """A fresh model run must not clobber what the user told us."""
+        log = TransparencyLog()
+        log.record("e1", 0.0, self.opinion(4.0), evidence="x")
+        log.correct("e1", 1.0)
+        log.record("e1", 10.0, self.opinion(4.5), evidence="more visits")
+        assert log.entry("e1").effective_rating == 1.0
+
+    def test_suppression_blocks_sharing(self):
+        log = TransparencyLog()
+        log.record("e1", 0.0, self.opinion(4.0), evidence="x")
+        log.suppress("e1")
+        assert log.entry("e1").effective_rating is None
+
+    def test_correct_unknown_entity_raises(self):
+        log = TransparencyLog()
+        with pytest.raises(KeyError):
+            log.correct("ghost", 3.0)
+
+    def test_correct_validates_rating(self):
+        log = TransparencyLog()
+        log.record("e1", 0.0, self.opinion(), evidence="x")
+        with pytest.raises(ValueError):
+            log.correct("e1", 6.0)

@@ -1,0 +1,184 @@
+"""Tests for the opinion classifier and the repeat-count baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import (
+    ClassifierConfig,
+    NotFittedError,
+    OpinionClassifier,
+    RepeatCountBaseline,
+)
+from repro.core.features import OpinionFeatures
+
+
+def synthetic_features(rng, opinion):
+    """Features statistically consistent with a given true opinion.
+
+    Liked entities (high opinion): more interactions, farther travel, no
+    complaint markers.  Disliked: few interactions, bursty short calls.
+    """
+    liked = opinion / 5.0
+    n = max(1, int(rng.poisson(1 + 6 * liked)))
+    travel = float(rng.uniform(0.5, 1.0 + 6.0 * liked))
+    return OpinionFeatures(
+        n_interactions=float(n),
+        span_days=float(rng.uniform(5, 150) * (0.3 + liked)),
+        mean_gap_days=float(rng.uniform(5, 60)),
+        mean_travel_km=travel,
+        max_travel_km=travel * float(rng.uniform(1.0, 1.5)),
+        mean_duration_min=float(rng.uniform(30, 90)),
+        total_duration_hours=n * float(rng.uniform(0.5, 1.5)),
+        excess_travel_km=travel - float(rng.uniform(0.5, 2.0)),
+        n_alternatives_tried=float(rng.integers(0, 4)),
+        tried_before_settling=float(rng.random() < 0.3 + 0.4 * liked),
+        switched_away=float(rng.random() < 0.7 * (1 - liked)),
+        n_similar_nearby=float(rng.integers(0, 10)),
+        call_fraction=0.0,
+        short_call_fraction=float((1 - liked) * rng.random() * 0.5),
+        burst_fraction=float((1 - liked) * rng.random() * 0.5),
+    )
+
+
+def training_set(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    features, ratings = [], []
+    for _ in range(n):
+        opinion = float(rng.uniform(0.5, 5.0))
+        features.append(synthetic_features(rng, opinion))
+        ratings.append(float(np.clip(round(opinion + rng.normal(0, 0.3)), 0, 5)))
+    return features, ratings
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    features, ratings = training_set()
+    return OpinionClassifier().fit(features, ratings)
+
+
+class TestTraining:
+    def test_unfitted_raises(self):
+        classifier = OpinionClassifier()
+        features, _ = training_set(20)
+        with pytest.raises(NotFittedError):
+            classifier.predict(features[0])
+        with pytest.raises(NotFittedError):
+            classifier.feature_weights()
+
+    def test_requires_enough_data(self):
+        features, ratings = training_set(5)
+        with pytest.raises(ValueError):
+            OpinionClassifier().fit(features, ratings)
+
+    def test_rejects_misaligned(self):
+        features, ratings = training_set(20)
+        with pytest.raises(ValueError):
+            OpinionClassifier().fit(features, ratings[:-1])
+
+    def test_rejects_out_of_range_ratings(self):
+        features, ratings = training_set(20)
+        ratings[0] = 9.0
+        with pytest.raises(ValueError):
+            OpinionClassifier().fit(features, ratings)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ClassifierConfig(ridge_lambda=-1)
+        with pytest.raises(ValueError):
+            ClassifierConfig(min_interactions=0)
+
+    def test_effort_carries_positive_weight(self, fitted):
+        """The model should discover that travel distance signals endorsement
+        — the paper's 'effort is endorsement' hypothesis in the weights."""
+        weights = fitted.feature_weights()
+        assert weights["mean_travel_km"] > 0
+
+    def test_complaint_markers_carry_negative_weight(self, fitted):
+        weights = fitted.feature_weights()
+        assert weights["switched_away"] < 0
+
+
+class TestPrediction:
+    def test_predictions_bounded(self, fitted):
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            opinion = fitted.predict(synthetic_features(rng, float(rng.uniform(0, 5))))
+            if not opinion.abstained:
+                assert 0.0 <= opinion.rating <= 5.0
+
+    def test_accuracy_beats_constant_predictor(self, fitted):
+        rng = np.random.default_rng(2)
+        errors, constant_errors = [], []
+        for _ in range(300):
+            truth = float(rng.uniform(0.5, 5.0))
+            opinion = fitted.predict(synthetic_features(rng, truth))
+            if opinion.abstained:
+                continue
+            errors.append(abs(opinion.rating - truth))
+            constant_errors.append(abs(2.75 - truth))
+        assert len(errors) > 50
+        assert np.mean(errors) < 0.85 * np.mean(constant_errors)
+
+    def test_abstains_on_thin_evidence(self, fitted):
+        rng = np.random.default_rng(3)
+        features = synthetic_features(rng, 3.0)
+        thin = OpinionFeatures(
+            **{
+                **{name: getattr(features, name) for name in OpinionFeatures.feature_names()},
+                "n_interactions": 1.0,
+            }
+        )
+        assert fitted.predict(thin).abstained
+
+    def test_abstention_rate_falls_with_evidence(self, fitted):
+        rng = np.random.default_rng(4)
+        def rate(n_interactions):
+            abstained = 0
+            for _ in range(100):
+                features = synthetic_features(rng, float(rng.uniform(0, 5)))
+                forced = OpinionFeatures(
+                    **{
+                        **{n: getattr(features, n) for n in OpinionFeatures.feature_names()},
+                        "n_interactions": float(n_interactions),
+                    }
+                )
+                if fitted.predict(forced).abstained:
+                    abstained += 1
+            return abstained / 100
+        assert rate(1) == 1.0
+        assert rate(8) < rate(1)
+
+    def test_predict_many(self, fitted):
+        rng = np.random.default_rng(5)
+        batch = {f"e{i}": synthetic_features(rng, 4.0) for i in range(5)}
+        out = fitted.predict_many(batch)
+        assert set(out) == set(batch)
+
+
+class TestBaselineComparison:
+    def test_baseline_unfitted_raises(self):
+        baseline = RepeatCountBaseline()
+        features, _ = training_set(20)
+        with pytest.raises(NotFittedError):
+            baseline.predict(features[0])
+
+    def test_full_model_beats_count_only_baseline(self):
+        """A1's headline: effort features beat the naive repeat-count rule.
+
+        The baseline is fitted on the same data, so the gap is the value of
+        the effort/exploration features, not of calibration.
+        """
+        features, ratings = training_set(500, seed=10)
+        model = OpinionClassifier().fit(features, ratings)
+        baseline = RepeatCountBaseline().fit(features, ratings)
+        rng = np.random.default_rng(11)
+        model_errors, baseline_errors = [], []
+        for _ in range(400):
+            truth = float(rng.uniform(0.5, 5.0))
+            test_features = synthetic_features(rng, truth)
+            base = baseline.predict(test_features)
+            baseline_errors.append(abs(base.rating - truth))
+            inferred = model.predict(test_features)
+            if not inferred.abstained:
+                model_errors.append(abs(inferred.rating - truth))
+        assert np.mean(model_errors) < 0.9 * np.mean(baseline_errors)

@@ -1,0 +1,170 @@
+"""Tests for the effort/exploration/choice-set feature extraction."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import (
+    OpinionFeatures,
+    extract_all_features,
+    extract_features,
+)
+from repro.sensing.resolution import InteractionType, ObservedInteraction
+from repro.util.clock import DAY, HOUR
+from repro.world.entities import Entity, EntityKind
+from repro.world.geography import Point
+
+
+def entity(entity_id="thai-1", category="thai", x=5.0, y=5.0, kind=EntityKind.RESTAURANT):
+    return Entity(
+        entity_id=entity_id, kind=kind, category=category,
+        location=Point(x, y), quality=3.0, price_level=2,
+    )
+
+
+def visit(entity_id, day, travel=2.0, duration=1.0 * HOUR):
+    return ObservedInteraction(
+        entity_id=entity_id,
+        interaction_type=InteractionType.VISIT,
+        time=day * DAY,
+        duration=duration,
+        travel_km=travel,
+    )
+
+
+def call(entity_id, day, duration=120.0):
+    return ObservedInteraction(
+        entity_id=entity_id,
+        interaction_type=InteractionType.CALL,
+        time=day * DAY,
+        duration=duration,
+    )
+
+
+HOME = Point(0.0, 0.0)
+
+
+class TestRepetitionAndEffort:
+    def test_basic_counts(self):
+        target = entity()
+        own = [visit("thai-1", d) for d in (0, 10, 20)]
+        features = extract_features(target, own, own, {"thai-1": target}, HOME)
+        assert features.n_interactions == 3
+        assert features.span_days == pytest.approx(20.0)
+        assert features.mean_gap_days == pytest.approx(10.0)
+
+    def test_effort_features(self):
+        target = entity()
+        own = [visit("thai-1", 0, travel=3.0), visit("thai-1", 10, travel=5.0)]
+        features = extract_features(target, own, own, {"thai-1": target}, HOME)
+        assert features.mean_travel_km == pytest.approx(4.0)
+        assert features.max_travel_km == pytest.approx(5.0)
+        assert features.total_duration_hours == pytest.approx(2.0)
+
+    def test_excess_travel_positive_when_passing_closer_option(self):
+        target = entity("thai-far", x=6.0, y=0.0)
+        near = entity("thai-near", x=1.0, y=0.0)
+        catalog = {"thai-far": target, "thai-near": near}
+        own = [visit("thai-far", d, travel=6.0) for d in (0, 15)]
+        features = extract_features(target, own, own, catalog, HOME)
+        # Nearest similar alternative is 1 km away but the user travels 6 km.
+        assert features.excess_travel_km == pytest.approx(5.0)
+
+    def test_requires_interactions(self):
+        with pytest.raises(ValueError):
+            extract_features(entity(), [], [], {}, HOME)
+
+
+class TestExploration:
+    def test_alternatives_tried_counted(self):
+        target = entity("thai-1")
+        other = entity("thai-2", x=4.0)
+        catalog = {"thai-1": target, "thai-2": other}
+        stream = [visit("thai-2", 0), visit("thai-1", 5), visit("thai-1", 15)]
+        own = [i for i in stream if i.entity_id == "thai-1"]
+        features = extract_features(target, own, stream, catalog, HOME)
+        assert features.n_alternatives_tried == 1
+        assert features.tried_before_settling == 1.0
+
+    def test_switched_away_detected(self):
+        target = entity("thai-1")
+        other = entity("thai-2", x=4.0)
+        catalog = {"thai-1": target, "thai-2": other}
+        stream = [visit("thai-1", 0), visit("thai-1", 5), visit("thai-2", 30)]
+        own = [i for i in stream if i.entity_id == "thai-1"]
+        features = extract_features(target, own, stream, catalog, HOME)
+        assert features.switched_away == 1.0
+
+    def test_loyal_user_not_switched(self):
+        target = entity("thai-1")
+        catalog = {"thai-1": target}
+        own = [visit("thai-1", d) for d in (0, 10, 20)]
+        features = extract_features(target, own, own, catalog, HOME)
+        assert features.switched_away == 0.0
+        assert features.tried_before_settling == 0.0
+
+    def test_different_category_not_an_alternative(self):
+        target = entity("thai-1")
+        sushi = entity("sushi-1", category="japanese", x=4.0)
+        catalog = {"thai-1": target, "sushi-1": sushi}
+        stream = [visit("sushi-1", 0), visit("thai-1", 5)]
+        own = [i for i in stream if i.entity_id == "thai-1"]
+        features = extract_features(target, own, stream, catalog, HOME)
+        assert features.n_alternatives_tried == 0
+
+
+class TestChoiceSet:
+    def test_similar_nearby_counted(self):
+        target = entity("thai-1", x=5.0, y=5.0)
+        catalog = {"thai-1": target}
+        for index in range(4):
+            e = entity(f"thai-n{index}", x=5.5 + 0.2 * index, y=5.0)
+            catalog[e.entity_id] = e
+        far = entity("thai-far", x=15.0, y=15.0)
+        catalog["thai-far"] = far
+        own = [visit("thai-1", d) for d in (0, 10)]
+        features = extract_features(target, own, own, catalog, HOME)
+        assert features.n_similar_nearby == 4  # the far one is out of radius
+
+
+class TestComplaintMarkers:
+    def test_short_call_fraction(self):
+        plumber = entity("plumber-1", category="plumber", kind=EntityKind.PLUMBER)
+        catalog = {"plumber-1": plumber}
+        own = [call("plumber-1", 0, duration=200.0)] + [
+            call("plumber-1", 0.1 + i * 0.05, duration=20.0) for i in range(3)
+        ]
+        features = extract_features(plumber, own, own, catalog, HOME)
+        assert features.call_fraction == 1.0
+        assert features.short_call_fraction == pytest.approx(0.75)
+        assert features.burst_fraction > 0.9
+
+    def test_relaxed_cadence_has_low_burst_fraction(self):
+        target = entity()
+        own = [visit("thai-1", d) for d in (0, 20, 45, 70)]
+        features = extract_features(target, own, own, {"thai-1": target}, HOME)
+        assert features.burst_fraction == 0.0
+
+
+class TestVectorization:
+    def test_vector_matches_field_order(self):
+        target = entity()
+        own = [visit("thai-1", 0), visit("thai-1", 10)]
+        features = extract_features(target, own, own, {"thai-1": target}, HOME)
+        vector = features.as_vector()
+        names = OpinionFeatures.feature_names()
+        assert vector.shape == (len(names),)
+        assert vector[names.index("n_interactions")] == 2.0
+
+    def test_extract_all_features_covers_entities(self):
+        a, b = entity("thai-1"), entity("thai-2", x=3.0)
+        catalog = {"thai-1": a, "thai-2": b}
+        stream = [visit("thai-1", 0), visit("thai-2", 5), visit("thai-1", 9)]
+        features = extract_all_features(stream, catalog, HOME)
+        assert set(features) == {"thai-1", "thai-2"}
+        assert features["thai-1"].n_interactions == 2
+
+    def test_unknown_entities_skipped(self):
+        a = entity("thai-1")
+        stream = [visit("thai-1", 0), visit("ghost", 2)]
+        features = extract_all_features(stream, {"thai-1": a}, HOME)
+        assert set(features) == {"thai-1"}

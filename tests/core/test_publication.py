@@ -1,0 +1,116 @@
+"""Tests for safe aggregate publication and the differencing attack."""
+
+import pytest
+
+from repro.core.aggregation import EntityOpinionSummary
+from repro.core.publication import (
+    DifferencingReport,
+    PublicationPolicy,
+    coarsened_policy,
+    differencing_attack,
+    exact_policy,
+    publish,
+)
+
+
+def summary(entity_id="e1", n_inferred=0, n_explicit=0, mean=4.0):
+    return EntityOpinionSummary(
+        entity_id=entity_id,
+        n_explicit_reviews=n_explicit,
+        explicit_mean=mean if n_explicit else None,
+        explicit_histogram=[0] * 5,
+        n_inferred_opinions=n_inferred,
+        inferred_mean=mean if n_inferred else None,
+        inferred_histogram=[0] * 5,
+        n_interacting_users=n_inferred,
+        effective_interactions=float(n_inferred),
+        raw_interactions=n_inferred,
+        inferred_weight=float(n_inferred),
+    )
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PublicationPolicy(min_count=0)
+        with pytest.raises(ValueError):
+            PublicationPolicy(round_to=0)
+
+
+class TestPublish:
+    def test_threshold_hides_thin_summaries(self):
+        published = publish(summary(n_inferred=3), coarsened_policy())
+        assert not published.shown
+        assert published.mean is None
+
+    def test_rounding_hides_single_increments(self):
+        policy = coarsened_policy()
+        seventeen = publish(summary(n_inferred=17), policy)
+        eighteen = publish(summary(n_inferred=18), policy)
+        assert seventeen.n_opinions == eighteen.n_opinions == 15
+
+    def test_rounding_crosses_boundary_eventually(self):
+        policy = coarsened_policy()
+        assert publish(summary(n_inferred=19), policy).n_opinions == 15
+        assert publish(summary(n_inferred=20), policy).n_opinions == 20
+
+    def test_exact_policy_shows_everything(self):
+        published = publish(summary(n_inferred=1), exact_policy())
+        assert published.shown
+        assert published.n_opinions == 1
+
+    def test_mean_rounded(self):
+        result = publish(summary(n_inferred=10, mean=4.23456), coarsened_policy())
+        assert result.mean == pytest.approx(4.2)
+
+    def test_explicit_reviews_count_toward_threshold(self):
+        result = publish(summary(n_inferred=2, n_explicit=3), coarsened_policy())
+        assert result.shown
+
+
+class TestDifferencingAttack:
+    def snapshots(self, policy, before_counts, after_counts):
+        before = {
+            entity_id: publish(summary(entity_id, n_inferred=n), policy)
+            for entity_id, n in before_counts.items()
+        }
+        after = {
+            entity_id: publish(summary(entity_id, n_inferred=n), policy)
+            for entity_id, n in after_counts.items()
+        }
+        return before, after
+
+    def test_exact_publication_leaks(self):
+        """With exact continuous counts, every suspicion is confirmed."""
+        before, after = self.snapshots(
+            exact_policy(),
+            {"d1": 17, "d2": 9},
+            {"d1": 18, "d2": 9},
+        )
+        report = differencing_attack(before, after, [("alice", "d1"), ("bob", "d2")])
+        assert report.n_confirmed == 1  # d1 incremented, d2 did not
+        assert report.success_rate == 0.5
+
+    def test_coarsened_publication_blinds_single_increments(self):
+        before, after = self.snapshots(
+            coarsened_policy(),
+            {"d1": 17, "d2": 8},
+            {"d1": 18, "d2": 9},
+        )
+        report = differencing_attack(before, after, [("alice", "d1"), ("bob", "d2")])
+        assert report.n_confirmed == 0
+
+    def test_coarsening_leaks_only_at_bucket_boundaries(self):
+        """Crossing a rounding boundary is the residual leak — 1-in-round_to
+        odds instead of certainty."""
+        before, after = self.snapshots(
+            coarsened_policy(),
+            {"d1": 19},
+            {"d1": 20},
+        )
+        report = differencing_attack(before, after, [("alice", "d1")])
+        assert report.n_confirmed == 1
+
+    def test_empty_suspicions(self):
+        report = differencing_attack({}, {}, [])
+        assert report.success_rate == 0.0

@@ -1,0 +1,92 @@
+"""Tests for the reminder baseline (Section 3's dismissed alternative)."""
+
+import pytest
+
+from repro.core.reminders import ReminderOutcome, ReminderPolicy, simulate_reminders
+from repro.util.clock import DAY
+
+
+def visits(n, spacing_days=5.0, start=1.0):
+    return [start * DAY + i * spacing_days * DAY for i in range(n)]
+
+
+class TestPolicyValidation:
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            ReminderPolicy(prompt_probability=1.5)
+        with pytest.raises(ValueError):
+            ReminderPolicy(max_prompts_per_week=0)
+        with pytest.raises(ValueError):
+            ReminderPolicy(acceptance_boost=0.5)
+        with pytest.raises(ValueError):
+            ReminderPolicy(churn_per_prompt=2.0)
+
+
+class TestSimulateReminders:
+    def test_no_visits_no_prompts(self):
+        outcome = simulate_reminders({"u": []}, {"u": 0.5}, horizon=100 * DAY)
+        assert outcome.n_prompts == 0
+        assert outcome.n_reviews_gained == 0
+
+    def test_prompting_converts_inclined_users(self):
+        """High-propensity users post when nudged."""
+        policy = ReminderPolicy(churn_per_prompt=0.0)
+        outcome = simulate_reminders(
+            {f"u{i}": visits(10) for i in range(20)},
+            {f"u{i}": 0.5 for i in range(20)},
+            horizon=100 * DAY,
+            policy=policy,
+        )
+        assert outcome.n_prompts > 0
+        assert outcome.n_reviews_gained > 0.5 * outcome.n_prompts
+
+    def test_lurkers_rarely_convert_even_when_nudged(self):
+        """The structural limit: nudging a 1% propensity yields ~5%."""
+        policy = ReminderPolicy(churn_per_prompt=0.0)
+        outcome = simulate_reminders(
+            {f"u{i}": visits(10) for i in range(100)},
+            {f"u{i}": 0.01 for i in range(100)},
+            horizon=100 * DAY,
+            policy=policy,
+            seed=1,
+        )
+        assert outcome.reviews_per_prompt < 0.15
+
+    def test_rate_limit_respected(self):
+        policy = ReminderPolicy(max_prompts_per_week=1, churn_per_prompt=0.0)
+        outcome = simulate_reminders(
+            {"u": visits(14, spacing_days=1.0)},  # daily visits for two weeks
+            {"u": 0.5},
+            horizon=100 * DAY,
+            policy=policy,
+        )
+        assert outcome.n_prompts <= 3  # one per started week window
+
+    def test_aggressive_prompting_churns_users(self):
+        policy = ReminderPolicy(churn_per_prompt=0.2, max_prompts_per_week=7)
+        outcome = simulate_reminders(
+            {f"u{i}": visits(30, spacing_days=2.0) for i in range(50)},
+            {f"u{i}": 0.1 for i in range(50)},
+            horizon=100 * DAY,
+            policy=policy,
+            seed=2,
+        )
+        assert outcome.churn_rate > 0.3
+
+    def test_churned_users_stop_everything(self):
+        """Once churned, a user generates no further prompts or reviews."""
+        policy = ReminderPolicy(churn_per_prompt=1.0)  # churn on first prompt
+        outcome = simulate_reminders(
+            {"u": visits(20, spacing_days=1.0)},
+            {"u": 0.9},
+            horizon=100 * DAY,
+            policy=policy,
+        )
+        assert outcome.n_prompts == 1
+        assert outcome.n_churned_users == 1
+
+    def test_deterministic(self):
+        args = ({"u": visits(10)}, {"u": 0.3})
+        a = simulate_reminders(*args, horizon=100 * DAY, seed=5)
+        b = simulate_reminders(*args, horizon=100 * DAY, seed=5)
+        assert a == b

@@ -1,0 +1,103 @@
+"""Tests for the attacker zoo and the detection/cost trade-off."""
+
+import numpy as np
+import pytest
+
+from repro.fraud.attackers import (
+    CallSpamAttacker,
+    EmployeeAttacker,
+    MimicAttacker,
+    SybilAttacker,
+)
+from repro.fraud.detector import FraudDetector
+from repro.fraud.profiles import build_profiles
+from repro.privacy.history_store import HistoryStore, InteractionUpload
+from repro.privacy.identifiers import DeviceIdentity
+from repro.util.clock import DAY
+
+from tests.fraud.test_profiles_detector import KINDS, attack_history, honest_store
+
+
+@pytest.fixture(scope="module")
+def detector():
+    store = honest_store(n_users=60, seed=10)
+    return FraudDetector(build_profiles(store, KINDS), KINDS)
+
+
+@pytest.fixture(scope="module")
+def profile():
+    store = honest_store(n_users=60, seed=10)
+    return build_profiles(store, KINDS)["dentist"]
+
+
+class TestCallSpam:
+    def test_generates_requested_calls(self):
+        identity = DeviceIdentity.create("a", seed=0)
+        result = CallSpamAttacker(n_calls=12).generate(identity, "dentist-1", 0.0)
+        assert len(result.uploads) == 12
+        assert all(u.interaction_type == "call" for u in result.uploads)
+
+    def test_cheap_in_time_and_effort(self):
+        identity = DeviceIdentity.create("a", seed=0)
+        result = CallSpamAttacker().generate(identity, "dentist-1", 0.0)
+        assert result.cost.wall_clock_days < 5
+        assert result.cost.active_effort < 600  # a few minutes on the phone
+
+    def test_detected(self, detector):
+        identity = DeviceIdentity.create("a", seed=0)
+        result = CallSpamAttacker().generate(identity, "dentist-1", 0.0)
+        assert detector.judge(attack_history(result.uploads)).suspicious
+
+
+class TestEmployee:
+    def test_daily_cadence(self):
+        identity = DeviceIdentity.create("e", seed=1)
+        result = EmployeeAttacker(n_days=20).generate(identity, "dentist-1", 0.0)
+        times = sorted(u.event_time for u in result.uploads)
+        gaps = np.diff(times)
+        assert np.all(np.abs(gaps - DAY) < 0.1 * DAY)
+
+    def test_detected(self, detector):
+        identity = DeviceIdentity.create("e", seed=1)
+        result = EmployeeAttacker().generate(identity, "dentist-1", 0.0)
+        assert detector.judge(attack_history(result.uploads)).suspicious
+
+
+class TestSybil:
+    def test_each_device_has_own_history(self):
+        results = SybilAttacker(n_devices=5).generate_all("dentist-1", 0.0)
+        ids = {r.uploads[0].history_id for r in results}
+        assert len(ids) == 5
+
+    def test_individual_histories_unjudgeable(self, detector):
+        """Each tiny sybil history evades judgement — but contributes only
+        a tiny history, which is the paper's influence argument."""
+        results = SybilAttacker(n_devices=5, interactions_per_device=2).generate_all(
+            "dentist-1", 0.0
+        )
+        for result in results:
+            verdict = detector.judge(attack_history(result.uploads))
+            assert not verdict.judged
+
+
+class TestMimic:
+    def test_evades_detection(self, detector, profile):
+        identity = DeviceIdentity.create("m", seed=2)
+        result = MimicAttacker().generate(identity, "dentist-1", 0.0, profile)
+        verdict = detector.judge(attack_history(result.uploads))
+        assert not verdict.suspicious
+
+    def test_but_costs_months_of_realistic_behaviour(self, profile):
+        """The economic defense: undetectable fraud requires behaving like a
+        real patient — appointments spread over months with real dwell times."""
+        identity = DeviceIdentity.create("m", seed=2)
+        result = MimicAttacker().generate(identity, "dentist-1", 0.0, profile)
+        spam = CallSpamAttacker().generate(identity, "dentist-1", 0.0)
+        assert result.cost.wall_clock_days > 30
+        assert result.cost.wall_clock > 20 * spam.cost.wall_clock
+        assert result.cost.active_effort > 30 * 60  # real appointment dwell
+
+    def test_respects_volume_band(self, profile):
+        identity = DeviceIdentity.create("m", seed=3)
+        result = MimicAttacker(n_interactions=50).generate(identity, "dentist-1", 0.0, profile)
+        assert len(result.uploads) <= max(2, int(profile.counts.p95))

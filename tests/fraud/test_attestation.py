@@ -1,0 +1,118 @@
+"""Tests for remote attestation and trustworthy sensing (Section 4.3)."""
+
+import pytest
+
+from repro.fraud.attestation import (
+    AttestationVerifier,
+    PlatformVendor,
+    SensorInputVerifier,
+    TrustedSensorStack,
+    client_build_hash,
+    forge_quote_without_key,
+    spoof_location_samples,
+)
+from repro.sensing.traces import LocationSample
+from repro.world.geography import Point
+
+GENUINE = client_build_hash("official RSP client v1.0")
+MODIFIED = client_build_hash("official RSP client v1.0 + my upload forger")
+
+
+@pytest.fixture()
+def vendor():
+    return PlatformVendor()
+
+
+@pytest.fixture()
+def verifier(vendor):
+    return AttestationVerifier(vendor, genuine_builds={GENUINE})
+
+
+class TestAttestation:
+    def test_genuine_client_passes(self, vendor, verifier):
+        quote = vendor.make_quote("dev-1", GENUINE, nonce=b"n1")
+        assert verifier.verify(quote)
+
+    def test_modified_client_fails(self, vendor, verifier):
+        """The secure element signs the hash of what actually runs; a
+        modified build measures differently and is refused."""
+        quote = vendor.make_quote("dev-1", MODIFIED, nonce=b"n2")
+        assert not verifier.verify(quote)
+
+    def test_forged_quote_fails(self, verifier):
+        quote = forge_quote_without_key("dev-1", GENUINE, nonce=b"n3")
+        assert not verifier.verify(quote)
+
+    def test_replayed_quote_fails(self, vendor, verifier):
+        quote = vendor.make_quote("dev-1", GENUINE, nonce=b"n4")
+        assert verifier.verify(quote)
+        assert not verifier.verify(quote)
+
+    def test_quote_bound_to_device(self, vendor, verifier):
+        """A quote signed for one device cannot attest another."""
+        quote = vendor.make_quote("dev-1", GENUINE, nonce=b"n5")
+        stolen = type(quote)(
+            device_id="dev-2", build_hash=quote.build_hash,
+            nonce=quote.nonce, tag=quote.tag,
+        )
+        assert not verifier.verify(stolen)
+
+    def test_new_release_registration(self, vendor, verifier):
+        v2 = client_build_hash("official RSP client v2.0")
+        quote = vendor.make_quote("dev-1", v2, nonce=b"n6")
+        assert not verifier.verify(quote)
+        verifier.register_build(v2)
+        quote2 = vendor.make_quote("dev-1", v2, nonce=b"n7")
+        assert verifier.verify(quote2)
+
+    def test_needs_genuine_builds(self, vendor):
+        with pytest.raises(ValueError):
+            AttestationVerifier(vendor, genuine_builds=set())
+
+
+def sample(t=0.0, x=1.0, y=2.0):
+    return LocationSample(time=t, point=Point(x, y))
+
+
+class TestTrustworthySensing:
+    def test_authentic_readings_pass(self, vendor):
+        stack = TrustedSensorStack(vendor, "dev-1")
+        signed = [stack.emit(sample(t=float(i))) for i in range(5)]
+        sensor_verifier = SensorInputVerifier(vendor)
+        authentic = sensor_verifier.filter_authentic(signed)
+        assert len(authentic) == 5
+        assert sensor_verifier.rejected == 0
+
+    def test_spoofed_readings_rejected(self, vendor):
+        """Fake-GPS readings carry no valid sensor tag."""
+        spoofed = spoof_location_samples("dev-1", [sample(t=float(i)) for i in range(5)])
+        sensor_verifier = SensorInputVerifier(vendor)
+        assert sensor_verifier.filter_authentic(spoofed) == []
+        assert sensor_verifier.rejected == 5
+
+    def test_mixed_stream_filtered(self, vendor):
+        stack = TrustedSensorStack(vendor, "dev-1")
+        genuine = [stack.emit(sample(t=1.0))]
+        spoofed = spoof_location_samples("dev-1", [sample(t=2.0)])
+        sensor_verifier = SensorInputVerifier(vendor)
+        authentic = sensor_verifier.filter_authentic(genuine + spoofed)
+        assert len(authentic) == 1
+        assert authentic[0].time == 1.0
+
+    def test_tampered_reading_rejected(self, vendor):
+        """Re-timestamping a genuinely signed reading breaks the tag —
+        an attacker cannot replay a real visit at a different time."""
+        stack = TrustedSensorStack(vendor, "dev-1")
+        signed = stack.emit(sample(t=1.0))
+        tampered = type(signed)(
+            sample=sample(t=999.0), device_id=signed.device_id, tag=signed.tag
+        )
+        sensor_verifier = SensorInputVerifier(vendor)
+        assert sensor_verifier.filter_authentic([tampered]) == []
+
+    def test_cross_device_tags_invalid(self, vendor):
+        stack1 = TrustedSensorStack(vendor, "dev-1")
+        signed = stack1.emit(sample())
+        moved = type(signed)(sample=signed.sample, device_id="dev-2", tag=signed.tag)
+        sensor_verifier = SensorInputVerifier(vendor)
+        assert sensor_verifier.filter_authentic([moved]) == []

@@ -1,0 +1,159 @@
+"""Cross-cutting property tests on the system's core invariants.
+
+Each property here is one the whole design leans on; hypothesis drives the
+inputs so the invariants hold off the happy path too.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregation import (
+    OpinionUpload,
+    deflate_groups,
+    influence_weight,
+    rating_histogram,
+    summarize_entity,
+)
+from repro.privacy.history_store import HistoryStore, InteractionUpload
+from repro.util.clock import DAY
+from repro.util.hashing import record_id
+
+
+ratings = st.lists(st.floats(min_value=0.0, max_value=5.0), max_size=50)
+
+record_specs = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=9),  # user index
+        st.integers(min_value=0, max_value=3),  # entity index
+        st.floats(min_value=0, max_value=365),  # event day
+        st.floats(min_value=60, max_value=7200),  # duration
+        st.floats(min_value=0, max_value=15),  # travel
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+
+def build_store(specs, max_records=None):
+    store = HistoryStore(max_records_per_history=max_records)
+    secrets = [1000 + i for i in range(10)]
+    for user, entity, day, duration, travel in specs:
+        entity_id = f"entity-{entity}"
+        store.append(
+            InteractionUpload(
+                history_id=record_id(secrets[user], entity_id),
+                entity_id=entity_id,
+                interaction_type="visit",
+                event_time=day * DAY,
+                duration=duration,
+                travel_km=travel,
+            ),
+            arrival_time=day * DAY,
+        )
+    return store
+
+
+class TestHistogramInvariants:
+    @given(ratings)
+    @settings(max_examples=60, deadline=None)
+    def test_histogram_conserves_count(self, values):
+        assert sum(rating_histogram(values)) == len(values)
+
+    @given(ratings)
+    @settings(max_examples=60, deadline=None)
+    def test_histogram_non_negative(self, values):
+        assert all(count >= 0 for count in rating_histogram(values))
+
+
+class TestStoreInvariants:
+    @given(record_specs)
+    @settings(max_examples=40, deadline=None)
+    def test_record_conservation(self, specs):
+        """Every accepted upload is stored exactly once, partitioned by
+        entity, regardless of arrival order."""
+        store = build_store(specs)
+        assert store.n_records == len(specs)
+        per_entity = sum(
+            history.n_interactions
+            for entity_id in store.entity_ids()
+            for history in store.histories_for_entity(entity_id)
+        )
+        assert per_entity == len(specs)
+
+    @given(record_specs, st.integers(min_value=2, max_value=6))
+    @settings(max_examples=40, deadline=None)
+    def test_compaction_preserves_logical_counts(self, specs, bound):
+        bounded = build_store(specs, max_records=bound)
+        unbounded = build_store(specs)
+        assert bounded.n_records == unbounded.n_records
+        assert bounded.n_raw_records <= bound * bounded.n_histories
+
+    @given(record_specs)
+    @settings(max_examples=40, deadline=None)
+    def test_histories_unlinkable_identifiers(self, specs):
+        """No two distinct (user, entity) pairs collide, and identifiers
+        leak no entity or user substring."""
+        store = build_store(specs)
+        ids = [h.history_id for h in store.all_histories()]
+        assert len(ids) == len(set(ids))
+        for history in store.all_histories():
+            assert "entity" not in history.history_id
+            assert len(history.history_id) == 64
+
+
+class TestDeflationInvariants:
+    @given(record_specs)
+    @settings(max_examples=40, deadline=None)
+    def test_deflated_between_one_and_raw(self, specs):
+        store = build_store(specs)
+        for entity_id in store.entity_ids():
+            histories = store.histories_for_entity(entity_id)
+            effective, raw = deflate_groups(histories)
+            assert raw == sum(h.n_raw_records for h in histories)
+            if raw > 0:
+                assert 1 <= effective <= raw
+
+
+class TestInfluenceInvariants:
+    @given(st.integers(min_value=0, max_value=100), st.integers(min_value=1, max_value=20))
+    @settings(max_examples=60, deadline=None)
+    def test_weight_bounded_and_monotone(self, n, maturity):
+        weight = influence_weight(n, maturity)
+        assert 0.0 <= weight <= 1.0
+        assert influence_weight(n + 1, maturity) >= weight
+
+    @given(record_specs, ratings)
+    @settings(max_examples=30, deadline=None)
+    def test_summary_means_bounded(self, specs, explicit):
+        store = build_store(specs)
+        entity_id = store.entity_ids()[0]
+        histories = store.histories_for_entity(entity_id)
+        opinions = [
+            OpinionUpload(history_id=h.history_id, entity_id=entity_id, rating=3.3)
+            for h in histories
+        ]
+        summary = summarize_entity(entity_id, histories, opinions, list(explicit))
+        if summary.inferred_mean is not None:
+            assert 0.0 <= summary.inferred_mean <= 5.0
+        if summary.combined_mean is not None:
+            assert 0.0 <= summary.combined_mean <= 5.0
+        assert summary.inferred_weight <= summary.n_inferred_opinions + 1e-9
+
+
+class TestServerInvariants:
+    @given(record_specs)
+    @settings(max_examples=15, deadline=None)
+    def test_maintenance_conserves_or_discards(self, specs):
+        """After maintenance, every history is either in a summary's
+        population or was explicitly rejected — none vanish silently."""
+        from repro.fraud.detector import FraudDetector
+        from repro.fraud.profiles import build_profiles
+
+        store = build_store(specs)
+        kinds = {f"entity-{i}": "restaurant" for i in range(4)}
+        profiles = build_profiles(store, kinds)
+        detector = FraudDetector(profiles, kinds)
+        accepted, rejected = detector.filter_store(store)
+        assert len(accepted) + len(rejected) == store.n_histories

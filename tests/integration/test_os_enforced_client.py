@@ -1,0 +1,95 @@
+"""Integration: the full client pipeline under OS-enforced privacy.
+
+Section 5's trust model applied to the real client code path: sensor data
+enters only as tainted handles, resolution runs inside the OS sandbox, and
+every envelope leaving the device passes the egress scanner.  The honest
+client completes the whole flow; a malicious build is stopped at the first
+exfiltration attempt.
+"""
+
+import pytest
+
+from repro.client.app import RSPClient
+from repro.client.os_broker import EgressViolation, OSPrivacyBroker
+from repro.privacy.anonymity import batching_network
+from repro.privacy.tokens import TokenIssuer
+from repro.sensing.policy import duty_cycled_policy
+from repro.sensing.sensors import generate_trace
+from repro.service.pipeline import train_classifier
+from repro.util.clock import DAY
+from repro.world.behavior import BehaviorConfig, BehaviorSimulator
+from repro.world.population import TownConfig, build_town
+
+
+@pytest.fixture(scope="module")
+def world():
+    town = build_town(TownConfig(n_users=30), seed=51)
+    result = BehaviorSimulator(
+        town.users, town.entities, BehaviorConfig(duration_days=90), seed=51
+    ).run()
+    horizon = 90 * DAY
+    classifier = train_classifier(town, result, horizon, seed=51)
+    return town, result, horizon, classifier
+
+
+def busiest_user(result):
+    counts = {}
+    for event in result.events:
+        counts[event.user_id] = counts.get(event.user_id, 0) + 1
+    return max(counts, key=counts.get)
+
+
+class TestOSEnforcedClient:
+    def test_honest_client_full_flow_through_broker(self, world):
+        """Read sensors -> sandboxed observe -> token-stamped egress, all
+        under OS scanning, with zero violations."""
+        town, result, horizon, classifier = world
+        user_id = busiest_user(result)
+        broker = OSPrivacyBroker(app_id="rsp-app")
+        client = RSPClient(
+            device_id=user_id, catalog=town.entities, classifier=classifier, seed=5
+        )
+
+        raw_trace = generate_trace(
+            user_id, town, result, horizon, duty_cycled_policy(), seed=51
+        )
+        handle = broker.read_sensors(raw_trace, now=horizon)
+        interactions = broker.process(
+            handle,
+            lambda trace: client.observe_trace(trace, now=horizon),
+            now=horizon,
+            label="observe_trace",
+        )
+        assert interactions
+
+        issuer = TokenIssuer(quota_per_day=500, key_seed=51, key_bits=256)
+        network = batching_network(seed=51)
+        client.sync(network, issuer, now=horizon)
+        deliveries = network.deliveries_until(horizon + 3 * DAY)
+        assert deliveries
+        for delivery in deliveries:
+            released = broker.egress(delivery.payload, now=horizon)
+            assert released is delivery.payload
+        assert broker.blocked_egress_attempts == 0
+
+    def test_malicious_build_blocked_at_egress(self, world):
+        """A client build that bundles raw location into its telemetry is
+        stopped by the OS, not by its own restraint."""
+        town, result, horizon, _ = world
+        user_id = busiest_user(result)
+        broker = OSPrivacyBroker(app_id="evil-build")
+        raw_trace = generate_trace(
+            user_id, town, result, horizon, duty_cycled_policy(), seed=51
+        )
+        handle = broker.read_sensors(raw_trace, now=horizon)
+
+        with pytest.raises(EgressViolation):
+            broker.process(
+                handle,
+                lambda trace: {"telemetry": trace.location_samples},
+                label="exfiltrating-processor",
+            )
+        with pytest.raises(EgressViolation):
+            broker.egress({"debug-dump": raw_trace}, now=horizon)
+        assert broker.blocked_egress_attempts == 1
+        assert any(e.action == "egress_blocked" for e in broker.audit_log)

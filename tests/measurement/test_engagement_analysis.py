@@ -1,0 +1,156 @@
+"""Tests for the engagement model (Fig 1c) and the analysis layer."""
+
+import numpy as np
+import pytest
+
+from repro.measurement.analysis import (
+    example_query,
+    figure1a,
+    figure1b,
+    figure1c,
+    table1,
+)
+from repro.measurement.crawler import crawl_service
+from repro.measurement.engagement import (
+    EngagementDataset,
+    google_play_spec,
+    measure_engagement,
+    youtube_spec,
+)
+from repro.measurement.services import all_service_specs, healthgrades_spec, yelp_spec
+
+
+@pytest.fixture(scope="module")
+def crawls():
+    return [crawl_service(spec, seed=0) for spec in all_service_specs()]
+
+
+@pytest.fixture(scope="module")
+def engagements():
+    return [
+        measure_engagement(google_play_spec(), seed=0),
+        measure_engagement(youtube_spec(), seed=0),
+    ]
+
+
+class TestEngagementModel:
+    def test_thousand_entities_each(self, engagements):
+        for dataset in engagements:
+            assert dataset.n_entities == 1000
+
+    def test_explicit_never_exceeds_implicit(self, engagements):
+        """You cannot review an app you never installed."""
+        for dataset in engagements:
+            assert np.all(dataset.explicit <= dataset.implicit)
+
+    def test_median_gap_exceeds_order_of_magnitude(self, engagements):
+        """Figure 1(c)'s headline: the discrepancy is more than 10x."""
+        for dataset in engagements:
+            assert dataset.median_gap() > 10
+
+    def test_per_entity_gaps_mostly_large(self, engagements):
+        for dataset in engagements:
+            gaps = dataset.per_entity_gaps()
+            assert np.median(gaps) > 10
+
+    def test_implicit_spans_decades(self, engagements):
+        for dataset in engagements:
+            assert dataset.implicit.max() / dataset.implicit.min() > 100
+
+    def test_deterministic(self):
+        a = measure_engagement(google_play_spec(), seed=3)
+        b = measure_engagement(google_play_spec(), seed=3)
+        assert np.array_equal(a.implicit, b.implicit)
+        assert np.array_equal(a.explicit, b.explicit)
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            EngagementDataset(
+                service="x", implicit_label="a", explicit_label="b",
+                implicit=np.array([1, 2]), explicit=np.array([1]),
+            )
+
+
+class TestTable1:
+    def test_rows_in_paper_order(self, crawls):
+        result = table1(crawls)
+        assert [row.service for row in result.rows] == [
+            "Yelp", "Angie's List", "Healthgrades",
+        ]
+        assert [row.n_categories for row in result.rows] == [9, 24, 4]
+
+    def test_render_contains_all_services(self, crawls):
+        art = table1(crawls).render()
+        for name in ("Yelp", "Angie's List", "Healthgrades"):
+            assert name in art
+
+
+class TestFigure1a:
+    def test_medians_ordered_like_paper(self, crawls):
+        """Yelp median > Angie's median > Healthgrades median (25 > 8 > 5)."""
+        fig = figure1a(crawls)
+        assert fig.median("Yelp") > fig.median("Angie's List") > fig.median("Healthgrades")
+
+    def test_fraction_with_few_reviews_large(self, crawls):
+        fig = figure1a(crawls)
+        assert fig.fraction_with_at_most("Healthgrades", 10) > 0.5
+
+    def test_render(self, crawls):
+        art = figure1a(crawls).render()
+        assert "No. of reviews" in art
+
+
+class TestFigure1b:
+    def test_medians_ordered_like_paper(self, crawls):
+        """Yelp 12 >> Angie's 2 >= Healthgrades 1."""
+        fig = figure1b(crawls)
+        assert fig.median("Yelp") > 2 * fig.median("Angie's List")
+        assert fig.median("Angie's List") >= fig.median("Healthgrades")
+
+    def test_threshold_respected(self, crawls):
+        loose = figure1b(crawls, threshold=10)
+        strict = figure1b(crawls, threshold=100)
+        assert loose.median("Yelp") >= strict.median("Yelp")
+
+
+class TestExampleQueries:
+    def test_yelp_philadelphia_chinese(self):
+        crawl = crawl_service(yelp_spec(), seed=0)
+        stat = example_query(crawl, "19120", "chinese")
+        assert stat.n_entities == 127
+        # The paper found 4 of 127 with >= 50 reviews; assert the shape: a
+        # small handful, a tiny fraction of the result set.
+        assert 1 <= stat.n_well_reviewed <= 12
+        assert stat.n_well_reviewed / stat.n_entities < 0.1
+
+    def test_healthgrades_newyork_dentists(self):
+        crawl = crawl_service(healthgrades_spec(), seed=0)
+        stat = example_query(crawl, "11368", "dentist")
+        assert stat.n_entities == 248
+        # Paper: 13 of 248.
+        assert 4 <= stat.n_well_reviewed <= 26
+        assert stat.n_well_reviewed / stat.n_entities < 0.12
+
+
+class TestFigure1c:
+    def test_gap_statistics(self, engagements):
+        fig = figure1c(engagements)
+        assert fig.median_gaps["Google Play"] > 10
+        assert fig.median_gaps["YouTube"] > 10
+
+    def test_four_cdfs(self, engagements):
+        fig = figure1c(engagements)
+        assert len(fig.cdfs) == 4
+
+    def test_implicit_cdf_dominates_explicit(self, engagements):
+        """At any count x, more entities have <= x explicit interactions than
+        <= x implicit interactions (explicit curve sits left/above)."""
+        fig = figure1c(engagements)
+        gp_imp = fig.cdfs["Google Play installs"]
+        gp_exp = fig.cdfs["Google Play reviews + ratings"]
+        for x in (10, 100, 1000, 10_000):
+            assert gp_exp.evaluate(x) >= gp_imp.evaluate(x)
+
+    def test_render(self, engagements):
+        art = figure1c(engagements).render()
+        assert "No. of users" in art

@@ -1,0 +1,40 @@
+"""Tests for the 1/9/90 participation analysis."""
+
+import pytest
+
+from repro.measurement.participation import participation_report
+from repro.world.behavior import BehaviorConfig, BehaviorSimulator
+from repro.world.population import TownConfig, build_town
+
+
+@pytest.fixture(scope="module")
+def report():
+    town = build_town(TownConfig(n_users=250), seed=33)
+    result = BehaviorSimulator(
+        town.users, town.entities, BehaviorConfig(duration_days=240), seed=33
+    ).run()
+    return participation_report(result, n_users=250)
+
+
+class TestParticipation:
+    def test_reviews_are_rare_relative_to_interactions(self, report):
+        """The Figure 1(c) mechanism from the inside: well under 10% of
+        interactions produce a review."""
+        assert report.n_interactions > 1000
+        assert report.reviews_per_interaction < 0.1
+
+    def test_silent_majority(self, report):
+        """Most interacting users never post — the paper's root cause."""
+        assert report.silent_majority_fraction > 0.6
+
+    def test_contribution_concentrated(self, report):
+        """The 1/9/90 shape: the top decile writes most reviews."""
+        assert report.top1_share + report.next9_share > 0.4
+        assert report.review_gini > 0.7
+
+    def test_shares_partition(self, report):
+        total = report.top1_share + report.next9_share + report.rest_share
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_counts_consistent(self, report):
+        assert report.n_reviewing_users <= report.n_interacting_users <= report.n_users

@@ -1,0 +1,204 @@
+"""Tests for the synthetic service models and the crawler."""
+
+import numpy as np
+import pytest
+
+from repro.measurement.crawler import CrawlDataset, crawl_service
+from repro.measurement.services import (
+    ANGIES_CATEGORIES,
+    HEALTHGRADES_CATEGORIES,
+    YELP_CATEGORIES,
+    all_service_specs,
+    angies_spec,
+    healthgrades_spec,
+    yelp_spec,
+)
+from repro.measurement.zipcodes import (
+    MOST_POPULOUS_ZIPCODES,
+    NEW_YORK,
+    PHILADELPHIA,
+    zipcode_by_code,
+)
+
+
+class TestZipcodes:
+    def test_fifty_states(self):
+        assert len(MOST_POPULOUS_ZIPCODES) == 50
+        assert len({z.state for z in MOST_POPULOUS_ZIPCODES}) == 50
+
+    def test_codes_unique(self):
+        codes = [z.code for z in MOST_POPULOUS_ZIPCODES]
+        assert len(set(codes)) == 50
+
+    def test_papers_named_zipcodes_present(self):
+        assert PHILADELPHIA.code == "19120"
+        assert NEW_YORK.code == "11368"
+        assert zipcode_by_code("19120") is PHILADELPHIA
+        assert zipcode_by_code("11368") is NEW_YORK
+
+    def test_unknown_code_raises(self):
+        with pytest.raises(KeyError):
+            zipcode_by_code("00000")
+
+
+class TestServiceSpecs:
+    def test_category_counts_match_table1(self):
+        assert len(YELP_CATEGORIES) == 9
+        assert len(ANGIES_CATEGORIES) == 24
+        assert len(HEALTHGRADES_CATEGORIES) == 4
+
+    def test_query_counts(self):
+        assert yelp_spec().n_queries == 450
+        assert angies_spec().n_queries == 1200
+        assert healthgrades_spec().n_queries == 200
+
+    def test_query_override_exact(self):
+        spec = yelp_spec()
+        assert spec.query_size(0, "19120", "chinese") == 127
+
+    def test_query_size_positive(self):
+        spec = angies_spec()
+        for seed in range(50):
+            assert spec.query_size(seed, "60629", "plumber") >= 1
+
+    def test_review_counts_non_negative_and_capped(self):
+        spec = yelp_spec()
+        counts = spec.review_counts(0, 500)
+        assert counts.min() >= 0
+        assert counts.max() <= spec.review_cap
+
+    def test_review_counts_rejects_empty_query(self):
+        with pytest.raises(ValueError):
+            yelp_spec().review_counts(0, 0)
+
+    def test_dilution_direction_yelp(self):
+        """Bigger Yelp markets have fewer reviews per restaurant."""
+        spec = yelp_spec()
+        small = np.median(spec.review_counts(1, 20000)[:20000])  # n given per call
+        small = np.median(
+            np.concatenate([spec.review_counts(i, 20) for i in range(300)])
+        )
+        big = np.median(
+            np.concatenate([spec.review_counts(i, 200) for i in range(30)])
+        )
+        assert small > big
+
+    def test_dilution_direction_healthgrades(self):
+        """Bigger Healthgrades markets have more reviews per doctor."""
+        spec = healthgrades_spec()
+        small = np.median(
+            np.concatenate([spec.review_counts(i, 30) for i in range(200)])
+        )
+        big = np.median(
+            np.concatenate([spec.review_counts(i, 300) for i in range(20)])
+        )
+        assert big > small
+
+
+class TestCrawler:
+    @pytest.fixture(scope="class")
+    def yelp_crawl(self) -> CrawlDataset:
+        return crawl_service(yelp_spec(), seed=0)
+
+    def test_one_query_per_zip_category(self, yelp_crawl):
+        assert yelp_crawl.n_queries == 450
+        pairs = {(q.zipcode, q.category) for q in yelp_crawl.queries}
+        assert len(pairs) == 450
+
+    def test_total_entities_sums_queries(self, yelp_crawl):
+        assert yelp_crawl.n_entities == sum(q.n_entities for q in yelp_crawl.queries)
+
+    def test_all_review_counts_length(self, yelp_crawl):
+        assert yelp_crawl.all_review_counts().size == yelp_crawl.n_entities
+
+    def test_deterministic(self):
+        a = crawl_service(angies_spec(), seed=5)
+        b = crawl_service(angies_spec(), seed=5)
+        assert a.n_entities == b.n_entities
+        assert np.array_equal(a.all_review_counts(), b.all_review_counts())
+
+    def test_seed_variation(self):
+        a = crawl_service(angies_spec(), seed=1)
+        b = crawl_service(angies_spec(), seed=2)
+        assert not np.array_equal(a.all_review_counts()[:100], b.all_review_counts()[:100])
+
+    def test_query_lookup(self, yelp_crawl):
+        query = yelp_crawl.query("19120", "chinese")
+        assert query.n_entities == 127
+        with pytest.raises(KeyError):
+            yelp_crawl.query("19120", "sushi-boats")
+
+    def test_n_with_at_least_monotone_in_threshold(self, yelp_crawl):
+        query = yelp_crawl.queries[0]
+        assert query.n_with_at_least(10) >= query.n_with_at_least(50) >= query.n_with_at_least(500)
+
+    def test_per_query_counts_vector(self, yelp_crawl):
+        counts = yelp_crawl.per_query_counts_with_at_least(50)
+        assert counts.size == 450
+        assert counts.min() >= 0
+
+
+class TestCalibration:
+    """The headline numbers the generative models must reproduce.
+
+    Tolerances are generous (these are stochastic models) but tight enough
+    that a mis-calibration by 2x fails.
+    """
+
+    @pytest.fixture(scope="class")
+    def crawls(self):
+        return {spec.name: crawl_service(spec, seed=0) for spec in all_service_specs()}
+
+    def test_table1_totals(self, crawls):
+        targets = {"Yelp": 24_417, "Angie's List": 26_066, "Healthgrades": 24_922}
+        for service, target in targets.items():
+            assert abs(crawls[service].n_entities - target) < 0.2 * target
+
+    def test_figure1a_medians(self, crawls):
+        targets = {"Yelp": 25, "Angie's List": 8, "Healthgrades": 5}
+        for service, target in targets.items():
+            observed = np.median(crawls[service].all_review_counts())
+            assert target * 0.7 <= observed <= target * 1.4, service
+
+    def test_figure1b_medians(self, crawls):
+        targets = {"Yelp": 12, "Angie's List": 2, "Healthgrades": 1}
+        tolerances = {"Yelp": 4, "Angie's List": 1.5, "Healthgrades": 1}
+        for service, target in targets.items():
+            observed = np.median(crawls[service].per_query_counts_with_at_least(50))
+            assert abs(observed - target) <= tolerances[service], service
+
+    def test_most_entities_poorly_reviewed(self, crawls):
+        """The headline qualitative claim: a large fraction of entities have
+        very few reviews on every service."""
+        for crawl in crawls.values():
+            counts = crawl.all_review_counts()
+            assert np.mean(counts < 50) > 0.6
+
+
+class TestCustomCrawls:
+    def test_crawl_with_zipcode_subset(self):
+        """Crawls can target a subset of locations (e.g. one state)."""
+        from repro.measurement.zipcodes import PHILADELPHIA, NEW_YORK
+
+        crawl = crawl_service(yelp_spec(), seed=1, zipcodes=(PHILADELPHIA, NEW_YORK))
+        assert crawl.n_queries == 2 * 9
+        assert {q.zipcode for q in crawl.queries} == {"19120", "11368"}
+
+    def test_override_applies_only_to_named_query(self):
+        crawl = crawl_service(yelp_spec(), seed=2)
+        other_chinese = [
+            q for q in crawl.queries
+            if q.category == "chinese" and q.zipcode != "19120"
+        ]
+        assert any(q.n_entities != 127 for q in other_chinese)
+
+    def test_different_services_independent_given_seed(self):
+        """The same seed must not couple the services' draws."""
+        import numpy as np
+
+        yelp = crawl_service(yelp_spec(), seed=9)
+        angies = crawl_service(angies_spec(), seed=9)
+        assert not np.array_equal(
+            yelp.queries[0].review_counts[:10],
+            angies.queries[0].review_counts[:10],
+        )

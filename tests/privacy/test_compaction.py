@@ -1,0 +1,104 @@
+"""Tests for history compaction (bounded per-history raw storage)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.privacy.history_store import HistoryStore, InteractionUpload
+from repro.util.clock import DAY
+
+
+def upload(t, history_id="h1", entity_id="e1", duration=600.0, travel=1.0):
+    return InteractionUpload(
+        history_id=history_id,
+        entity_id=entity_id,
+        interaction_type="visit",
+        event_time=t,
+        duration=duration,
+        travel_km=travel,
+    )
+
+
+class TestCompaction:
+    def test_raw_records_bounded(self):
+        store = HistoryStore(max_records_per_history=5)
+        for day in range(20):
+            store.append(upload(day * DAY), arrival_time=day * DAY)
+        [history] = store.all_histories()
+        assert history.n_raw_records == 5
+        assert history.n_interactions == 20
+        assert store.folded_records == 15
+
+    def test_oldest_records_fold_first(self):
+        store = HistoryStore(max_records_per_history=3)
+        for day in range(10):
+            store.append(upload(day * DAY), arrival_time=day * DAY)
+        [history] = store.all_histories()
+        raw_times = sorted(history.event_times())
+        assert raw_times == [7 * DAY, 8 * DAY, 9 * DAY]
+        assert history.folded.earliest_event_time == 0.0
+        assert history.folded.latest_event_time == 6 * DAY
+
+    def test_first_event_time_spans_folded_past(self):
+        store = HistoryStore(max_records_per_history=2)
+        for day in (3, 1, 7, 9):
+            store.append(upload(day * DAY), arrival_time=day * DAY)
+        [history] = store.all_histories()
+        assert history.first_event_time == 1 * DAY
+
+    def test_folded_sums_accumulate(self):
+        store = HistoryStore(max_records_per_history=2)
+        for day in range(4):
+            store.append(upload(day * DAY, duration=100.0, travel=2.0), arrival_time=0.0)
+        [history] = store.all_histories()
+        assert history.folded.n == 2
+        assert history.folded.duration_sum == pytest.approx(200.0)
+        assert history.folded.travel_sum == pytest.approx(4.0)
+
+    def test_unbounded_store_never_folds(self):
+        store = HistoryStore()
+        for day in range(50):
+            store.append(upload(day * DAY), arrival_time=0.0)
+        [history] = store.all_histories()
+        assert history.folded is None
+        assert store.folded_records == 0
+
+    def test_bound_validation(self):
+        with pytest.raises(ValueError):
+            HistoryStore(max_records_per_history=1)
+
+    def test_influence_weight_sees_folded_count(self):
+        """A mature history compacted to a 3-record window must still carry
+        a full influence vote — compaction must not demote loyal customers
+        to sybil weight."""
+        from repro.core.aggregation import influence_weight
+
+        store = HistoryStore(max_records_per_history=3)
+        for day in range(12):
+            store.append(upload(day * 30 * DAY), arrival_time=0.0)
+        [history] = store.all_histories()
+        assert influence_weight(history.n_interactions) == 1.0
+
+    def test_visits_histogram_sees_folded_count(self):
+        from repro.core.visualization import visits_per_user_histogram
+
+        store = HistoryStore(max_records_per_history=2)
+        for day in range(12):
+            store.append(upload(day * 30 * DAY), arrival_time=0.0)
+        histogram = visits_per_user_histogram("e1", store.all_histories())
+        assert histogram.counts[-1] == 1  # the 11+ bucket
+
+    @given(
+        st.integers(min_value=2, max_value=10),
+        st.lists(st.floats(min_value=0, max_value=365), min_size=1, max_size=60),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_count_conservation_property(self, bound, days):
+        """Compaction never loses or invents interactions."""
+        store = HistoryStore(max_records_per_history=bound)
+        for day in days:
+            store.append(upload(day * DAY), arrival_time=day * DAY)
+        [history] = store.all_histories()
+        assert history.n_interactions == len(days)
+        assert history.n_raw_records <= bound
+        assert history.n_raw_records + (history.folded.n if history.folded else 0) == len(days)

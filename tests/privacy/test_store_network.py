@@ -1,0 +1,162 @@
+"""Tests for the history store and the anonymity network."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.privacy.anonymity import AnonymityNetwork, batching_network, immediate_network
+from repro.privacy.history_store import HistoryStore, InteractionUpload
+from repro.privacy.tokens import TokenIssuer, TokenRedeemer, TokenWallet
+from repro.util.clock import DAY, HOUR
+
+
+def upload(history_id="h1", entity_id="e1", t=0.0, duration=600.0, travel=1.0):
+    return InteractionUpload(
+        history_id=history_id,
+        entity_id=entity_id,
+        interaction_type="visit",
+        event_time=t,
+        duration=duration,
+        travel_km=travel,
+    )
+
+
+class TestHistoryStore:
+    def test_append_creates_history(self):
+        store = HistoryStore()
+        assert store.append(upload(), arrival_time=1.0)
+        assert store.n_histories == 1
+        assert store.n_records == 1
+
+    def test_records_accumulate_under_same_id(self):
+        store = HistoryStore()
+        store.append(upload(t=0.0), arrival_time=1.0)
+        store.append(upload(t=100.0), arrival_time=2.0)
+        history = store.histories_for_entity("e1")[0]
+        assert history.n_interactions == 2
+
+    def test_no_retrieval_by_id_api(self):
+        """The update-only property: the store exposes no get(history_id)."""
+        store = HistoryStore()
+        assert not hasattr(store, "get")
+        assert not hasattr(store, "history")
+
+    def test_identifier_bound_to_entity(self):
+        """A history id created for one entity cannot be reused for another
+        (a corruption attempt the server can detect for free)."""
+        store = HistoryStore()
+        assert store.append(upload(history_id="h", entity_id="e1"), arrival_time=0.0)
+        assert not store.append(upload(history_id="h", entity_id="e2"), arrival_time=1.0)
+        assert store.rejected_uploads == 1
+
+    def test_histories_partitioned_by_entity(self):
+        store = HistoryStore()
+        store.append(upload(history_id="h1", entity_id="e1"), arrival_time=0.0)
+        store.append(upload(history_id="h2", entity_id="e2"), arrival_time=0.0)
+        assert len(store.histories_for_entity("e1")) == 1
+        assert len(store.histories_for_entity("e2")) == 1
+        assert store.histories_for_entity("missing") == []
+
+    def test_gap_computation(self):
+        store = HistoryStore()
+        for t in (0.0, 3600.0, 7200.0):
+            store.append(upload(t=t), arrival_time=t)
+        history = store.histories_for_entity("e1")[0]
+        assert history.gaps() == [3600.0, 3600.0]
+
+    def test_token_enforcement(self):
+        issuer = TokenIssuer(quota_per_day=5, key_seed=6, key_bits=256)
+        redeemer = TokenRedeemer(issuer.public_key)
+        store = HistoryStore(redeemer=redeemer)
+        # No token -> rejected.
+        assert not store.append(upload(), arrival_time=0.0)
+        # Valid token -> accepted exactly once.
+        wallet = TokenWallet(device_id="d", seed=0)
+        blinded = wallet.mint(issuer.public_key, 2)
+        wallet.accept_signatures(issuer.public_key, issuer.issue("d", blinded, now=0.0))
+        token = wallet.spend()
+        assert store.append(upload(t=1.0), arrival_time=1.0, token=token)
+        # Replay -> rejected.
+        assert not store.append(upload(t=2.0), arrival_time=2.0, token=token)
+        assert store.rejected_uploads == 2
+
+    def test_upload_validation(self):
+        with pytest.raises(ValueError):
+            upload(duration=-1.0)
+        with pytest.raises(ValueError):
+            upload(travel=-1.0)
+
+
+class TestImmediateNetwork:
+    def test_preserves_order_and_timing(self):
+        network = immediate_network()
+        network.submit("a", submit_time=10.0, channel_tag="t1")
+        network.submit("b", submit_time=20.0, channel_tag="t2")
+        deliveries = network.deliveries_until(100.0)
+        assert [d.payload for d in deliveries] == ["a", "b"]
+        assert deliveries[0].arrival_time == pytest.approx(12.0)
+
+    def test_not_yet_due_messages_held(self):
+        network = immediate_network()
+        network.submit("a", submit_time=50.0, channel_tag="t")
+        assert network.deliveries_until(10.0) == []
+        assert network.n_pending == 1
+        assert len(network.deliveries_until(100.0)) == 1
+
+
+class TestBatchingNetwork:
+    def test_arrivals_quantized_to_boundaries(self):
+        network = batching_network(batch_interval=6 * HOUR, seed=0)
+        network.submit("a", submit_time=1.0, channel_tag="t1")
+        network.submit("b", submit_time=2 * HOUR, channel_tag="t2")
+        deliveries = network.deliveries_until(7 * HOUR)
+        assert len(deliveries) == 2
+        assert {d.arrival_time for d in deliveries} == {6 * HOUR}
+
+    def test_messages_in_same_batch_shuffled(self):
+        """Across many batches, the within-batch order must not always be
+        submission order (otherwise order leaks timing)."""
+        permuted = False
+        for seed in range(20):
+            network = batching_network(batch_interval=1 * HOUR, seed=seed)
+            for index in range(6):
+                network.submit(index, submit_time=float(index), channel_tag="t")
+            deliveries = network.deliveries_until(2 * HOUR)
+            if [d.payload for d in deliveries] != sorted(d.payload for d in deliveries):
+                permuted = True
+                break
+        assert permuted
+
+    def test_nothing_lost(self):
+        network = batching_network(batch_interval=1 * HOUR, seed=1)
+        for index in range(57):
+            network.submit(index, submit_time=float(index * 600), channel_tag="t")
+        deliveries = network.deliveries_until(12 * HOUR)
+        assert sorted(d.payload for d in deliveries) == list(range(57))
+
+    def test_message_never_delivered_before_submission(self):
+        network = batching_network(batch_interval=1 * HOUR, seed=2)
+        network.submit("late", submit_time=90 * 60.0, channel_tag="t")
+        first_window = network.deliveries_until(1 * HOUR)
+        assert first_window == []
+        second_window = network.deliveries_until(2 * HOUR)
+        assert [d.payload for d in second_window] == ["late"]
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=10 * HOUR), min_size=1, max_size=40),
+        st.integers(min_value=0, max_value=10),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_arrival_at_or_after_submission(self, submit_times, seed):
+        network = batching_network(batch_interval=1 * HOUR, seed=seed)
+        for index, t in enumerate(submit_times):
+            network.submit(index, submit_time=t, channel_tag="t")
+        deliveries = network.deliveries_until(20 * HOUR)
+        assert len(deliveries) == len(submit_times)
+        by_payload = {d.payload: d.arrival_time for d in deliveries}
+        for index, t in enumerate(submit_times):
+            assert by_payload[index] >= t
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AnonymityNetwork(batch_interval=-1)

@@ -1,0 +1,186 @@
+"""Tests for the upload scheduler and the de-anonymization attack suite."""
+
+import pytest
+
+from repro.privacy.anonymity import batching_network, immediate_network
+from repro.privacy.attacks import (
+    corruption_attack,
+    expected_guesses_for_collision,
+    linkage_attack,
+    timing_attack,
+)
+from repro.privacy.history_store import HistoryStore, InteractionUpload
+from repro.privacy.identifiers import DeviceIdentity
+from repro.privacy.uploads import UploadScheduler, hardened_config, naive_config
+from repro.sensing.resolution import InteractionType, ObservedInteraction
+from repro.util.clock import DAY, HOUR
+
+
+def observation(entity="e1", t=1000.0, duration=1800.0, travel=2.0):
+    return ObservedInteraction(
+        entity_id=entity,
+        interaction_type=InteractionType.VISIT,
+        time=t,
+        duration=duration,
+        travel_km=travel,
+    )
+
+
+class TestUploadScheduler:
+    def test_history_id_matches_identity(self):
+        identity = DeviceIdentity.create("dev", seed=0)
+        scheduler = UploadScheduler(identity, hardened_config())
+        upload = scheduler.build_upload(observation())
+        assert upload.history_id == identity.history_id("e1")
+
+    def test_event_time_quantized(self):
+        identity = DeviceIdentity.create("dev", seed=0)
+        scheduler = UploadScheduler(identity, hardened_config())
+        upload = scheduler.build_upload(observation(t=1.6 * DAY))
+        assert upload.event_time == 1 * DAY
+
+    def test_naive_config_preserves_precision(self):
+        identity = DeviceIdentity.create("dev", seed=0)
+        scheduler = UploadScheduler(identity, naive_config())
+        upload = scheduler.build_upload(observation(t=12345.9))
+        assert upload.event_time == 12345.0
+
+    def test_hardened_tags_are_fresh_per_upload(self):
+        identity = DeviceIdentity.create("dev", seed=0)
+        scheduler = UploadScheduler(identity, hardened_config(), seed=1)
+        network = batching_network(seed=0)
+        scheduler.submit_all([observation(t=1.0), observation(t=2.0)], network)
+        deliveries = network.deliveries_until(10 * DAY)
+        tags = {d.channel_tag for d in deliveries}
+        assert len(tags) == 2
+
+    def test_naive_tag_is_stable(self):
+        identity = DeviceIdentity.create("dev", seed=0)
+        scheduler = UploadScheduler(identity, naive_config(), seed=1)
+        network = immediate_network()
+        scheduler.submit_all([observation(t=1.0), observation(t=2.0)], network)
+        deliveries = network.deliveries_until(10 * DAY)
+        assert len({d.channel_tag for d in deliveries}) == 1
+
+    def test_async_submission_delayed(self):
+        identity = DeviceIdentity.create("dev", seed=0)
+        scheduler = UploadScheduler(identity, hardened_config(), seed=2)
+        network = immediate_network()
+        scheduler.submit_all([observation(t=0.0, duration=600.0)], network)
+        # With up to a day of delay, nothing should be guaranteed right away...
+        early = network.deliveries_until(601.0)
+        late = network.deliveries_until(2 * DAY)
+        assert len(early) + len(late) == 1
+
+
+def _two_device_deliveries(config, network):
+    """Two devices, two entities each; returns deliveries + ground truth."""
+    true_owner = {}
+    activity = {}
+    for index, device in enumerate(("alice", "bob")):
+        identity = DeviceIdentity.create(device, seed=index)
+        scheduler = UploadScheduler(identity, config, seed=index)
+        observations = [
+            observation(entity="e1", t=1000.0 + index * 5000.0),
+            observation(entity="e2", t=40_000.0 + index * 5000.0),
+        ]
+        scheduler.submit_all(observations, network)
+        for obs in observations:
+            true_owner[identity.history_id(obs.entity_id)] = device
+        activity[device] = [obs.time + obs.duration for obs in observations]
+    return network.deliveries_until(30 * DAY), true_owner, activity
+
+
+class TestLinkageAttack:
+    def test_defeats_naive_channels(self):
+        deliveries, true_owner, _ = _two_device_deliveries(
+            naive_config(), immediate_network()
+        )
+        report = linkage_attack(deliveries, true_owner)
+        assert report.recall == 1.0
+        assert report.precision == 1.0
+
+    def test_blind_against_fresh_channels(self):
+        deliveries, true_owner, _ = _two_device_deliveries(
+            hardened_config(), batching_network(seed=3)
+        )
+        report = linkage_attack(deliveries, true_owner)
+        assert report.recall == 0.0
+
+    def test_counts_consistent(self):
+        deliveries, true_owner, _ = _two_device_deliveries(
+            naive_config(), immediate_network()
+        )
+        report = linkage_attack(deliveries, true_owner)
+        assert report.n_histories == 4
+        assert report.n_same_user_pairs == 2
+
+
+class TestTimingAttack:
+    def test_defeats_immediate_uploads(self):
+        deliveries, true_owner, activity = _two_device_deliveries(
+            naive_config(), immediate_network()
+        )
+        report = timing_attack(deliveries, activity, true_owner)
+        assert report.accuracy == 1.0
+
+    def test_blind_against_batched_async_uploads(self):
+        deliveries, true_owner, activity = _two_device_deliveries(
+            hardened_config(), batching_network(batch_interval=6 * HOUR, seed=4)
+        )
+        report = timing_attack(deliveries, activity, true_owner)
+        assert report.accuracy < 0.5
+
+    def test_random_baseline(self):
+        deliveries, true_owner, activity = _two_device_deliveries(
+            naive_config(), immediate_network()
+        )
+        report = timing_attack(deliveries, activity, true_owner)
+        assert report.random_baseline == pytest.approx(0.5)
+
+
+class TestCorruptionAttack:
+    def test_guessing_never_collides(self):
+        store = HistoryStore()
+        identity = DeviceIdentity.create("victim", seed=9)
+        store.append(
+            InteractionUpload(
+                history_id=identity.history_id("e1"),
+                entity_id="e1",
+                interaction_type="visit",
+                event_time=0.0,
+                duration=100.0,
+                travel_km=0.0,
+            ),
+            arrival_time=0.0,
+        )
+        report = corruption_attack(store, target_entity="e1", attempts=2000, seed=1)
+        assert report.collisions == 0
+        assert report.analytic_success_probability < 1e-60
+
+    def test_attack_creates_only_junk_histories(self):
+        """Guessed identifiers miss; the attacker only litters new histories,
+        which the fraud layer will see as tiny and uninfluential."""
+        store = HistoryStore()
+        before = store.n_histories
+        corruption_attack(store, target_entity="e1", attempts=50, seed=2)
+        assert store.n_histories == before + 50
+
+    def test_expected_guesses_astronomical(self):
+        assert expected_guesses_for_collision(10**9) > 1e60
+        assert expected_guesses_for_collision(0) == float("inf")
+
+    def test_token_budget_bounds_injection(self):
+        """With a token-checking store, the attacker lands at most
+        ``len(tokens)`` junk records regardless of attempts."""
+        from repro.privacy.tokens import TokenIssuer, TokenRedeemer, TokenWallet
+
+        issuer = TokenIssuer(quota_per_day=3, key_seed=11, key_bits=256)
+        store = HistoryStore(redeemer=TokenRedeemer(issuer.public_key))
+        wallet = TokenWallet(device_id="attacker", seed=5)
+        blinded = wallet.mint(issuer.public_key, 3)
+        wallet.accept_signatures(issuer.public_key, issuer.issue("attacker", blinded, now=0.0))
+        tokens = [wallet.spend() for _ in range(3)]
+        corruption_attack(store, target_entity="e1", attempts=100, seed=3, tokens=tokens)
+        assert store.n_records == 3
+        assert store.rejected_uploads == 97

@@ -1,0 +1,200 @@
+"""Tests for trace generation, entity resolution, and the energy model."""
+
+import pytest
+
+from repro.sensing.energy import evaluate_policy
+from repro.sensing.policy import SensingPolicy, continuous_policy, duty_cycled_policy
+from repro.sensing.resolution import (
+    EntityResolver,
+    InteractionType,
+    ObservedInteraction,
+    ResolverConfig,
+)
+from repro.sensing.sensors import TraceConfig, generate_trace, generate_traces
+from repro.util.clock import DAY, HOUR
+from repro.world.behavior import BehaviorConfig, BehaviorSimulator
+from repro.world.events import CallEvent, VisitEvent
+from repro.world.population import TownConfig, build_town
+
+
+@pytest.fixture(scope="module")
+def simulated_town():
+    town = build_town(TownConfig(n_users=25), seed=8)
+    result = BehaviorSimulator(
+        town.users, town.entities, BehaviorConfig(duration_days=45), seed=8
+    ).run()
+    return town, result, 45 * DAY
+
+
+def most_active_user(result):
+    counts = {}
+    for event in result.events:
+        if isinstance(event, VisitEvent):
+            counts[event.user_id] = counts.get(event.user_id, 0) + 1
+    return max(counts, key=counts.get)
+
+
+class TestTraceGeneration:
+    def test_trace_sorted_and_bounded(self, simulated_town):
+        town, result, horizon = simulated_town
+        user = most_active_user(result)
+        trace = generate_trace(user, town, result, horizon, seed=8)
+        times = [s.time for s in trace.location_samples]
+        assert times == sorted(times)
+        assert all(0 <= t <= horizon for t in times)
+
+    def test_deterministic(self, simulated_town):
+        town, result, horizon = simulated_town
+        user = most_active_user(result)
+        a = generate_trace(user, town, result, horizon, seed=8)
+        b = generate_trace(user, town, result, horizon, seed=8)
+        assert [s.time for s in a.location_samples] == [s.time for s in b.location_samples]
+
+    def test_calls_include_entity_and_personal(self, simulated_town):
+        town, result, horizon = simulated_town
+        directory = town.phone_directory
+        traces = generate_traces(town, result, horizon, seed=8)
+        all_calls = [c for trace in traces.values() for c in trace.call_records]
+        entity_calls = [c for c in all_calls if c.number in directory]
+        personal_calls = [c for c in all_calls if c.number not in directory]
+        assert personal_calls, "personal calls should pollute the logs"
+        true_calls = sum(1 for e in result.events if isinstance(e, CallEvent))
+        assert len(entity_calls) == sum(
+            1
+            for e in result.events
+            if isinstance(e, CallEvent) and e.start_time < horizon
+        )
+
+    def test_continuous_policy_takes_many_more_fixes(self, simulated_town):
+        town, result, horizon = simulated_town
+        user = most_active_user(result)
+        duty = generate_trace(user, town, result, horizon, duty_cycled_policy(), seed=8)
+        cont = generate_trace(user, town, result, horizon, continuous_policy(), seed=8)
+        assert cont.n_gps_fixes > 5 * duty.n_gps_fixes
+
+    def test_payments_only_for_restaurants(self, simulated_town):
+        town, result, horizon = simulated_town
+        traces = generate_traces(town, result, horizon, seed=8)
+        restaurant_ids = {
+            e.entity_id for e in town.entities if e.kind.label == "restaurant"
+        }
+        for trace in traces.values():
+            for payment in trace.payment_records:
+                assert payment.merchant_name in restaurant_ids
+
+
+class TestEntityResolver:
+    def test_requires_directory(self):
+        with pytest.raises(ValueError):
+            EntityResolver([])
+
+    def test_resolves_visits_against_ground_truth(self, simulated_town):
+        """Most true visits should be recovered; precision should be high."""
+        town, result, horizon = simulated_town
+        resolver = EntityResolver(town.entities)
+        user = most_active_user(result)
+        trace = generate_trace(user, town, result, horizon, seed=8)
+        observed = [
+            o
+            for o in resolver.resolve(trace)
+            if o.interaction_type is InteractionType.VISIT
+        ]
+        true_visits = [
+            e
+            for e in result.events
+            if isinstance(e, VisitEvent)
+            and e.user_id == user
+            and e.start_time < horizon
+        ]
+        assert len(observed) >= 0.7 * len(true_visits)
+        # Every observation should name an entity the user really visited
+        # at a nearby time (resolution may confuse co-located venues, so
+        # allow a small error rate).
+        good = 0
+        for obs in observed:
+            if any(
+                v.entity_id == obs.entity_id and abs(v.start_time - obs.time) < 1 * HOUR
+                for v in true_visits
+            ):
+                good += 1
+        assert good >= 0.8 * max(len(observed), 1)
+
+    def test_personal_calls_dropped(self, simulated_town):
+        town, result, horizon = simulated_town
+        resolver = EntityResolver(town.entities)
+        user = town.users[0].user_id
+        trace = generate_trace(user, town, result, horizon, seed=8)
+        observed_calls = [
+            o
+            for o in resolver.resolve(trace)
+            if o.interaction_type is InteractionType.CALL
+        ]
+        entity_ids = {e.entity_id for e in town.entities}
+        assert all(o.entity_id in entity_ids for o in observed_calls)
+
+    def test_interactions_time_ordered(self, simulated_town):
+        town, result, horizon = simulated_town
+        resolver = EntityResolver(town.entities)
+        user = most_active_user(result)
+        observed = resolver.resolve(generate_trace(user, town, result, horizon, seed=8))
+        times = [o.time for o in observed]
+        assert times == sorted(times)
+
+    def test_group_by_entity(self):
+        resolver_input = [
+            ObservedInteraction("e1", InteractionType.VISIT, 0.0, 600.0),
+            ObservedInteraction("e2", InteractionType.CALL, 10.0, 60.0),
+            ObservedInteraction("e1", InteractionType.VISIT, 20.0, 600.0),
+        ]
+        town = build_town(TownConfig(n_users=2), seed=0)
+        resolver = EntityResolver(town.entities)
+        grouped = resolver.group_by_entity(resolver_input)
+        assert len(grouped["e1"]) == 2
+        assert len(grouped["e2"]) == 1
+
+    def test_observed_interaction_validation(self):
+        with pytest.raises(ValueError):
+            ObservedInteraction("e", InteractionType.VISIT, 0.0, duration=-1.0)
+        with pytest.raises(ValueError):
+            ObservedInteraction("e", InteractionType.VISIT, 0.0, 1.0, travel_km=-1.0)
+
+
+class TestPolicyAndEnergy:
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            SensingPolicy(
+                name="bad", burst_offsets=(), stationary_interval=0,
+                moving_interval=None, accelerometer_gated=False,
+            )
+
+    def test_energy_accounting(self):
+        policy = continuous_policy()
+        assert policy.energy_joules(100, 3600.0) == pytest.approx(100.0)
+        gated = duty_cycled_policy()
+        assert gated.energy_joules(100, 3600.0) == pytest.approx(103.6)
+
+    def test_energy_rejects_negative(self):
+        with pytest.raises(ValueError):
+            continuous_policy().energy_joules(-1, 10)
+
+    def test_duty_cycling_saves_energy_without_losing_visits(self, simulated_town):
+        """The Section 5 claim (A6): big energy cut, near-equal recall."""
+        town, result, horizon = simulated_town
+        duty = evaluate_policy(
+            town, result, horizon, duty_cycled_policy(), seed=8, max_users=10
+        )
+        cont = evaluate_policy(
+            town, result, horizon, continuous_policy(), seed=8, max_users=10
+        )
+        assert duty.energy_joules < 0.25 * cont.energy_joules
+        assert duty.recall >= cont.recall - 0.1
+        assert duty.recall > 0.7
+
+    def test_evaluation_counts_consistent(self, simulated_town):
+        town, result, horizon = simulated_town
+        ev = evaluate_policy(
+            town, result, horizon, duty_cycled_policy(), seed=8, max_users=5
+        )
+        assert ev.n_matched_visits <= ev.n_true_visits
+        assert ev.n_matched_visits <= ev.n_detected_visits
+        assert ev.energy_per_user_day_joules > 0

@@ -1,0 +1,104 @@
+"""Tests for the grid spatial index — exactness is the whole contract."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sensing.spatial import GridIndex
+from repro.world.entities import Entity, EntityKind
+from repro.world.geography import Point
+
+
+def entities_at(points):
+    return [
+        Entity(
+            entity_id=f"e{i}", kind=EntityKind.RESTAURANT, category="thai",
+            location=Point(x, y), quality=3.0,
+        )
+        for i, (x, y) in enumerate(points)
+    ]
+
+
+def linear_nearest(entities, point):
+    return min(entities, key=lambda e: point.distance_to(e.location))
+
+
+class TestGridIndex:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GridIndex([], cell_km=1.0)
+        with pytest.raises(ValueError):
+            GridIndex(entities_at([(0, 0)]), cell_km=0)
+
+    def test_single_entity(self):
+        index = GridIndex(entities_at([(3, 4)]))
+        entity, distance = index.nearest(Point(0, 0))
+        assert entity.entity_id == "e0"
+        assert distance == pytest.approx(5.0)
+
+    def test_far_query_terminates(self):
+        index = GridIndex(entities_at([(0, 0)]))
+        entity, distance = index.nearest(Point(500, 500))
+        assert entity.entity_id == "e0"
+        assert distance == pytest.approx(np.hypot(500, 500))
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=30),
+                st.floats(min_value=0, max_value=30),
+            ),
+            min_size=1,
+            max_size=60,
+        ),
+        st.floats(min_value=-5, max_value=35),
+        st.floats(min_value=-5, max_value=35),
+        st.sampled_from([0.5, 1.0, 3.0]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_matches_linear_scan(self, coords, qx, qy, cell):
+        """The grid answer must equal the brute-force answer, always."""
+        entities = entities_at(coords)
+        index = GridIndex(entities, cell_km=cell)
+        query = Point(qx, qy)
+        grid_entity, grid_distance = index.nearest(query)
+        best = linear_nearest(entities, query)
+        assert grid_distance == pytest.approx(query.distance_to(best.location))
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=20),
+                st.floats(min_value=0, max_value=20),
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+        st.floats(min_value=0, max_value=25),
+        st.floats(min_value=0, max_value=25),
+        st.floats(min_value=0, max_value=10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_within_matches_filter(self, coords, qx, qy, radius):
+        entities = entities_at(coords)
+        index = GridIndex(entities, cell_km=1.0)
+        query = Point(qx, qy)
+        got = {e.entity_id for e, _ in index.within(query, radius)}
+        expected = {
+            e.entity_id
+            for e in entities
+            if query.distance_to(e.location) <= radius
+        }
+        assert got == expected
+
+    def test_within_sorted_by_distance(self):
+        index = GridIndex(entities_at([(0, 0), (1, 0), (2, 0)]))
+        matches = index.within(Point(0, 0), 5.0)
+        distances = [d for _, d in matches]
+        assert distances == sorted(distances)
+
+    def test_within_negative_radius_rejected(self):
+        index = GridIndex(entities_at([(0, 0)]))
+        with pytest.raises(ValueError):
+            index.within(Point(0, 0), -1.0)

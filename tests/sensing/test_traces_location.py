@@ -1,0 +1,140 @@
+"""Tests for raw trace types and stay-point extraction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sensing.location import (
+    StayPointConfig,
+    extract_stay_points,
+    travel_distance_before,
+)
+from repro.sensing.traces import (
+    CallRecord,
+    DeviceTrace,
+    LocationSample,
+    PaymentRecord,
+)
+from repro.world.geography import Point
+
+
+def fixes_at(point, start, count, interval=300.0, jitter=0.0):
+    return [
+        LocationSample(time=start + i * interval, point=Point(point.x + jitter, point.y))
+        for i in range(count)
+    ]
+
+
+class TestTraceTypes:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LocationSample(time=0, point=Point(0, 0), accuracy_km=-1)
+        with pytest.raises(ValueError):
+            CallRecord(time=0, number="x", duration=-1)
+        with pytest.raises(ValueError):
+            PaymentRecord(time=0, merchant_name="m", amount=-1)
+
+    def test_sort_orders_all_streams(self):
+        trace = DeviceTrace(user_id="u")
+        trace.location_samples = [
+            LocationSample(time=5, point=Point(0, 0)),
+            LocationSample(time=1, point=Point(0, 0)),
+        ]
+        trace.call_records = [
+            CallRecord(time=9, number="a", duration=1),
+            CallRecord(time=2, number="b", duration=1),
+        ]
+        trace.sort()
+        assert trace.location_samples[0].time == 1
+        assert trace.call_records[0].time == 2
+
+    def test_span(self):
+        trace = DeviceTrace(user_id="u")
+        assert trace.span == 0.0
+        trace.location_samples = fixes_at(Point(1, 1), 100.0, 3)
+        assert trace.span == 600.0
+
+
+class TestStayPointExtraction:
+    def test_single_dwell_detected(self):
+        samples = fixes_at(Point(5, 5), 0.0, 5)
+        stays = extract_stay_points(samples)
+        assert len(stays) == 1
+        assert stays[0].duration == 1200.0
+        assert stays[0].center.distance_to(Point(5, 5)) < 0.01
+
+    def test_short_dwell_filtered(self):
+        samples = fixes_at(Point(5, 5), 0.0, 2, interval=100.0)  # 100s dwell
+        assert extract_stay_points(samples) == []
+
+    def test_two_separate_dwells(self):
+        samples = fixes_at(Point(1, 1), 0.0, 4) + fixes_at(Point(9, 9), 10_000.0, 4)
+        stays = extract_stay_points(samples)
+        assert len(stays) == 2
+        assert stays[0].center.distance_to(Point(1, 1)) < 0.01
+        assert stays[1].center.distance_to(Point(9, 9)) < 0.01
+
+    def test_noise_within_radius_clusters(self):
+        base = Point(3, 3)
+        samples = []
+        offsets = [0.0, 0.04, -0.04, 0.02, -0.02]
+        for i, off in enumerate(offsets):
+            samples.append(
+                LocationSample(time=i * 300.0, point=Point(base.x + off, base.y - off))
+            )
+        stays = extract_stay_points(samples)
+        assert len(stays) == 1
+
+    def test_travel_samples_do_not_form_stays(self):
+        # A straight-line pass through: each fix 0.5 km from the last.
+        samples = [
+            LocationSample(time=i * 60.0, point=Point(i * 0.5, 0.0)) for i in range(20)
+        ]
+        assert extract_stay_points(samples) == []
+
+    def test_unordered_samples_rejected(self):
+        samples = [
+            LocationSample(time=100.0, point=Point(0, 0)),
+            LocationSample(time=50.0, point=Point(0, 0)),
+        ]
+        with pytest.raises(ValueError):
+            extract_stay_points(samples)
+
+    def test_empty_input(self):
+        assert extract_stay_points([]) == []
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            StayPointConfig(radius_km=0)
+        with pytest.raises(ValueError):
+            StayPointConfig(min_duration=0)
+        with pytest.raises(ValueError):
+            StayPointConfig(min_samples=0)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=20),
+                st.floats(min_value=0, max_value=20),
+            ),
+            min_size=0,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_stays_are_time_ordered_and_disjoint(self, coords):
+        samples = [
+            LocationSample(time=i * 240.0, point=Point(x, y))
+            for i, (x, y) in enumerate(coords)
+        ]
+        stays = extract_stay_points(samples)
+        for a, b in zip(stays, stays[1:]):
+            assert a.end <= b.start
+
+    def test_travel_distance_before(self):
+        samples = fixes_at(Point(0, 0), 0.0, 4) + fixes_at(Point(3, 4), 10_000.0, 4)
+        stays = extract_stay_points(samples)
+        assert travel_distance_before(stays, 0) == 0.0
+        assert travel_distance_before(stays, 1) == pytest.approx(5.0, abs=0.05)
+        with pytest.raises(IndexError):
+            travel_distance_before(stays, 2)

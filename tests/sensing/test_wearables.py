@@ -1,0 +1,156 @@
+"""Tests for the wearable emotion channel (Section 3.1 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.sensing.wearables import (
+    EmotionSample,
+    WearableConfig,
+    generate_emotion_trace,
+    mean_valence_by_entity,
+    valence_of_opinion,
+)
+from repro.util.clock import DAY
+from repro.util.stats import pearson
+from repro.world.behavior import BehaviorConfig, BehaviorSimulator
+from repro.world.events import VisitEvent
+from repro.world.population import TownConfig, build_town
+
+
+@pytest.fixture(scope="module")
+def world():
+    town = build_town(TownConfig(n_users=40), seed=37)
+    result = BehaviorSimulator(
+        town.users, town.entities, BehaviorConfig(duration_days=120), seed=37
+    ).run()
+    return town, result, 120 * DAY
+
+
+class TestValenceMapping:
+    def test_neutral_at_midpoint(self):
+        assert valence_of_opinion(2.5) == 0.0
+
+    def test_extremes(self):
+        assert valence_of_opinion(5.0) == 1.0
+        assert valence_of_opinion(0.0) == -1.0
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            valence_of_opinion(5.5)
+
+    def test_sample_validation(self):
+        with pytest.raises(ValueError):
+            EmotionSample(time=0.0, valence=1.5)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            WearableConfig(sample_interval=0)
+        with pytest.raises(ValueError):
+            WearableConfig(sample_noise=-1)
+
+
+class TestEmotionTrace:
+    def test_samples_only_for_visited_entities(self, world):
+        town, result, horizon = world
+        user = result.events[0].user_id
+        trace = generate_emotion_trace(user, result, horizon, seed=37)
+        visited = {
+            e.entity_id
+            for e in result.events
+            if isinstance(e, VisitEvent) and e.user_id == user
+        }
+        assert set(trace) <= visited
+
+    def test_samples_within_visit_windows(self, world):
+        town, result, horizon = world
+        user = max(
+            {e.user_id for e in result.events},
+            key=lambda u: sum(1 for e in result.events if e.user_id == u),
+        )
+        trace = generate_emotion_trace(user, result, horizon, seed=37)
+        windows = [
+            (e.entity_id, e.start_time, e.end_time)
+            for e in result.events
+            if isinstance(e, VisitEvent) and e.user_id == user
+        ]
+        for entity_id, samples in trace.items():
+            for sample in samples:
+                assert any(
+                    eid == entity_id and start <= sample.time <= end
+                    for eid, start, end in windows
+                )
+
+    def test_deterministic(self, world):
+        _, result, horizon = world
+        user = result.events[0].user_id
+        a = generate_emotion_trace(user, result, horizon, seed=37)
+        b = generate_emotion_trace(user, result, horizon, seed=37)
+        assert {k: [s.valence for s in v] for k, v in a.items()} == {
+            k: [s.valence for s in v] for k, v in b.items()
+        }
+
+    def test_mean_valence_tracks_true_opinion(self, world):
+        """The core property: across (user, entity) pairs, the wearable's
+        mean valence correlates with the latent opinion — noisily."""
+        town, result, horizon = world
+        valences, opinions = [], []
+        for user in town.users:
+            trace = generate_emotion_trace(user.user_id, result, horizon, seed=37)
+            means = mean_valence_by_entity(trace)
+            for entity_id, mean in means.items():
+                truth = result.opinions.get((user.user_id, entity_id))
+                if truth is not None:
+                    valences.append(mean)
+                    opinions.append(truth.opinion)
+        assert len(valences) > 100
+        correlation = pearson(valences, opinions)
+        assert 0.2 < correlation < 0.95  # informative but far from perfect
+
+    def test_noise_degrades_signal(self, world):
+        town, result, horizon = world
+        def correlation_for(noise):
+            config = WearableConfig(sample_noise=noise, user_baseline_noise=noise / 2)
+            valences, opinions = [], []
+            for user in town.users[:25]:
+                trace = generate_emotion_trace(
+                    user.user_id, result, horizon, config, seed=37
+                )
+                for entity_id, mean in mean_valence_by_entity(trace).items():
+                    truth = result.opinions.get((user.user_id, entity_id))
+                    if truth is not None:
+                        valences.append(mean)
+                        opinions.append(truth.opinion)
+            return pearson(valences, opinions)
+
+        assert correlation_for(0.05) > correlation_for(1.0)
+
+
+class TestFeatureIntegration:
+    def test_mean_valence_enters_feature_vector(self):
+        from repro.core.features import OpinionFeatures
+
+        names = OpinionFeatures.feature_names()
+        assert "mean_valence" in names
+        assert names.index("mean_valence") == len(names) - 1
+
+    def test_extract_all_features_accepts_emotion(self, world):
+        from repro.client.app import infer_home
+        from repro.core.features import extract_all_features
+        from repro.sensing.resolution import EntityResolver
+        from repro.sensing.sensors import generate_trace
+
+        town, result, horizon = world
+        user = max(
+            {e.user_id for e in result.events},
+            key=lambda u: sum(1 for e in result.events if e.user_id == u),
+        )
+        trace = generate_trace(user, town, result, horizon, seed=37)
+        interactions = EntityResolver(town.entities).resolve(trace)
+        emotion = mean_valence_by_entity(
+            generate_emotion_trace(user, result, horizon, seed=37)
+        )
+        features = extract_all_features(
+            interactions, {e.entity_id: e for e in town.entities}, infer_home(trace),
+            emotion=emotion,
+        )
+        assert any(f.mean_valence != 0.0 for f in features.values())

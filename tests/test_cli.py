@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in ("measure", "pipeline", "search", "figure3", "audit", "redteam", "epochs"):
+            args = parser.parse_args(
+                [command] if command in ("measure", "figure3") else [command, "--users", "5"]
+            )
+            assert args.command == command
+
+    def test_world_defaults(self):
+        args = build_parser().parse_args(["pipeline"])
+        assert args.users == 80
+        assert args.days == 120.0
+        assert args.seed == 42
+
+
+class TestCommands:
+    def test_measure(self, capsys):
+        assert main(["measure", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Yelp" in out
+        assert "Figure 1(a)" in out
+        assert "Figure 1(c)" in out
+
+    def test_figure3(self, capsys):
+        assert main(["figure3"]) == 0
+        out = capsys.readouterr().out
+        assert "dentist-A" in out and "dentist-C" in out
+        assert "correlation" in out
+
+    def test_pipeline_small(self, capsys):
+        assert main(["pipeline", "--users", "25", "--days", "40", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "opinion gain" in out
+        assert "inference MAE" in out
+
+    def test_search_small(self, capsys):
+        assert main(
+            ["search", "--users", "25", "--days", "40", "--seed", "3",
+             "--category", "thai", "--radius", "20"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Results for 'thai'" in out
+
+    def test_audit_small(self, capsys):
+        assert main(["audit", "--users", "15", "--days", "30", "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "naive" in out and "hardened" in out
+
+    def test_epochs_small(self, capsys):
+        assert main(["epochs", "--users", "20", "--days", "40", "--seed", "6",
+                     "--epochs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "epoch" in out
+        assert "histories" in out
+
+    def test_redteam_small(self, capsys):
+        assert main(["redteam", "--users", "40", "--days", "120", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "call-spam" in out and "employee" in out

@@ -1,0 +1,125 @@
+"""Tests for repro.util.clock, repro.util.hashing, and repro.util.ascii_plot."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.ascii_plot import log2_grid, render_cdfs, render_histogram, render_table
+from repro.util.clock import DAY, HOUR, MINUTE, SimClock, WEEK, YEAR, format_time
+from repro.util.hashing import record_id, stable_digest, stable_u64
+from repro.util.stats import EmpiricalCDF
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(10)
+        clock.advance(5)
+        assert clock.now == 15
+
+    def test_cannot_go_backwards(self):
+        clock = SimClock()
+        clock.advance(10)
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+        with pytest.raises(ValueError):
+            clock.advance_to(5)
+
+    def test_advance_to(self):
+        clock = SimClock()
+        clock.advance_to(100.0)
+        assert clock.now == 100.0
+
+    def test_constants_consistent(self):
+        assert HOUR == 60 * MINUTE
+        assert DAY == 24 * HOUR
+        assert WEEK == 7 * DAY
+        assert YEAR == 365 * DAY
+
+    def test_format_time(self):
+        assert format_time(0) == "0d 00:00"
+        assert format_time(1 * DAY + 2 * HOUR + 3 * MINUTE) == "1d 02:03"
+
+
+class TestStableHashing:
+    def test_digest_deterministic(self):
+        assert stable_digest("a", 1) == stable_digest("a", 1)
+
+    def test_digest_order_sensitive(self):
+        assert stable_digest("a", "b") != stable_digest("b", "a")
+
+    def test_digest_boundary_unambiguous(self):
+        """('ab','c') and ('a','bc') must hash differently (length-prefixing)."""
+        assert stable_digest("ab", "c") != stable_digest("a", "bc")
+
+    def test_u64_in_range(self):
+        assert 0 <= stable_u64("x") < 2**64
+
+    @given(st.integers(min_value=0, max_value=2**64), st.text(min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_record_id_deterministic_and_hex(self, secret, entity):
+        rid = record_id(secret, entity)
+        assert rid == record_id(secret, entity)
+        int(rid, 16)  # valid hex
+        assert len(rid) == 64
+
+    def test_record_id_unlinkable_across_entities(self):
+        """Same user, different entities → unrelated identifiers.
+
+        This is the core privacy property of Section 4.2: the server cannot
+        tell that two histories belong to the same user.
+        """
+        a = record_id(12345, "dentist-1")
+        b = record_id(12345, "dentist-2")
+        assert a != b
+        # No shared prefix beyond chance.
+        common = sum(1 for x, y in zip(a, b) if x == y)
+        assert common < 20
+
+    def test_record_id_distinct_users(self):
+        assert record_id(1, "e") != record_id(2, "e")
+
+
+class TestAsciiPlot:
+    def test_log2_grid_spans_range(self):
+        grid = log2_grid(100)
+        assert grid[0] == 1
+        assert grid[-1] >= 100
+
+    def test_render_cdfs_contains_legend(self):
+        cdf = EmpiricalCDF.from_values([1, 2, 4, 8, 16])
+        art = render_cdfs({"yelp": cdf}, x_label="reviews")
+        assert "yelp" in art
+        assert "reviews" in art
+
+    def test_render_cdfs_multiple_series(self):
+        a = EmpiricalCDF.from_values([1, 2, 3])
+        b = EmpiricalCDF.from_values([10, 20, 30])
+        art = render_cdfs({"a": a, "b": b}, x_label="n")
+        assert "a" in art and "b" in art
+
+    def test_render_cdfs_rejects_empty(self):
+        with pytest.raises(ValueError):
+            render_cdfs({}, x_label="n")
+
+    def test_render_histogram(self):
+        art = render_histogram(["one", "two"], [1, 2], title="visits")
+        assert "visits" in art and "one" in art
+        assert art.count("#") >= 3
+
+    def test_render_histogram_all_zero(self):
+        art = render_histogram(["a"], [0], title="t")
+        assert "a" in art
+
+    def test_render_histogram_mismatch(self):
+        with pytest.raises(ValueError):
+            render_histogram(["a"], [1, 2], title="t")
+
+    def test_render_table_aligns(self):
+        table = render_table(["svc", "n"], [["yelp", 24417], ["angies", 26066]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "yelp" in table and "24417" in table

@@ -1,0 +1,71 @@
+"""Tests for repro.util.rng: determinism and stream independence."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.rng import children, derive_seed, make_rng
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "alpha") == derive_seed(42, "alpha")
+
+    def test_label_changes_seed(self):
+        assert derive_seed(42, "alpha") != derive_seed(42, "beta")
+
+    def test_seed_changes_seed(self):
+        assert derive_seed(1, "alpha") != derive_seed(2, "alpha")
+
+    @given(st.integers(min_value=0, max_value=2**62), st.text(max_size=50))
+    def test_always_in_range(self, seed, label):
+        derived = derive_seed(seed, label)
+        assert 0 <= derived < 2**63
+
+    def test_no_collision_over_many_labels(self):
+        seeds = {derive_seed(7, f"label-{i}") for i in range(10_000)}
+        assert len(seeds) == 10_000
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(123).random(10)
+        b = make_rng(123).random(10)
+        assert np.array_equal(a, b)
+
+    def test_label_derives_child_stream(self):
+        plain = make_rng(123).random(5)
+        labelled = make_rng(123, "child").random(5)
+        assert not np.array_equal(plain, labelled)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(5)
+        assert make_rng(gen) is gen
+
+    def test_generator_with_label_splits(self):
+        gen = np.random.default_rng(5)
+        child = make_rng(gen, "split")
+        assert child is not gen
+
+    def test_streams_are_independent(self):
+        """Adding a consumer of one labelled stream must not shift another."""
+        first = make_rng(9, "a").random(3)
+        _ = make_rng(9, "b").random(1000)
+        again = make_rng(9, "a").random(3)
+        assert np.array_equal(first, again)
+
+
+class TestChildren:
+    def test_yields_requested_count(self):
+        assert len(list(children(1, "workers", 7))) == 7
+
+    def test_children_are_distinct_streams(self):
+        gens = list(children(1, "workers", 3))
+        draws = [gen.random() for gen in gens]
+        assert len(set(draws)) == 3
+
+    def test_children_reproducible(self):
+        first = [gen.random() for gen in children(2, "x", 4)]
+        second = [gen.random() for gen in children(2, "x", 4)]
+        assert first == second

@@ -1,0 +1,295 @@
+"""Tests for the behaviour simulator — the generative model under the RSP."""
+
+import numpy as np
+import pytest
+
+from repro.util.clock import DAY
+from repro.util.stats import pearson
+from repro.world.behavior import BehaviorConfig, BehaviorSimulator, PostedReview
+from repro.world.entities import Entity, EntityKind, make_phone_number
+from repro.world.events import CallEvent, VisitEvent
+from repro.world.geography import Point
+from repro.world.population import TownConfig, build_town
+from repro.world.users import User
+
+
+def tiny_town(n_users=30, duration=120.0, seed=3, **config_overrides):
+    town = build_town(TownConfig(n_users=n_users), seed=seed)
+    config = BehaviorConfig(duration_days=duration, **config_overrides)
+    simulator = BehaviorSimulator(town.users, town.entities, config, seed=seed)
+    return town, simulator.run()
+
+
+class TestSimulationBasics:
+    def test_produces_events_and_opinions(self):
+        _, result = tiny_town()
+        assert result.events
+        assert result.opinions
+
+    def test_deterministic(self):
+        _, a = tiny_town(seed=11)
+        _, b = tiny_town(seed=11)
+        assert a.events == b.events
+        assert a.reviews == b.reviews
+
+    def test_seed_changes_output(self):
+        _, a = tiny_town(seed=1)
+        _, b = tiny_town(seed=2)
+        assert a.events != b.events
+
+    def test_events_time_sorted(self):
+        _, result = tiny_town()
+        times = [event.start_time for event in result.events]
+        assert times == sorted(times)
+
+    def test_events_within_horizon(self):
+        _, result = tiny_town(duration=60.0)
+        # Complaint calls and weekday scheduling may trail a need by up to
+        # about a week past the nominal horizon.
+        assert max(event.start_time for event in result.events) < 70 * DAY
+
+    def test_every_event_user_is_known(self):
+        town, result = tiny_town()
+        user_ids = {user.user_id for user in town.users}
+        assert {event.user_id for event in result.events} <= user_ids
+
+    def test_every_event_entity_is_known(self):
+        town, result = tiny_town()
+        entity_ids = {entity.entity_id for entity in town.entities}
+        assert {event.entity_id for event in result.events} <= entity_ids
+
+    def test_requires_users_and_entities(self):
+        town = build_town(TownConfig(n_users=2), seed=0)
+        with pytest.raises(ValueError):
+            BehaviorSimulator([], town.entities)
+        with pytest.raises(ValueError):
+            BehaviorSimulator(town.users, [])
+
+
+class TestEventSemantics:
+    def test_restaurants_are_visited_not_called(self):
+        town, result = tiny_town()
+        restaurant_ids = {e.entity_id for e in town.entities if e.kind is EntityKind.RESTAURANT}
+        for event in result.events:
+            if event.entity_id in restaurant_ids:
+                assert isinstance(event, VisitEvent)
+
+    def test_plumbers_are_called_not_visited(self):
+        town, result = tiny_town(n_users=60, duration=365.0)
+        plumber_ids = {e.entity_id for e in town.entities if e.kind is EntityKind.PLUMBER}
+        plumber_events = [e for e in result.events if e.entity_id in plumber_ids]
+        assert plumber_events, "a year of 60 users should need a plumber sometime"
+        for event in plumber_events:
+            assert isinstance(event, CallEvent)
+
+    def test_visit_distance_matches_origin(self):
+        town, result = tiny_town()
+        entity_by_id = {e.entity_id: e for e in town.entities}
+        for event in result.events:
+            if isinstance(event, VisitEvent):
+                expected = event.origin.distance_to(entity_by_id[event.entity_id].location)
+                assert event.distance_km == pytest.approx(expected)
+
+    def test_visit_durations_positive_and_bounded(self):
+        _, result = tiny_town()
+        for event in result.events:
+            if isinstance(event, VisitEvent):
+                assert 0 < event.duration <= 2 * 3600 + 1
+
+
+class TestOpinionDynamics:
+    def test_opinions_in_range(self):
+        _, result = tiny_town()
+        for truth in result.opinions.values():
+            assert 0.0 <= truth.opinion <= 5.0
+
+    def test_opinion_exists_for_every_interacting_pair(self):
+        _, result = tiny_town()
+        pairs = {(e.user_id, e.entity_id) for e in result.events}
+        assert pairs <= set(result.opinions)
+
+    def test_good_entities_earn_more_repeat_business(self):
+        """Across restaurants, repeat-visit share should rise with quality —
+        the base signal implicit inference relies on."""
+        town, result = tiny_town(n_users=80, duration=240.0, seed=5)
+        visits_by_pair: dict[tuple[str, str], int] = {}
+        for event in result.events:
+            if isinstance(event, VisitEvent) and not event.group_id:
+                key = (event.user_id, event.entity_id)
+                visits_by_pair[key] = visits_by_pair.get(key, 0) + 1
+        entity_by_id = {e.entity_id: e for e in town.entities}
+        qualities, repeats = [], []
+        for (user_id, entity_id), count in visits_by_pair.items():
+            entity = entity_by_id[entity_id]
+            if entity.kind is EntityKind.RESTAURANT:
+                qualities.append(entity.quality)
+                repeats.append(1.0 if count >= 2 else 0.0)
+        assert len(qualities) > 50
+        assert pearson(qualities, repeats) > 0.1
+
+    def test_avoided_entities_not_rechosen(self):
+        """After a terrible settled experience a user never goes back
+        (deterministic because avoidance is a hard filter)."""
+        home = Point(5, 5)
+        user = User("u0", home, home, posting_propensity=0.0, exploration=0.0)
+        bad = Entity(
+            entity_id="dentist-bad", kind=EntityKind.DENTIST, category="dentist",
+            location=Point(5.2, 5.0), quality=0.2,
+        )
+        good = Entity(
+            entity_id="dentist-good", kind=EntityKind.DENTIST, category="dentist",
+            location=Point(5.4, 5.0), quality=4.8,
+        )
+        config = BehaviorConfig(
+            duration_days=365 * 4, appointment_needs_per_year=12, laziness=0.0
+        )
+        result = BehaviorSimulator([user], [bad, good], config, seed=2).run()
+        bad_visits = [e for e in result.events if e.entity_id == "dentist-bad"]
+        truth = result.opinions.get(("u0", "dentist-bad"))
+        if truth is not None and truth.opinion <= config.avoid_threshold:
+            assert len(bad_visits) == 1
+
+
+class TestInitialOpinions:
+    def test_seeded_opinion_reported_in_ground_truth(self):
+        town = build_town(TownConfig(n_users=3), seed=0)
+        entity = town.entities[0].entity_id
+        user = town.users[0].user_id
+        simulator = BehaviorSimulator(
+            town.users, town.entities,
+            BehaviorConfig(duration_days=30),
+            seed=0,
+            initial_opinions={(user, entity): 4.9},
+        )
+        result = simulator.run()
+        assert result.opinions[(user, entity)].opinion == pytest.approx(4.9)
+        assert result.opinions[(user, entity)].settled
+
+    def test_seeded_avoid_threshold_marks_avoided(self):
+        home = Point(5, 5)
+        user = User("u0", home, home, posting_propensity=0.0, exploration=0.0)
+        bad = Entity(
+            entity_id="dentist-bad", kind=EntityKind.DENTIST, category="dentist",
+            location=Point(5.1, 5.0), quality=4.0,
+        )
+        good = Entity(
+            entity_id="dentist-good", kind=EntityKind.DENTIST, category="dentist",
+            location=Point(5.2, 5.0), quality=4.0,
+        )
+        config = BehaviorConfig(duration_days=365 * 2, appointment_needs_per_year=12, laziness=0.0)
+        result = BehaviorSimulator(
+            [user], [bad, good], config, seed=1,
+            initial_opinions={("u0", "dentist-bad"): 0.5},
+        ).run()
+        assert not [e for e in result.events if e.entity_id == "dentist-bad"]
+
+    def test_unknown_entity_rejected(self):
+        town = build_town(TownConfig(n_users=2), seed=0)
+        simulator = BehaviorSimulator(
+            town.users, town.entities,
+            initial_opinions={("user-0000", "no-such-entity"): 3.0},
+        )
+        with pytest.raises(KeyError):
+            simulator.run()
+
+
+class TestReviews:
+    def test_lurkers_never_post(self):
+        town = build_town(TownConfig(n_users=20), seed=4)
+        silenced = [
+            User(
+                user_id=u.user_id, home=u.home, work=u.work, posting_propensity=0.0,
+                category_affinity=u.category_affinity, price_preference=u.price_preference,
+                mobility=u.mobility, exploration=u.exploration, engagement=u.engagement,
+                group_ids=u.group_ids,
+            )
+            for u in town.users
+        ]
+        result = BehaviorSimulator(
+            silenced, town.entities, BehaviorConfig(duration_days=90), seed=4
+        ).run()
+        assert result.reviews == []
+
+    def test_reviews_reference_experienced_entities(self):
+        _, result = tiny_town(n_users=60, duration=180.0)
+        for review in result.reviews:
+            assert (review.user_id, review.entity_id) in result.opinions
+
+    def test_review_ratings_track_opinions(self):
+        _, result = tiny_town(n_users=120, duration=240.0, seed=9)
+        errors = [
+            abs(review.rating - result.opinions[(review.user_id, review.entity_id)].opinion)
+            for review in result.reviews
+        ]
+        assert errors, "some reviews should have been posted"
+        assert np.mean(errors) < 1.0
+
+    def test_at_most_one_review_per_pair(self):
+        _, result = tiny_town(n_users=100, duration=300.0, seed=10)
+        pairs = [(r.user_id, r.entity_id) for r in result.reviews]
+        assert len(pairs) == len(set(pairs))
+
+    def test_reviews_far_fewer_than_interacting_pairs(self):
+        """The paper's core motivation: most opinions are never posted."""
+        _, result = tiny_town(n_users=100, duration=240.0, seed=12)
+        interacting_pairs = {(e.user_id, e.entity_id) for e in result.events}
+        assert len(result.reviews) < 0.2 * len(interacting_pairs)
+
+    def test_posted_review_validation(self):
+        with pytest.raises(ValueError):
+            PostedReview("u", "e", rating=0, time=0.0)
+        with pytest.raises(ValueError):
+            PostedReview("u", "e", rating=6, time=0.0)
+
+
+class TestGroupVisits:
+    def test_group_members_covisit(self):
+        town, result = tiny_town(n_users=60, duration=120.0, seed=6)
+        group_events: dict[tuple[str, float], list] = {}
+        for event in result.events:
+            if isinstance(event, VisitEvent) and event.group_id:
+                group_events.setdefault((event.group_id, event.start_time), []).append(event)
+        assert group_events, "groups should produce at least one group visit"
+        for (_, _), events in group_events.items():
+            assert len(events) >= 2
+            assert len({e.entity_id for e in events}) == 1
+
+    def test_group_visits_share_timestamp_and_duration(self):
+        _, result = tiny_town(n_users=60, duration=120.0, seed=6)
+        by_group: dict[tuple[str, float], list] = {}
+        for event in result.events:
+            if isinstance(event, VisitEvent) and event.group_id:
+                by_group.setdefault((event.group_id, event.start_time), []).append(event)
+        for events in by_group.values():
+            assert len({e.duration for e in events}) == 1
+
+    def test_disabling_groups_removes_group_visits(self):
+        town = build_town(TownConfig(n_users=40, group_size=0), seed=2)
+        result = BehaviorSimulator(
+            town.users, town.entities, BehaviorConfig(duration_days=90), seed=2
+        ).run()
+        assert all(
+            not event.group_id
+            for event in result.events
+            if isinstance(event, VisitEvent)
+        )
+
+
+class TestComplaintCalls:
+    def test_bad_service_triggers_short_followup_calls(self):
+        """A dissatisfied customer places short, closely spaced calls —
+        the confounder Section 4 warns about."""
+        home = Point(5, 5)
+        user = User("u0", home, home, posting_propensity=0.0, exploration=0.0)
+        bad = Entity(
+            entity_id="plumber-bad", kind=EntityKind.PLUMBER, category="plumber",
+            location=Point(5.1, 5.0), quality=0.3,
+        )
+        config = BehaviorConfig(
+            duration_days=365, service_needs_per_year=6, opinion_noise=0.0, laziness=0.0
+        )
+        result = BehaviorSimulator([user], [bad], config, seed=3).run()
+        calls = [e for e in result.events if isinstance(e, CallEvent)]
+        assert len(calls) >= 2
+        short_calls = [c for c in calls if c.duration < 90]
+        assert short_calls, "complaint calls should be short"

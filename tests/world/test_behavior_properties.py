@@ -1,0 +1,94 @@
+"""Hypothesis property tests: the behaviour simulator off the happy path.
+
+The simulator feeds everything downstream, so its invariants must hold for
+*any* sane configuration, not just the defaults the other tests use.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.clock import DAY
+from repro.world.behavior import BehaviorConfig, BehaviorSimulator
+from repro.world.events import CallEvent, VisitEvent
+from repro.world.population import TownConfig, build_town
+
+
+configs = st.fixed_dictionaries(
+    {
+        "duration_days": st.floats(min_value=10, max_value=120),
+        "restaurant_needs_per_week": st.floats(min_value=0.2, max_value=4.0),
+        "laziness": st.floats(min_value=0.0, max_value=0.9),
+        "group_visit_rate": st.floats(min_value=0.0, max_value=1.0),
+        "opinion_noise": st.floats(min_value=0.0, max_value=1.5),
+        "choice_temperature": st.floats(min_value=0.1, max_value=2.0),
+        "business_hours": st.booleans(),
+        "relocation_rate_per_year": st.floats(min_value=0.0, max_value=1.0),
+    }
+)
+
+
+@pytest.fixture(scope="module")
+def small_town():
+    return build_town(TownConfig(n_users=12), seed=71)
+
+
+class TestSimulatorInvariants:
+    @given(configs, st.integers(min_value=0, max_value=50))
+    @settings(max_examples=25, deadline=None)
+    def test_core_invariants_hold_for_any_config(self, small_town, config_kwargs, seed):
+        town = small_town
+        config = BehaviorConfig(**config_kwargs)
+        result = BehaviorSimulator(town.users, town.entities, config, seed=seed).run()
+
+        # Events time-sorted, within a padded horizon, referencing known ids.
+        times = [event.start_time for event in result.events]
+        assert times == sorted(times)
+        if times:
+            assert times[0] >= 0
+            assert times[-1] <= (config.duration_days + 10) * DAY
+        user_ids = {user.user_id for user in town.users}
+        entity_ids = {entity.entity_id for entity in town.entities}
+        for event in result.events:
+            assert event.user_id in user_ids
+            assert event.entity_id in entity_ids
+            assert event.duration > 0
+
+        # Every interacting pair has a ground-truth opinion in range.
+        pairs = {(event.user_id, event.entity_id) for event in result.events}
+        assert pairs <= set(result.opinions)
+        for truth in result.opinions.values():
+            assert 0.0 <= truth.opinion <= 5.0
+
+        # Reviews reference experienced pairs, ratings in 1..5, one per pair.
+        review_pairs = [(r.user_id, r.entity_id) for r in result.reviews]
+        assert len(review_pairs) == len(set(review_pairs))
+        for review in result.reviews:
+            assert 1 <= review.rating <= 5
+            assert (review.user_id, review.entity_id) in result.opinions
+
+    @given(configs, st.integers(min_value=0, max_value=50))
+    @settings(max_examples=10, deadline=None)
+    def test_determinism_for_any_config(self, small_town, config_kwargs, seed):
+        town = small_town
+        config = BehaviorConfig(**config_kwargs)
+        a = BehaviorSimulator(town.users, town.entities, config, seed=seed).run()
+        b = BehaviorSimulator(town.users, town.entities, config, seed=seed).run()
+        assert a.events == b.events
+        assert a.reviews == b.reviews
+        assert a.opinions == b.opinions
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=10, deadline=None)
+    def test_group_rate_zero_means_no_group_events(self, small_town, laziness):
+        town = small_town
+        config = BehaviorConfig(
+            duration_days=60, group_visit_rate=0.0, laziness=laziness
+        )
+        result = BehaviorSimulator(town.users, town.entities, config, seed=5).run()
+        assert all(
+            not event.group_id
+            for event in result.events
+            if isinstance(event, VisitEvent)
+        )

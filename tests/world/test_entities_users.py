@@ -1,0 +1,138 @@
+"""Tests for repro.world.entities and repro.world.users."""
+
+import numpy as np
+import pytest
+
+from repro.world.entities import (
+    DEFAULT_CATEGORIES,
+    Entity,
+    EntityKind,
+    InteractionStyle,
+    make_phone_number,
+)
+from repro.world.geography import Point
+from repro.world.users import User, sample_posting_propensity, sample_user
+
+
+def make_entity(**overrides):
+    defaults = dict(
+        entity_id="restaurant-0001",
+        kind=EntityKind.RESTAURANT,
+        category="thai",
+        location=Point(1, 1),
+        quality=3.5,
+        price_level=2,
+    )
+    defaults.update(overrides)
+    return Entity(**defaults)
+
+
+class TestEntityKind:
+    def test_styles(self):
+        assert EntityKind.RESTAURANT.style is InteractionStyle.VISIT_FREQUENT
+        assert EntityKind.DENTIST.style is InteractionStyle.VISIT_APPOINTMENT
+        assert EntityKind.PLUMBER.style is InteractionStyle.CALL_SERVICE
+
+    def test_visited_vs_called(self):
+        assert EntityKind.RESTAURANT.is_visited and not EntityKind.RESTAURANT.is_called
+        assert EntityKind.PLUMBER.is_called and not EntityKind.PLUMBER.is_visited
+
+    def test_every_kind_has_categories(self):
+        for kind in EntityKind:
+            assert DEFAULT_CATEGORIES[kind]
+
+    def test_restaurants_have_nine_cuisines(self):
+        """The paper queried 9 popular cuisines on Yelp."""
+        assert len(DEFAULT_CATEGORIES[EntityKind.RESTAURANT]) == 9
+
+
+class TestEntity:
+    def test_quality_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            make_entity(quality=5.5)
+        with pytest.raises(ValueError):
+            make_entity(quality=-0.1)
+
+    def test_price_level_bounds(self):
+        with pytest.raises(ValueError):
+            make_entity(price_level=0)
+        with pytest.raises(ValueError):
+            make_entity(price_level=5)
+
+    def test_similarity_same_category_high(self):
+        a = make_entity(entity_id="r1")
+        b = make_entity(entity_id="r2")
+        assert a.similarity_to(b) > 0.8
+
+    def test_similarity_cross_kind_zero(self):
+        restaurant = make_entity()
+        dentist = make_entity(
+            entity_id="dentist-1", kind=EntityKind.DENTIST, category="dentist"
+        )
+        assert restaurant.similarity_to(dentist) == 0.0
+
+    def test_similarity_price_gap_lowers(self):
+        cheap = make_entity(entity_id="r1", price_level=1)
+        pricey = make_entity(entity_id="r2", price_level=4)
+        same = make_entity(entity_id="r3", price_level=1)
+        assert cheap.similarity_to(same) > cheap.similarity_to(pricey)
+
+    def test_similarity_symmetric(self):
+        a = make_entity(entity_id="r1", category="thai", price_level=1)
+        b = make_entity(entity_id="r2", category="indian", price_level=3)
+        assert a.similarity_to(b) == pytest.approx(b.similarity_to(a))
+
+    def test_similarity_in_unit_interval(self):
+        a = make_entity(entity_id="r1", attributes=("patio", "vegan"))
+        b = make_entity(entity_id="r2", attributes=("vegan",))
+        assert 0.0 <= a.similarity_to(b) <= 1.0
+
+    def test_phone_numbers_unique(self):
+        numbers = {make_phone_number(i) for i in range(1000)}
+        assert len(numbers) == 1000
+
+
+class TestUser:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            User("u", Point(0, 0), Point(0, 0), posting_propensity=1.5)
+        with pytest.raises(ValueError):
+            User("u", Point(0, 0), Point(0, 0), posting_propensity=0.5, mobility=0)
+        with pytest.raises(ValueError):
+            User("u", Point(0, 0), Point(0, 0), posting_propensity=0.5, engagement=0)
+
+    def test_affinity_default_zero(self):
+        user = User("u", Point(0, 0), Point(0, 0), posting_propensity=0.1)
+        assert user.affinity_for("thai") == 0.0
+
+    def test_affinity_lookup(self):
+        user = User(
+            "u", Point(0, 0), Point(0, 0), posting_propensity=0.1,
+            category_affinity={"thai": 0.7},
+        )
+        assert user.affinity_for("thai") == 0.7
+
+
+class TestPopulationSampling:
+    def test_posting_propensity_follows_participation_rule(self):
+        """~90% of users should almost never post — the paper's root cause."""
+        rng = np.random.default_rng(0)
+        draws = [sample_posting_propensity(rng) for _ in range(5000)]
+        lurkers = sum(1 for p in draws if p < 0.02)
+        heavy = sum(1 for p in draws if p >= 0.5)
+        assert lurkers / len(draws) > 0.8
+        assert heavy / len(draws) < 0.03
+
+    def test_sample_user_fields_valid(self):
+        user = sample_user(
+            0, "user-0", Point(1, 1), Point(2, 2), categories=("thai", "dentist")
+        )
+        assert user.user_id == "user-0"
+        assert set(user.category_affinity) == {"thai", "dentist"}
+        assert 1 <= user.price_preference <= 4
+        assert user.mobility > 0
+
+    def test_sample_user_deterministic(self):
+        a = sample_user(5, "u", Point(0, 0), Point(1, 1), categories=("x",))
+        b = sample_user(5, "u", Point(0, 0), Point(1, 1), categories=("x",))
+        assert a == b

@@ -1,0 +1,102 @@
+"""Tests for repro.world.geography."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.world.geography import CityGrid, Point, travel_time_seconds
+
+coords = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+
+
+class TestPoint:
+    def test_distance_known(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_distance_to_self_zero(self):
+        p = Point(1.5, 2.5)
+        assert p.distance_to(p) == 0.0
+
+    @given(coords, coords, coords, coords)
+    @settings(max_examples=50, deadline=None)
+    def test_distance_symmetric(self, x1, y1, x2, y2):
+        a, b = Point(x1, y1), Point(x2, y2)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    @given(coords, coords, coords, coords, coords, coords)
+    @settings(max_examples=50, deadline=None)
+    def test_triangle_inequality(self, x1, y1, x2, y2, x3, y3):
+        a, b, c = Point(x1, y1), Point(x2, y2), Point(x3, y3)
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-9
+
+    def test_offset(self):
+        assert Point(1, 1).offset(2, -1) == Point(3, 0)
+
+
+class TestCityGrid:
+    def test_zone_count(self):
+        grid = CityGrid(size_km=10, rows=3, cols=4)
+        assert len(grid.zones) == 12
+
+    def test_zones_tile_city(self):
+        """Every point in the city belongs to exactly one zone."""
+        grid = CityGrid(size_km=9, rows=3, cols=3)
+        for point in [Point(0.1, 0.1), Point(4.5, 4.5), Point(8.9, 8.9), Point(1, 7)]:
+            containing = [z for z in grid.zones if z.contains(point)]
+            assert len(containing) == 1
+            assert grid.zone_containing(point) == containing[0]
+
+    def test_zone_containing_clamps_edges(self):
+        grid = CityGrid(size_km=10, rows=2, cols=2)
+        # On the far boundary, still resolves to a zone.
+        zone = grid.zone_containing(Point(10.0, 10.0))
+        assert zone.row == 1 and zone.col == 1
+
+    def test_zone_by_id(self):
+        grid = CityGrid(size_km=10, rows=2, cols=2)
+        zone = grid.zone_by_id("Z0101")
+        assert zone.row == 1 and zone.col == 1
+        with pytest.raises(KeyError):
+            grid.zone_by_id("Z9999")
+
+    def test_zone_ids_unique(self):
+        grid = CityGrid(size_km=20, rows=5, cols=5)
+        ids = [z.zone_id for z in grid.zones]
+        assert len(set(ids)) == len(ids)
+
+    def test_sample_point_inside(self):
+        grid = CityGrid(size_km=15, rows=3, cols=3)
+        for seed in range(20):
+            p = grid.sample_point(seed)
+            assert 0 <= p.x <= 15 and 0 <= p.y <= 15
+
+    def test_zone_sample_point_inside_zone(self):
+        grid = CityGrid(size_km=12, rows=3, cols=3)
+        zone = grid.zones[4]
+        for seed in range(20):
+            assert zone.contains(zone.sample_point(seed))
+
+    def test_clamp(self):
+        grid = CityGrid(size_km=10, rows=2, cols=2)
+        assert grid.clamp(Point(-5, 15)) == Point(0, 10)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CityGrid(size_km=0)
+        with pytest.raises(ValueError):
+            CityGrid(size_km=10, rows=0)
+
+
+class TestTravelTime:
+    def test_known_value(self):
+        # 25 km at 25 km/h = 1 hour
+        assert travel_time_seconds(Point(0, 0), Point(25, 0)) == pytest.approx(3600.0)
+
+    def test_zero_distance(self):
+        assert travel_time_seconds(Point(1, 1), Point(1, 1)) == 0.0
+
+    def test_speed_must_be_positive(self):
+        with pytest.raises(ValueError):
+            travel_time_seconds(Point(0, 0), Point(1, 0), speed_kmh=0)

@@ -1,0 +1,150 @@
+"""Tests for town construction and the Figure 3 scenario."""
+
+from collections import defaultdict
+
+import numpy as np
+import pytest
+
+from repro.util.stats import pearson
+from repro.world.entities import EntityKind
+from repro.world.population import Town, TownConfig, build_town
+from repro.world.scenarios import (
+    DENTIST_A,
+    DENTIST_B,
+    DENTIST_C,
+    Figure3Config,
+    figure3_town,
+    run_figure3,
+)
+
+
+class TestBuildTown:
+    def test_counts_match_config(self):
+        config = TownConfig(n_users=50)
+        town = build_town(config, seed=1)
+        assert len(town.users) == 50
+        for kind, count in config.entities_per_kind.items():
+            assert len(town.entities_of_kind(kind)) == count
+
+    def test_deterministic(self):
+        a = build_town(TownConfig(n_users=20), seed=9)
+        b = build_town(TownConfig(n_users=20), seed=9)
+        assert [e.entity_id for e in a.entities] == [e.entity_id for e in b.entities]
+        assert a.users == b.users
+
+    def test_entities_inside_city(self):
+        config = TownConfig(n_users=5, size_km=10.0)
+        town = build_town(config, seed=0)
+        for entity in town.entities:
+            assert 0 <= entity.location.x <= 10
+            assert 0 <= entity.location.y <= 10
+
+    def test_entity_ids_unique(self):
+        town = build_town(TownConfig(n_users=5), seed=0)
+        ids = [e.entity_id for e in town.entities]
+        assert len(set(ids)) == len(ids)
+
+    def test_phone_directory_complete(self):
+        town = build_town(TownConfig(n_users=5), seed=0)
+        directory = town.phone_directory
+        assert len(directory) == len(town.entities)
+        for phone, entity_id in directory.items():
+            assert town.entity(entity_id).phone == phone
+
+    def test_group_membership_roughly_matches(self):
+        config = TownConfig(n_users=300, group_membership=0.5, group_size=3)
+        town = build_town(config, seed=3)
+        in_group = sum(1 for u in town.users if u.group_ids)
+        assert 0.3 * 300 < in_group < 0.7 * 300
+
+    def test_groups_have_configured_size(self):
+        config = TownConfig(n_users=200, group_size=4)
+        town = build_town(config, seed=2)
+        members = defaultdict(list)
+        for user in town.users:
+            for group_id in user.group_ids:
+                members[group_id].append(user.user_id)
+        assert members
+        for group_members in members.values():
+            assert len(group_members) == 4
+
+    def test_lookup_helpers(self):
+        town = build_town(TownConfig(n_users=3), seed=0)
+        assert town.user("user-0000").user_id == "user-0000"
+        with pytest.raises(KeyError):
+            town.user("user-9999")
+        first = town.entities[0]
+        assert town.entity(first.entity_id) is first
+        with pytest.raises(KeyError):
+            town.entity("nope")
+
+
+class TestFigure3Scenario:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        config = Figure3Config()
+        town, result = run_figure3(config)
+        per_user = defaultdict(lambda: defaultdict(int))
+        distances = defaultdict(lambda: defaultdict(list))
+        for event in result.events:
+            per_user[event.entity_id][event.user_id] += 1
+            distances[event.entity_id][event.user_id].append(event.distance_km)
+        return town, per_user, distances
+
+    def _corr(self, per_user, distances, dentist):
+        counts = [c for c in per_user[dentist].values() if c >= 2]
+        avg_distance = [
+            float(np.mean(distances[dentist][u]))
+            for u, c in per_user[dentist].items()
+            if c >= 2
+        ]
+        return pearson(counts, avg_distance)
+
+    def test_dentist_a_has_few_repeat_patients(self, outcome):
+        """Figure 3(a): A's histogram collapses at one visit per user."""
+        _, per_user, _ = outcome
+        counts = list(per_user[DENTIST_A].values())
+        assert counts
+        repeat_fraction = np.mean([c > 1 for c in counts])
+        assert repeat_fraction < 0.3
+
+    def test_dentists_b_c_have_many_repeat_patients(self, outcome):
+        _, per_user, _ = outcome
+        for dentist in (DENTIST_B, DENTIST_C):
+            counts = list(per_user[dentist].values())
+            assert np.mean([c > 1 for c in counts]) > 0.6
+
+    def test_distance_correlation_b_exceeds_c(self, outcome):
+        """Figure 3(b): effort correlates with visits at B, not at C."""
+        _, per_user, distances = outcome
+        corr_b = self._corr(per_user, distances, DENTIST_B)
+        corr_c = self._corr(per_user, distances, DENTIST_C)
+        assert corr_b > 0.1
+        assert corr_b > corr_c + 0.2
+
+    def test_c_patients_travel_much_less_than_b_patients(self, outcome):
+        _, per_user, distances = outcome
+        avg = {
+            dentist: np.mean([np.mean(d) for d in distances[dentist].values()])
+            for dentist in (DENTIST_B, DENTIST_C)
+        }
+        assert avg[DENTIST_C] < 0.3 * avg[DENTIST_B]
+
+    def test_scenario_construction_deterministic(self):
+        a = figure3_town(Figure3Config(seed=21))
+        b = figure3_town(Figure3Config(seed=21))
+        assert a.initial_opinions == b.initial_opinions
+        assert [e.entity_id for e in a.town.entities] == [e.entity_id for e in b.town.entities]
+
+    def test_fans_seeded_on_b_locals_on_c(self):
+        scenario = figure3_town()
+        fan_targets = {entity for (_, entity) in scenario.initial_opinions.items()}
+        entities = {e for (_, e) in scenario.initial_opinions}
+        assert entities == {DENTIST_B, DENTIST_C}
+        for (user_id, entity_id), opinion in scenario.initial_opinions.items():
+            if entity_id == DENTIST_B:
+                assert user_id.startswith("regional")
+                assert opinion > 4.5
+            else:
+                assert user_id.startswith("local")
+                assert 2.5 < opinion < 3.5

@@ -1,0 +1,90 @@
+"""Tests for the relocation confounder (Section 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.util.clock import DAY
+from repro.world.behavior import BehaviorConfig, BehaviorSimulator
+from repro.world.events import VisitEvent
+from repro.world.population import TownConfig, build_town
+
+
+def run_with_relocation(rate, n_users=60, days=365.0, seed=23):
+    town = build_town(TownConfig(n_users=n_users), seed=seed)
+    config = BehaviorConfig(duration_days=days, relocation_rate_per_year=rate)
+    simulator = BehaviorSimulator(town.users, town.entities, config, seed=seed)
+    return town, simulator, simulator.run()
+
+
+class TestRelocationMechanics:
+    def test_zero_rate_means_no_relocations(self):
+        _, simulator, _ = run_with_relocation(0.0)
+        assert simulator._relocations == {}
+
+    def test_positive_rate_relocates_some_users(self):
+        _, simulator, _ = run_with_relocation(0.5)
+        assert simulator._relocations
+
+    def test_relocation_times_inside_horizon(self):
+        _, simulator, _ = run_with_relocation(0.8, days=365.0)
+        for move_time, _, _ in simulator._relocations.values():
+            assert 0 < move_time < 365 * DAY
+
+    def test_deterministic(self):
+        _, sim_a, _ = run_with_relocation(0.5, seed=3)
+        _, sim_b, _ = run_with_relocation(0.5, seed=3)
+        assert set(sim_a._relocations) == set(sim_b._relocations)
+
+    def test_home_work_at_switches_at_move_time(self):
+        town, simulator, _ = run_with_relocation(0.8)
+        moved = next(iter(simulator._relocations))
+        move_time, new_home, new_work = simulator._relocations[moved]
+        user = town.user(moved)
+        home_before, _ = simulator._home_work_at(user, move_time - 1)
+        home_after, _ = simulator._home_work_at(user, move_time + 1)
+        assert home_before == user.home
+        assert home_after == new_home
+
+
+class TestRelocationBehaviour:
+    def test_visits_originate_near_new_home_after_moving(self):
+        """After the move, trips anchor at the new home, not the old one."""
+        town, simulator, result = run_with_relocation(0.9, n_users=80, days=365.0)
+        checked = 0
+        for user_id, (move_time, new_home, new_work) in simulator._relocations.items():
+            user = town.user(user_id)
+            late_visits = [
+                e for e in result.events
+                if isinstance(e, VisitEvent)
+                and e.user_id == user_id
+                and e.start_time > move_time
+                and not e.group_id  # group visits anchor at members' homes
+            ]
+            for visit in late_visits:
+                distance_to_new = min(
+                    visit.origin.distance_to(new_home), visit.origin.distance_to(new_work)
+                )
+                assert distance_to_new < 0.01
+                checked += 1
+        assert checked > 5
+
+    def test_relocation_induces_provider_switching(self):
+        """The confounder: movers switch restaurants without disliking the
+        old ones — repeat-based inference would misread this as churn."""
+        town_m, sim_m, moved_result = run_with_relocation(0.9, n_users=80, days=365.0, seed=29)
+        town_s, sim_s, stable_result = run_with_relocation(0.0, n_users=80, days=365.0, seed=29)
+
+        def distinct_restaurants(result, user_ids):
+            per_user = {}
+            for event in result.events:
+                if isinstance(event, VisitEvent) and event.user_id in user_ids:
+                    per_user.setdefault(event.user_id, set()).add(event.entity_id)
+            return per_user
+
+        movers = set(sim_m._relocations)
+        assert len(movers) > 5
+        moved_counts = distinct_restaurants(moved_result, movers)
+        stable_counts = distinct_restaurants(stable_result, movers)
+        moved_mean = np.mean([len(v) for v in moved_counts.values()]) if moved_counts else 0
+        stable_mean = np.mean([len(v) for v in stable_counts.values()]) if stable_counts else 0
+        assert moved_mean > stable_mean

@@ -1,0 +1,82 @@
+"""Tests for diurnal/weekday event scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.util.clock import DAY, HOUR
+from repro.world.behavior import BehaviorConfig, BehaviorSimulator
+from repro.world.entities import EntityKind, InteractionStyle
+from repro.world.events import CallEvent, VisitEvent
+from repro.world.population import TownConfig, build_town
+
+
+def simulate(business_hours=True, seed=41, n_users=50, days=180.0):
+    town = build_town(TownConfig(n_users=n_users), seed=seed)
+    config = BehaviorConfig(duration_days=days, business_hours=business_hours)
+    return town, BehaviorSimulator(town.users, town.entities, config, seed=seed).run()
+
+
+def hour_of(t):
+    return (t % DAY) / HOUR
+
+
+def day_of_week(t):
+    return int(t // DAY) % 7
+
+
+class TestBusinessHours:
+    @pytest.fixture(scope="class")
+    def world(self):
+        return simulate()
+
+    def test_restaurant_visits_at_meal_times(self, world):
+        town, result = world
+        restaurant_ids = {
+            e.entity_id for e in town.entities if e.kind is EntityKind.RESTAURANT
+        }
+        hours = [
+            hour_of(e.start_time)
+            for e in result.events
+            if isinstance(e, VisitEvent) and e.entity_id in restaurant_ids
+        ]
+        assert hours
+        for hour in hours:
+            assert (11.5 <= hour <= 14.0) or (18.0 <= hour <= 21.5)
+
+    def test_appointments_in_business_hours_on_weekdays(self, world):
+        town, result = world
+        appointment_ids = {
+            e.entity_id
+            for e in town.entities
+            if e.kind.style is InteractionStyle.VISIT_APPOINTMENT
+        }
+        events = [e for e in result.events if e.entity_id in appointment_ids]
+        assert events
+        for event in events:
+            assert 9.0 <= hour_of(event.start_time) <= 17.0
+            assert day_of_week(event.start_time) < 5
+
+    def test_service_calls_in_business_hours(self, world):
+        town, result = world
+        call_events = [e for e in result.events if isinstance(e, CallEvent)]
+        assert call_events
+        for event in call_events:
+            assert 9.0 <= hour_of(event.start_time) <= 17.0
+            assert day_of_week(event.start_time) < 5
+
+    def test_disabled_flag_restores_uniform_times(self):
+        _, result = simulate(business_hours=False)
+        hours = [hour_of(e.start_time) for e in result.events]
+        # With scheduling off, a meaningful share of events land at night.
+        night = sum(1 for h in hours if h < 8 or h > 22)
+        assert night > 0.1 * len(hours)
+
+    def test_group_visits_share_scheduled_time(self, world):
+        _, result = world
+        by_group = {}
+        for event in result.events:
+            if isinstance(event, VisitEvent) and event.group_id:
+                by_group.setdefault((event.group_id, event.entity_id, event.start_time), []).append(event)
+        assert by_group
+        for events in by_group.values():
+            assert len({e.start_time for e in events}) == 1
