@@ -1,0 +1,21 @@
+# Developer entry points.  `make check` is the full gate CI runs.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: check lint ruff test bench
+
+check:
+	bash scripts/check.sh
+
+lint:
+	$(PYTHON) -m repro.lint src/repro
+
+ruff:
+	ruff check .
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q

@@ -15,7 +15,7 @@ import pytest
 sys.path.insert(0, str(Path(__file__).parent))
 
 from repro.measurement import all_service_specs, crawl_service
-from repro.service.pipeline import PipelineConfig, run_full_pipeline
+from repro.orchestration.pipeline import PipelineConfig, run_full_pipeline
 from repro.world.behavior import BehaviorConfig, BehaviorSimulator
 from repro.world.population import TownConfig, build_town
 

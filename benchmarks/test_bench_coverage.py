@@ -10,9 +10,8 @@ fraction of users running the RSP's app.
 
 from _harness import comparison_table, emit
 
-import numpy as np
 
-from repro.service.pipeline import PipelineConfig, run_full_pipeline
+from repro.orchestration.pipeline import PipelineConfig, run_full_pipeline
 
 
 def test_bench_coverage_vs_adoption(benchmark, simulated_world):

@@ -12,7 +12,7 @@ from _harness import comparison_table, emit
 
 import math
 
-from repro.service.evaluation import (
+from repro.orchestration.evaluation import (
     abstention_calibration,
     accuracy_by_kind,
     coverage_diagnostics,

@@ -18,7 +18,7 @@ from repro.core.features import extract_all_features
 from repro.sensing.policy import duty_cycled_policy
 from repro.sensing.resolution import EntityResolver
 from repro.sensing.sensors import generate_trace
-from repro.service.pipeline import collect_training_data
+from repro.orchestration.pipeline import collect_training_data
 from repro.util.clock import DAY
 
 

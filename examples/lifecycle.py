@@ -11,8 +11,8 @@ re-ranking of a server search.
 from __future__ import annotations
 
 from repro.core.discovery import Query
-from repro.service.epochs import run_epochs
-from repro.service.pipeline import PipelineConfig
+from repro.orchestration.epochs import run_epochs
+from repro.orchestration.pipeline import PipelineConfig
 from repro.world.behavior import BehaviorConfig, BehaviorSimulator
 from repro.world.population import TownConfig, build_town
 

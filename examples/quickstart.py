@@ -11,7 +11,7 @@ query and prints what a user of the re-architected service would see.
 from __future__ import annotations
 
 from repro.core.discovery import Query
-from repro.service.pipeline import PipelineConfig, run_full_pipeline
+from repro.orchestration.pipeline import PipelineConfig, run_full_pipeline
 from repro.world.behavior import BehaviorConfig, BehaviorSimulator
 from repro.world.population import TownConfig, build_town
 

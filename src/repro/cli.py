@@ -10,6 +10,7 @@ benchmarks exercise:
 * ``figure3``  — the three-dentist comparative-visualization scenario
 * ``audit``    — de-anonymization attacks against naive vs hardened clients
 * ``redteam``  — the fraud attacker zoo vs the typical-user detector
+* ``lint``     — the AST invariant analyzer (privacy, determinism, layering)
 """
 
 from __future__ import annotations
@@ -58,7 +59,7 @@ def _build_world(args: argparse.Namespace):
 
 
 def _run_pipeline(args: argparse.Namespace):
-    from repro.service.pipeline import PipelineConfig, run_full_pipeline
+    from repro.orchestration.pipeline import PipelineConfig, run_full_pipeline
 
     town, result = _build_world(args)
     outcome = run_full_pipeline(
@@ -102,8 +103,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
 
 
 def _cmd_epochs(args: argparse.Namespace) -> int:
-    from repro.service.epochs import run_epochs
-    from repro.service.pipeline import PipelineConfig
+    from repro.orchestration.epochs import run_epochs
+    from repro.orchestration.pipeline import PipelineConfig
 
     town, result = _build_world(args)
     outcome = run_epochs(
@@ -260,6 +261,12 @@ def _cmd_redteam(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import run_lint
+
+    return run_lint(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -305,6 +312,14 @@ def build_parser() -> argparse.ArgumentParser:
     redteam = sub.add_parser("redteam", help="fraud attacker zoo vs the detector")
     add_world_args(redteam)
     redteam.set_defaults(func=_cmd_redteam)
+
+    from repro.lint.cli import add_lint_arguments
+
+    lint = sub.add_parser(
+        "lint", help="check privacy/determinism/layering invariants statically"
+    )
+    add_lint_arguments(lint)
+    lint.set_defaults(func=_cmd_lint)
 
     return parser
 

@@ -17,7 +17,7 @@ Orchestrates everything that happens on the device:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.aggregation import OpinionUpload
 from repro.core.classifier import OpinionClassifier

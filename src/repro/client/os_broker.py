@@ -24,7 +24,7 @@ which is exactly the guarantee the paper wants the platform to provide.
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Generic, TypeVar
 
 from repro.sensing.traces import CallRecord, DeviceTrace, LocationSample, PaymentRecord

@@ -26,7 +26,7 @@ into the per-entity summaries the search interface shows:
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

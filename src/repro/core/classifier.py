@@ -260,7 +260,7 @@ def synthetic_training_pairs(
     entities attract more interactions, longer travel, exploration followed
     by settling; disliked ones show churn and complaint markers.  The
     pipeline mixes these in only when locally collected training data is
-    too thin (see :func:`repro.service.pipeline.train_classifier`).
+    too thin (see :func:`repro.orchestration.pipeline.train_classifier`).
     """
     from repro.util.rng import make_rng
 

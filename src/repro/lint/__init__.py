@@ -1,0 +1,67 @@
+"""``repro.lint`` — AST-based invariant analyzer for this reproduction.
+
+The paper's guarantees are structural, so the linter checks structure:
+
+* **privacy taint** (``priv-taint-sink``, ``priv-server-identity``) —
+  raw identities reach upload/publication sinks only through
+  ``hash(Ru, e)`` / blind-signature sanitizers, and never surface in
+  service-layer APIs;
+* **determinism** (``det-random-module``, ``det-wall-clock``,
+  ``det-numpy-random``) — all entropy flows through ``repro.util.rng``
+  and all time through ``repro.util.clock``;
+* **layering** (``layer-client-service``, ``layer-service-client``) —
+  device-side and service-side code only meet in ``repro.orchestration``.
+
+Run it with ``python -m repro.lint <paths>`` or ``repro lint``; see
+``docs/STATIC_ANALYSIS.md`` for rule-by-rule rationale and suppression
+syntax (``# repro: allow[rule-id]``).
+"""
+
+from __future__ import annotations
+
+from repro.lint.engine import (
+    Analyzer,
+    LintConfig,
+    LintResult,
+    ParsedModule,
+    Rule,
+    Violation,
+)
+from repro.lint.reporters import render_json, render_text
+
+
+def default_rules() -> list[Rule]:
+    """Fresh instances of every built-in rule, in reporting order."""
+    from repro.lint.rules_determinism import (
+        NumpyRandomRule,
+        RandomModuleRule,
+        WallClockRule,
+    )
+    from repro.lint.rules_layering import (
+        ClientImportsServiceRule,
+        ServiceImportsClientRule,
+    )
+    from repro.lint.rules_privacy import ServerIdentityRule, SinkTaintRule
+
+    return [
+        SinkTaintRule(),
+        ServerIdentityRule(),
+        RandomModuleRule(),
+        WallClockRule(),
+        NumpyRandomRule(),
+        ClientImportsServiceRule(),
+        ServiceImportsClientRule(),
+    ]
+
+
+__all__ = [
+    "Analyzer",
+    "LintConfig",
+    "LintResult",
+    "ParsedModule",
+    "Rule",
+    "Violation",
+    "default_rules",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,106 @@
+"""Command-line front end: ``python -m repro.lint`` and ``repro lint``.
+
+Exit codes: 0 = clean, 1 = violations (including unparseable files),
+2 = usage errors (argparse's convention).
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections.abc import Sequence
+
+from repro.lint import default_rules
+from repro.lint.engine import Analyzer, LintConfig, LintResult
+from repro.lint.reporters import render_json, render_text
+
+DEFAULT_PATHS = ("src/repro",)
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to ``parser`` (shared with ``repro lint``)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help=f"files or directories to analyze (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        default=None,
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also list violations waived by `# repro: allow[...]` comments",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule id, what it checks, and why, then exit",
+    )
+
+
+def _csv(raw: str | None) -> set[str] | None:
+    if raw is None:
+        return None
+    return {part.strip() for part in raw.split(",") if part.strip()}
+
+
+def list_rules_text() -> str:
+    lines = []
+    for rule in default_rules():
+        lines.append(f"{rule.rule_id}: {rule.description}")
+        lines.append(f"    why: {rule.rationale}")
+    return "\n".join(lines)
+
+
+def run_lint(args: argparse.Namespace, config: LintConfig | None = None) -> int:
+    """Execute a parsed lint invocation; returns the process exit code."""
+    if args.list_rules:
+        print(list_rules_text())
+        return 0
+    rules = default_rules()
+    selected = _csv(args.select)
+    ignored = _csv(args.ignore) or set()
+    known = {rule.rule_id for rule in rules}
+    for requested in (selected or set()) | ignored:
+        if requested not in known:
+            print(f"error: unknown rule id {requested!r} (see --list-rules)")
+            return 2
+    rules = [
+        rule
+        for rule in rules
+        if (selected is None or rule.rule_id in selected)
+        and rule.rule_id not in ignored
+    ]
+    analyzer = Analyzer(rules, config=config)
+    result: LintResult = analyzer.run(args.paths)
+    if args.format == "json":
+        print(render_json(result, show_suppressed=args.show_suppressed))
+    else:
+        print(render_text(result, show_suppressed=args.show_suppressed))
+    return 0 if result.ok else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description=(
+            "AST-based invariant analyzer: privacy unlinkability, seeded "
+            "determinism, and client/server layering (docs/STATIC_ANALYSIS.md)"
+        ),
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))

@@ -1,0 +1,286 @@
+"""Rule-engine core of ``repro.lint``.
+
+The analyzer parses every target file once with :mod:`ast`, derives the
+file's dotted module name from the surrounding package tree, collects
+inline suppression comments, and hands the parsed module to each rule.
+Rules are small :class:`Rule` subclasses that yield :class:`Violation`
+records; everything stateful (file IO, suppression bookkeeping, rule
+selection) lives here so rules stay pure AST → violations functions.
+
+Suppression syntax (checked per physical line of the violation):
+
+* ``# repro: allow[rule-id]`` — suppress one or more comma-separated
+  rule ids on this line;
+* ``# repro: allow-file[rule-id]`` — suppress the listed rules for the
+  whole file (put it near the top, with a comment saying why).
+
+A suppressed violation is retained with ``suppressed=True`` so reporters
+can audit what was waived and why.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+_ALLOW_LINE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_\-, ]+)\]")
+_ALLOW_FILE = re.compile(r"#\s*repro:\s*allow-file\[([A-Za-z0-9_\-, ]+)\]")
+
+#: Rule id reported when a target file does not parse at all.
+PARSE_ERROR_RULE_ID = "parse-error"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: a rule violated at a position in a file."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+
+    def render(self) -> str:
+        tag = " (suppressed)" if self.suppressed else ""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}{tag}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule_id": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "suppressed": self.suppressed,
+        }
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Per-repository knobs shared by the rule families.
+
+    The defaults encode this repository's invariants; tests override them
+    to point the analyzer at fixture trees.
+    """
+
+    # -- determinism: the only modules allowed to touch raw entropy/time.
+    rng_modules: frozenset[str] = frozenset({"repro.util.rng"})
+    clock_modules: frozenset[str] = frozenset({"repro.util.clock"})
+
+    # -- privacy taint: identifier spellings that carry a raw identity.
+    identity_names: frozenset[str] = frozenset(
+        {
+            "user_id",
+            "device_id",
+            "secret",
+            "user_secret",
+            "account_id",
+            "email",
+            "phone_number",
+            "true_owner",
+        }
+    )
+    #: Constructors of records that leave the device or get published.
+    sink_names: frozenset[str] = frozenset(
+        {"InteractionUpload", "OpinionUpload", "Envelope", "PublishedSummary"}
+    )
+    #: Calls whose *output* is unlinkable regardless of input — the
+    #: sanctioned ways an identity may reach a sink.
+    sanitizers: frozenset[str] = frozenset(
+        {"history_id", "record_id", "stable_digest", "stable_u64", "blind", "unblind"}
+    )
+    #: Package prefixes forming the server side of the architecture.
+    service_packages: tuple[str, ...] = ("repro.service",)
+
+    # -- layering: packages forming the device side of the architecture.
+    client_packages: tuple[str, ...] = ("repro.client", "repro.sensing")
+
+
+@dataclass(frozen=True)
+class ParsedModule:
+    """A parsed source file plus the metadata rules need."""
+
+    path: str
+    module: str
+    tree: ast.Module
+    source: str
+    line_suppressions: dict[int, frozenset[str]]
+    file_suppressions: frozenset[str]
+
+    def in_package(self, prefixes: Iterable[str]) -> bool:
+        """True when this module lives under any of the dotted ``prefixes``."""
+        return any(
+            self.module == prefix or self.module.startswith(prefix + ".")
+            for prefix in prefixes
+        )
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``rule_id``/``description``/``rationale`` and implement
+    :meth:`check`, yielding violations.  ``rationale`` states which paper
+    invariant the rule protects; it surfaces in ``--list-rules``.
+    """
+
+    rule_id: str = ""
+    description: str = ""
+    rationale: str = ""
+
+    def check(self, module: ParsedModule, config: LintConfig) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(
+        self, module: ParsedModule, node: ast.AST, message: str
+    ) -> Violation:
+        return Violation(
+            rule_id=self.rule_id,
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+@dataclass
+class LintResult:
+    """Everything one analyzer run produced."""
+
+    violations: list[Violation] = field(default_factory=list)
+    suppressed: list[Violation] = field(default_factory=list)
+    n_files: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def sorted_violations(self) -> list[Violation]:
+        return sorted(self.violations, key=lambda v: (v.path, v.line, v.col, v.rule_id))
+
+    def sorted_suppressed(self) -> list[Violation]:
+        return sorted(self.suppressed, key=lambda v: (v.path, v.line, v.col, v.rule_id))
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name of ``path``, derived from ``__init__.py`` markers.
+
+    Walks upward while the containing directory is a package, so
+    ``src/repro/world/behavior.py`` → ``repro.world.behavior`` without any
+    knowledge of ``src`` layouts.  A stray file outside any package is its
+    own single-segment module.
+    """
+    path = path.resolve()
+    parts = [path.stem] if path.stem != "__init__" else []
+    directory = path.parent
+    while (directory / "__init__.py").exists():
+        parts.insert(0, directory.name)
+        parent = directory.parent
+        if parent == directory:
+            break
+        directory = parent
+    return ".".join(parts) if parts else path.stem
+
+
+def _split_ids(raw: str) -> frozenset[str]:
+    return frozenset(part.strip() for part in raw.split(",") if part.strip())
+
+
+def collect_suppressions(source: str) -> tuple[dict[int, frozenset[str]], frozenset[str]]:
+    """Map line number → suppressed rule ids, plus whole-file suppressions."""
+    per_line: dict[int, frozenset[str]] = {}
+    whole_file: set[str] = set()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        if "#" not in text:
+            continue
+        file_match = _ALLOW_FILE.search(text)
+        if file_match:
+            whole_file.update(_split_ids(file_match.group(1)))
+            continue
+        line_match = _ALLOW_LINE.search(text)
+        if line_match:
+            per_line[lineno] = per_line.get(lineno, frozenset()) | _split_ids(
+                line_match.group(1)
+            )
+    return per_line, frozenset(whole_file)
+
+
+def parse_module(path: Path, module: str | None = None) -> ParsedModule | Violation:
+    """Parse one file; returns a parse-error Violation instead of raising."""
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+    except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+        line = getattr(exc, "lineno", 1) or 1
+        return Violation(
+            rule_id=PARSE_ERROR_RULE_ID,
+            path=str(path),
+            line=line,
+            col=0,
+            message=f"could not parse file: {exc.__class__.__name__}: {exc}",
+        )
+    per_line, whole_file = collect_suppressions(source)
+    return ParsedModule(
+        path=str(path),
+        module=module if module is not None else module_name_for(path),
+        tree=tree,
+        source=source,
+        line_suppressions=per_line,
+        file_suppressions=whole_file,
+    )
+
+
+def iter_python_files(paths: Sequence[Path | str]) -> Iterator[Path]:
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    seen: set[Path] = set()
+    for raw in paths:
+        base = Path(raw)
+        if base.is_dir():
+            candidates = sorted(
+                p
+                for p in base.rglob("*.py")
+                if not any(part.startswith(".") for part in p.parts)
+            )
+        else:
+            candidates = [base]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+class Analyzer:
+    """Runs a set of rules over a set of paths."""
+
+    def __init__(
+        self,
+        rules: Sequence[Rule],
+        config: LintConfig | None = None,
+    ) -> None:
+        self.rules = list(rules)
+        self.config = config or LintConfig()
+
+    def run(self, paths: Sequence[Path | str]) -> LintResult:
+        result = LintResult()
+        for path in iter_python_files(paths):
+            result.n_files += 1
+            parsed = parse_module(Path(path))
+            if isinstance(parsed, Violation):
+                result.violations.append(parsed)
+                continue
+            for rule in self.rules:
+                for violation in rule.check(parsed, self.config):
+                    if violation.rule_id in parsed.file_suppressions or (
+                        violation.rule_id
+                        in parsed.line_suppressions.get(violation.line, frozenset())
+                    ):
+                        result.suppressed.append(
+                            Violation(**{**violation.to_dict(), "suppressed": True})
+                        )
+                    else:
+                        result.violations.append(violation)
+        return result

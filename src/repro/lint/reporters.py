@@ -1,0 +1,46 @@
+"""Reporters: render a :class:`~repro.lint.engine.LintResult` for humans or CI.
+
+* text — one ``path:line:col: rule-id message`` line per violation plus a
+  summary, the format editors and CI log scrapers already understand;
+* json — a stable machine-readable document (violations, suppressions,
+  counts) for dashboards and the test suite.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import LintResult
+
+
+def render_text(result: LintResult, show_suppressed: bool = False) -> str:
+    """Human-readable report; one line per violation, then a summary."""
+    lines = [violation.render() for violation in result.sorted_violations()]
+    if show_suppressed:
+        lines.extend(violation.render() for violation in result.sorted_suppressed())
+    n_violations = len(result.violations)
+    n_suppressed = len(result.suppressed)
+    if result.ok:
+        summary = f"OK: checked {result.n_files} file(s), no violations"
+    else:
+        summary = (
+            f"FAIL: {n_violations} violation(s) in {result.n_files} file(s) checked"
+        )
+    if n_suppressed:
+        summary += f" ({n_suppressed} suppressed)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult, show_suppressed: bool = True) -> str:
+    """Machine-readable report with stable key names."""
+    document = {
+        "ok": result.ok,
+        "files_checked": result.n_files,
+        "violation_count": len(result.violations),
+        "suppressed_count": len(result.suppressed),
+        "violations": [v.to_dict() for v in result.sorted_violations()],
+    }
+    if show_suppressed:
+        document["suppressed"] = [v.to_dict() for v in result.sorted_suppressed()]
+    return json.dumps(document, indent=2, sort_keys=True)

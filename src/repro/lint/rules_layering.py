@@ -1,0 +1,127 @@
+"""Layering rules: the Figure 2 boundary between device and service.
+
+Section 3's premise is that raw sensed data stays on the device — the
+client senses, resolves, and infers locally, then ships only sanitized
+records.  The code enforces the same split the paper draws:
+
+* ``layer-client-service`` — device-side packages (``repro.client``,
+  ``repro.sensing``) must not import the service layer.  A client that
+  reaches into ``repro.service.server`` can short-circuit the upload
+  protocol and leak raw observations.
+* ``layer-service-client`` — the service layer must not import client or
+  sensing modules.  A server that touches device internals could observe
+  pre-sanitization data; only :mod:`repro.orchestration` (the experiment
+  drivers) may see both sides.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.engine import LintConfig, ParsedModule, Rule, Violation
+
+
+def _imported_targets(module: ParsedModule, node: ast.stmt) -> Iterator[str]:
+    """Absolute dotted targets named by one import statement.
+
+    ``from repro.service import server`` yields both ``repro.service`` and
+    ``repro.service.server`` so prefix checks see the submodule; relative
+    imports are resolved against the importing module's package.
+    """
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            yield alias.name
+    elif isinstance(node, ast.ImportFrom):
+        if node.level == 0:
+            base = node.module or ""
+        else:
+            parts = module.module.split(".")
+            if not module.path.endswith("__init__.py"):
+                parts = parts[:-1]  # the package containing this module
+            cut = len(parts) - (node.level - 1)
+            if cut < 0:
+                return
+            base = ".".join(parts[:cut])
+            if node.module:
+                base = f"{base}.{node.module}" if base else node.module
+        if base:
+            yield base
+            for alias in node.names:
+                if alias.name != "*":
+                    yield f"{base}.{alias.name}"
+
+
+def _hits(target: str, prefixes: tuple[str, ...]) -> str | None:
+    for prefix in prefixes:
+        if target == prefix or target.startswith(prefix + "."):
+            return prefix
+    return None
+
+
+class _LayerRule(Rule):
+    """One direction of the device/service boundary."""
+
+    def source_packages(self, config: LintConfig) -> tuple[str, ...]:
+        raise NotImplementedError
+
+    def forbidden_packages(self, config: LintConfig) -> tuple[str, ...]:
+        raise NotImplementedError
+
+    message: str = ""
+
+    def check(self, module: ParsedModule, config: LintConfig) -> Iterator[Violation]:
+        if not module.in_package(self.source_packages(config)):
+            return
+        forbidden = self.forbidden_packages(config)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            flagged: set[str] = set()
+            for target in _imported_targets(module, node):
+                hit = _hits(target, forbidden)
+                if hit is not None and hit not in flagged:
+                    flagged.add(hit)
+                    yield self.violation(
+                        module,
+                        node,
+                        self.message.format(module=module.module, target=target),
+                    )
+
+
+class ClientImportsServiceRule(_LayerRule):
+    rule_id = "layer-client-service"
+    description = "device-side code imports the service layer"
+    rationale = (
+        "raw sensed data stays on the device (Section 3); a client importing "
+        "server internals can bypass the sanitized upload protocol"
+    )
+    message = (
+        "device-side module `{module}` imports `{target}`; clients talk to the "
+        "service only through the wire protocol (repro.core.protocol)"
+    )
+
+    def source_packages(self, config: LintConfig) -> tuple[str, ...]:
+        return config.client_packages
+
+    def forbidden_packages(self, config: LintConfig) -> tuple[str, ...]:
+        return config.service_packages
+
+
+class ServiceImportsClientRule(_LayerRule):
+    rule_id = "layer-service-client"
+    description = "service layer imports device-side code"
+    rationale = (
+        "the server must be unable to observe pre-sanitization data; only "
+        "repro.orchestration may wire both sides together"
+    )
+    message = (
+        "service-layer module `{module}` imports `{target}`; move cross-layer "
+        "orchestration into repro.orchestration"
+    )
+
+    def source_packages(self, config: LintConfig) -> tuple[str, ...]:
+        return config.service_packages
+
+    def forbidden_packages(self, config: LintConfig) -> tuple[str, ...]:
+        return config.client_packages

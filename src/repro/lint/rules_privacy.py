@@ -1,0 +1,145 @@
+"""Privacy-taint rules: raw identities never reach an unlinkable sink.
+
+Section 4.2's unlinkability guarantee is structural: the server stores
+per-(user, entity) histories under ``hash(Ru, e)`` and issues upload
+tokens blindly, so nothing it receives can be linked back to a user.  The
+guarantee dies the moment a raw identity (``user_id``, ``device_id``, the
+install secret ``Ru``) is written into an uploaded record or a published
+summary.  These rules make that flow illegal at the AST level:
+
+* ``priv-taint-sink`` — an identity-bearing name may appear inside a call
+  to a sink constructor (``InteractionUpload``, ``OpinionUpload``,
+  ``Envelope``, ``PublishedSummary``) only wrapped in a sanctioned
+  sanitizer (``DeviceIdentity.history_id``, ``record_id``, blind-signature
+  primitives) whose output is unlinkable by construction;
+* ``priv-server-identity`` — service-layer code must not declare
+  identity-bearing parameters or record fields at all.  The two legitimate
+  exceptions (the attributed legacy-review path and the issuance-side
+  ``device_id`` used only for token quotas) carry explicit, justified
+  ``# repro: allow[priv-server-identity]`` suppressions so every identity
+  touchpoint in the server is auditable.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.engine import LintConfig, ParsedModule, Rule, Violation
+
+
+def _last_segment(func: ast.expr) -> str | None:
+    """Trailing name of a call target: ``a.b.C(...)`` → ``C``."""
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+class SinkTaintRule(Rule):
+    rule_id = "priv-taint-sink"
+    description = "identity-bearing value flows into an upload/publication sink"
+    rationale = (
+        "histories are unlinkable only if every record leaving the device is "
+        "keyed by hash(Ru, e); a raw user_id/device_id/secret in a sink payload "
+        "lets the server re-link opinion histories (Section 4.2)"
+    )
+
+    def check(self, module: ParsedModule, config: LintConfig) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            sink = _last_segment(node.func)
+            if sink not in config.sink_names:
+                continue
+            values = list(node.args) + [kw.value for kw in node.keywords]
+            for value in values:
+                yield from self._scan(module, config, sink, value)
+
+    def _scan(
+        self, module: ParsedModule, config: LintConfig, sink: str, node: ast.expr
+    ) -> Iterator[Violation]:
+        if isinstance(node, ast.Call):
+            callee = _last_segment(node.func)
+            if callee in config.sanitizers:
+                return  # sanctioned: the call's output is unlinkable
+            for child in list(node.args) + [kw.value for kw in node.keywords]:
+                yield from self._scan(module, config, sink, child)
+            if isinstance(node.func, ast.Attribute):
+                yield from self._scan(module, config, sink, node.func.value)
+            return
+        tainted: str | None = None
+        if isinstance(node, ast.Name) and node.id in config.identity_names:
+            tainted = node.id
+        elif isinstance(node, ast.Attribute) and node.attr in config.identity_names:
+            tainted = node.attr
+        if tainted is not None:
+            yield self.violation(
+                module,
+                node,
+                f"identity-bearing `{tainted}` flows into `{sink}(...)`; route it "
+                "through a sanctioned sanitizer (e.g. DeviceIdentity.history_id "
+                "or repro.util.hashing.record_id) or drop it from the payload",
+            )
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                yield from self._scan(module, config, sink, child)
+
+
+class ServerIdentityRule(Rule):
+    rule_id = "priv-server-identity"
+    description = "identity-bearing parameter/field declared in the service layer"
+    rationale = (
+        "the server half of Figure 2 must be unable to link histories to users; "
+        "any API that hands it a raw identity is an auditable exception, not a "
+        "convention (suppress with a justification where intended)"
+    )
+
+    def check(self, module: ParsedModule, config: LintConfig) -> Iterator[Violation]:
+        if not module.in_package(config.service_packages):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_signature(module, config, node)
+            elif isinstance(node, ast.ClassDef):
+                yield from self._check_fields(module, config, node)
+
+    def _check_signature(
+        self,
+        module: ParsedModule,
+        config: LintConfig,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> Iterator[Violation]:
+        args = node.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            if arg.arg in config.identity_names:
+                yield self.violation(
+                    module,
+                    arg,
+                    f"service-layer function `{node.name}` takes identity-bearing "
+                    f"parameter `{arg.arg}`; the server must not handle raw "
+                    "identities (or suppress with a stated invariant)",
+                )
+
+    def _check_fields(
+        self, module: ParsedModule, config: LintConfig, node: ast.ClassDef
+    ) -> Iterator[Violation]:
+        for stmt in node.body:
+            target: ast.expr | None = None
+            if isinstance(stmt, ast.AnnAssign):
+                target = stmt.target
+            elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+            if (
+                isinstance(target, ast.Name)
+                and target.id in config.identity_names
+            ):
+                yield self.violation(
+                    module,
+                    target,
+                    f"service-layer record `{node.name}` declares identity-bearing "
+                    f"field `{target.id}`; server-side records must be keyed by "
+                    "hash(Ru, e) identifiers (or suppress with a stated invariant)",
+                )

@@ -37,7 +37,7 @@ import numpy as np
 
 from repro.util.distributions import DiscreteLogNormal
 from repro.util.rng import make_rng
-from repro.measurement.zipcodes import MOST_POPULOUS_ZIPCODES, ZipCode
+from repro.measurement.zipcodes import MOST_POPULOUS_ZIPCODES
 
 #: Yelp's nine queried cuisines (Section 2: "9 popular cuisines").
 YELP_CATEGORIES: tuple[str, ...] = (

@@ -1,6 +1,6 @@
 """Multi-epoch operation: the RSP as a long-running service.
 
-The single-shot pipeline of :mod:`repro.service.pipeline` processes one
+The single-shot pipeline of :mod:`repro.orchestration.pipeline` processes one
 observation window; a deployed RSP runs forever — clients sync
 periodically, token quotas renew daily, inferences firm up as histories
 lengthen, and the server re-runs maintenance on a schedule.  This driver
@@ -22,7 +22,7 @@ from repro.core.classifier import OpinionClassifier
 from repro.privacy.anonymity import AnonymityNetwork, batching_network
 from repro.sensing.policy import duty_cycled_policy
 from repro.sensing.sensors import generate_trace
-from repro.service.pipeline import PipelineConfig, train_classifier
+from repro.orchestration.pipeline import PipelineConfig, train_classifier
 from repro.service.server import MaintenanceReport, RSPServer
 from repro.util.clock import DAY
 from repro.world.behavior import SimulationResult

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.service.pipeline import PipelineOutcome
+from repro.orchestration.pipeline import PipelineOutcome
 from repro.world.behavior import SimulationResult
 from repro.world.population import Town
 

@@ -20,7 +20,7 @@ observe (payload + arrival time + client-chosen tag).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Generic, TypeVar
 
 from repro.util.rng import make_rng

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from repro.privacy.anonymity import AnonymityNetwork
 from repro.privacy.history_store import InteractionUpload
 from repro.privacy.identifiers import DeviceIdentity
-from repro.sensing.resolution import InteractionType, ObservedInteraction
+from repro.sensing.resolution import ObservedInteraction
 from repro.util.clock import DAY, HOUR
 from repro.util.rng import make_rng
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.util.clock import DAY, HOUR, MINUTE
+from repro.util.clock import HOUR, MINUTE
 
 
 @dataclass(frozen=True)

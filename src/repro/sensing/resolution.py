@@ -23,7 +23,7 @@ import enum
 from collections import defaultdict
 from dataclasses import dataclass, field
 
-from repro.sensing.location import StayPoint, StayPointConfig, extract_stay_points
+from repro.sensing.location import StayPointConfig, extract_stay_points
 from repro.sensing.spatial import GridIndex
 from repro.sensing.traces import DeviceTrace
 from repro.world.entities import Entity

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.sensing.policy import SensingPolicy, duty_cycled_policy
 from repro.sensing.traces import CallRecord, DeviceTrace, LocationSample, PaymentRecord
-from repro.util.clock import DAY, MINUTE
+from repro.util.clock import DAY
 from repro.util.rng import make_rng
 from repro.world.behavior import SimulationResult
 from repro.world.events import CallEvent, VisitEvent

@@ -1,42 +1,18 @@
-"""The RSP server and the end-to-end Figure 2 pipeline."""
+"""The RSP server: the service half of Figure 2.
 
-from repro.service.epochs import EpochReport, EpochsOutcome, run_epochs
-from repro.service.evaluation import (
-    CalibrationBin,
-    CoverageDiagnostics,
-    KindAccuracy,
-    abstention_calibration,
-    accuracy_by_kind,
-    coverage_diagnostics,
-)
-from repro.service.pipeline import (
-    PipelineConfig,
-    PipelineOutcome,
-    collect_training_data,
-    run_full_pipeline,
-    train_classifier,
-)
+Only server-side code lives here.  The end-to-end experiment drivers that
+wire the world, the clients, and this server together moved to
+:mod:`repro.orchestration` — the service layer itself never imports client
+or sensing code (``repro lint`` rule ``layer-service-client``).
+"""
+
 from repro.core.protocol import AnonymousRecord, Envelope
 from repro.service.server import ExplicitReview, MaintenanceReport, RSPServer
 
 __all__ = [
     "AnonymousRecord",
-    "CalibrationBin",
-    "CoverageDiagnostics",
-    "EpochReport",
-    "EpochsOutcome",
-    "KindAccuracy",
-    "abstention_calibration",
-    "accuracy_by_kind",
-    "coverage_diagnostics",
-    "run_epochs",
     "Envelope",
     "ExplicitReview",
     "MaintenanceReport",
-    "PipelineConfig",
-    "PipelineOutcome",
     "RSPServer",
-    "collect_training_data",
-    "run_full_pipeline",
-    "train_classifier",
 ]

@@ -32,7 +32,9 @@ from repro.world.entities import Entity
 class ExplicitReview:
     """A review posted under a user account, like on today's services."""
 
-    user_id: str
+    # The legacy path is attributed *by design*: users post these under
+    # their account exactly as on today's services (Section 2 baseline).
+    user_id: str  # repro: allow[priv-server-identity]
     entity_id: str
     rating: int
     time: float
@@ -92,7 +94,9 @@ class RSPServer:
 
     def issue_tokens(
         self,
-        device_id: str,
+        # Issuance-side identity only: the signature is blind, so the token
+        # redeemed later cannot be linked back to this device_id (Section 4.2).
+        device_id: str,  # repro: allow[priv-server-identity]
         blinded_values: list[int],
         now: float,
         quote: AttestationQuote | None = None,
@@ -112,7 +116,15 @@ class RSPServer:
                 )
         return self.issuer.issue(device_id, blinded_values, now=now)
 
-    def post_review(self, user_id: str, entity_id: str, rating: int, time: float) -> None:
+    def post_review(
+        self,
+        # Explicit reviews are the attributed legacy path (Section 2 baseline);
+        # they never mix with the anonymous hash(Ru, e) stores.
+        user_id: str,  # repro: allow[priv-server-identity]
+        entity_id: str,
+        rating: int,
+        time: float,
+    ) -> None:
         """Accept an explicit, attributed review (the legacy path)."""
         if entity_id not in self.catalog:
             raise KeyError(f"unknown entity {entity_id!r}")

@@ -27,10 +27,29 @@ def _effectively_constant(array: np.ndarray) -> bool:
     ``np.std`` of identical floats can come out as a tiny nonzero value
     (mean round-off); correlating against that residue amplifies noise
     into a garbage coefficient, so anything within a few ulps of constant
-    counts as constant.
+    counts as constant.  The threshold is relative to the sample's own
+    magnitude: tiny-but-genuine spread in denormal-scale data is signal,
+    while rounding residue sits ~1e-16 of the magnitude, far below 1e-12.
     """
-    scale = np.max(np.abs(array))
-    return float(np.std(array)) <= 1e-12 * (scale + 1.0)
+    scale = float(np.max(np.abs(array)))
+    if scale == 0.0:
+        return True
+    # Divide *before* np.std: squared deviations of denormal-scale data
+    # underflow to zero, which would misread genuine spread as constant.
+    return float(np.std(array / scale)) <= 1e-12
+
+
+def _standardized(array: np.ndarray) -> np.ndarray:
+    """Center and rescale to O(1) without changing the correlation.
+
+    Pearson is invariant under affine maps, but ``corrcoef`` on raw
+    denormal-scale data underflows (squared deviations of ~1e-268 round
+    to zero), silently zeroing a genuine correlation.  Dividing by the
+    largest absolute deviation puts every product in comfortable range.
+    """
+    centered = array - float(np.mean(array))
+    spread = float(np.max(np.abs(centered)))
+    return centered / spread
 
 
 @dataclass(frozen=True)
@@ -132,7 +151,7 @@ def pearson(xs: Sequence[float] | np.ndarray, ys: Sequence[float] | np.ndarray) 
         return 0.0
     if _effectively_constant(x) or _effectively_constant(y):
         return 0.0
-    return float(np.corrcoef(x, y)[0, 1])
+    return float(np.corrcoef(_standardized(x), _standardized(y))[0, 1])
 
 
 def spearman(xs: Sequence[float] | np.ndarray, ys: Sequence[float] | np.ndarray) -> float:

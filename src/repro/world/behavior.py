@@ -35,7 +35,7 @@ import numpy as np
 
 from repro.util.clock import DAY, HOUR, MINUTE
 from repro.util.rng import make_rng
-from repro.world.entities import Entity, EntityKind, InteractionStyle
+from repro.world.entities import Entity, InteractionStyle
 from repro.world.events import CallEvent, Event, GroundTruthOpinion, VisitEvent
 from repro.world.geography import Point
 from repro.world.users import User

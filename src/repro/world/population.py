@@ -19,7 +19,7 @@ from repro.world.entities import (
     EntityKind,
     make_phone_number,
 )
-from repro.world.geography import CityGrid, Point
+from repro.world.geography import CityGrid
 from repro.world.users import User, sample_user
 
 

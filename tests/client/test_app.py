@@ -9,10 +9,9 @@ from repro.privacy.history_store import InteractionUpload
 from repro.privacy.tokens import TokenIssuer
 from repro.sensing.policy import duty_cycled_policy
 from repro.sensing.sensors import generate_trace
-from repro.service.pipeline import train_classifier
+from repro.orchestration.pipeline import train_classifier
 from repro.util.clock import DAY
 from repro.world.behavior import BehaviorConfig, BehaviorSimulator
-from repro.world.events import VisitEvent
 from repro.world.population import TownConfig, build_town
 
 
@@ -151,7 +150,7 @@ class TestSync:
 class TestPersonalizedSearch:
     def test_personalize_reranks_with_own_opinions(self, setting):
         from repro.core.discovery import Query
-        from repro.service.pipeline import PipelineConfig, run_full_pipeline
+        from repro.orchestration.pipeline import PipelineConfig, run_full_pipeline
 
         town, result, horizon, classifier = setting
         config = PipelineConfig(horizon_days=horizon / (24 * 3600.0), seed=12)

@@ -1,6 +1,5 @@
 """Tests for aggregation (group deflation), visualizations, and discovery."""
 
-import numpy as np
 import pytest
 
 from repro.core.aggregation import (
@@ -17,7 +16,7 @@ from repro.core.visualization import (
 )
 from repro.privacy.history_store import HistoryStore, InteractionUpload
 from repro.privacy.identifiers import DeviceIdentity
-from repro.util.clock import DAY, HOUR
+from repro.util.clock import DAY
 from repro.world.entities import Entity, EntityKind
 from repro.world.geography import Point
 

@@ -1,6 +1,5 @@
 """Tests for the effort/exploration/choice-set feature extraction."""
 
-import numpy as np
 import pytest
 
 from repro.core.features import (

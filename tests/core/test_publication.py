@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.aggregation import EntityOpinionSummary
 from repro.core.publication import (
-    DifferencingReport,
     PublicationPolicy,
     coarsened_policy,
     differencing_attack,

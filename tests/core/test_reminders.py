@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.reminders import ReminderOutcome, ReminderPolicy, simulate_reminders
+from repro.core.reminders import ReminderPolicy, simulate_reminders
 from repro.util.clock import DAY
 
 

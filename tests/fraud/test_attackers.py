@@ -11,7 +11,6 @@ from repro.fraud.attackers import (
 )
 from repro.fraud.detector import FraudDetector
 from repro.fraud.profiles import build_profiles
-from repro.privacy.history_store import HistoryStore, InteractionUpload
 from repro.privacy.identifiers import DeviceIdentity
 from repro.util.clock import DAY
 

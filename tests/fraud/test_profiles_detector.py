@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.fraud.detector import DetectorConfig, FraudDetector, FraudFlag
-from repro.fraud.profiles import FeatureBand, TypicalProfile, build_profiles, profile_from_histories
+from repro.fraud.profiles import FeatureBand, build_profiles, profile_from_histories
 from repro.privacy.history_store import HistoryStore, InteractionUpload
 from repro.privacy.identifiers import DeviceIdentity
 from repro.util.clock import DAY, HOUR

@@ -6,14 +6,13 @@ down graceful degradation: no crashes, no corrupted state, coverage that
 shrinks roughly in proportion to the loss.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.protocol import Envelope
-from repro.privacy.anonymity import AnonymityNetwork, Delivery, batching_network
-from repro.service.pipeline import PipelineConfig, run_full_pipeline
+from repro.privacy.anonymity import AnonymityNetwork, Delivery
+from repro.orchestration.pipeline import PipelineConfig, run_full_pipeline
 from repro.service.server import RSPServer
 from repro.world.behavior import BehaviorConfig, BehaviorSimulator
 from repro.world.population import TownConfig, build_town
@@ -56,7 +55,7 @@ class TestLossyNetwork:
 
         clean = run_full_pipeline(town, result, config)
 
-        import repro.service.pipeline as pipeline_module
+        import repro.orchestration.pipeline as pipeline_module
         original = pipeline_module.batching_network
         try:
             pipeline_module.batching_network = (

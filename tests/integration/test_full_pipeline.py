@@ -9,7 +9,7 @@ import numpy as np
 import pytest
 
 from repro.core.discovery import Query
-from repro.service.pipeline import PipelineConfig, run_full_pipeline, train_classifier
+from repro.orchestration.pipeline import PipelineConfig, run_full_pipeline, train_classifier
 from repro.util.clock import DAY
 from repro.world.behavior import BehaviorConfig, BehaviorSimulator
 from repro.world.population import TownConfig, build_town

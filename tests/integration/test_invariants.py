@@ -4,9 +4,7 @@ Each property here is one the whole design leans on; hypothesis drives the
 inputs so the invariants hold off the happy path too.
 """
 
-import numpy as np
-import pytest
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.aggregation import (

@@ -15,7 +15,7 @@ from repro.privacy.anonymity import batching_network
 from repro.privacy.tokens import TokenIssuer
 from repro.sensing.policy import duty_cycled_policy
 from repro.sensing.sensors import generate_trace
-from repro.service.pipeline import train_classifier
+from repro.orchestration.pipeline import train_classifier
 from repro.util.clock import DAY
 from repro.world.behavior import BehaviorConfig, BehaviorSimulator
 from repro.world.population import TownConfig, build_town

@@ -1,0 +1,32 @@
+"""Shared helpers for the lint suite."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import Analyzer, default_rules
+from repro.lint.engine import LintResult
+
+FIXTURE_ROOT = Path(__file__).parent / "fixtures" / "proj" / "repro"
+
+
+@pytest.fixture
+def fixture_root() -> Path:
+    return FIXTURE_ROOT
+
+
+@pytest.fixture
+def lint_paths():
+    """Run the full default rule set over fixture-relative paths."""
+
+    def run(*relative: str) -> LintResult:
+        paths = [FIXTURE_ROOT / rel for rel in relative]
+        for path in paths:
+            assert path.exists(), f"missing fixture {path}"
+        return Analyzer(default_rules()).run(paths)
+
+    return run
+
+
+def rule_ids(result: LintResult) -> list[str]:
+    return [violation.rule_id for violation in result.sorted_violations()]

@@ -1,0 +1,7 @@
+"""Fixture: device-side code importing server internals (layer-client-service)."""
+
+from repro.service.server import RSPServer
+
+
+def shortcut(server: RSPServer):
+    return server.history_store

@@ -1,0 +1,14 @@
+"""Fixture: raw identity leaked into an upload payload (priv-taint-sink)."""
+
+from repro.privacy.history_store import InteractionUpload
+
+
+def leak(user_id, entity_id, t):
+    return InteractionUpload(
+        history_id=user_id,
+        entity_id=entity_id,
+        interaction_type="visit",
+        event_time=t,
+        duration=600.0,
+        travel_km=1.0,
+    )

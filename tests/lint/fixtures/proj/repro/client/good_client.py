@@ -1,0 +1,7 @@
+"""Fixture: a client that talks to the service only via the wire protocol."""
+
+from repro.core.protocol import Envelope
+
+
+def stage(record, token):
+    return Envelope(record=record, token=token)

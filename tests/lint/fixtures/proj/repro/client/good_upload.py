@@ -1,0 +1,14 @@
+"""Fixture: identity sanitized through hash(Ru, e) before upload."""
+
+from repro.privacy.history_store import InteractionUpload
+
+
+def sanitize(identity, entity_id, t):
+    return InteractionUpload(
+        history_id=identity.history_id(entity_id),
+        entity_id=entity_id,
+        interaction_type="visit",
+        event_time=t,
+        duration=600.0,
+        travel_km=1.0,
+    )

@@ -1,0 +1,12 @@
+"""Fixture: service layer reaching into device code and handling identities
+(layer-service-client + priv-server-identity)."""
+
+from repro.sensing.sensors import generate_trace
+
+
+def rebuild_profile(user_id, town):
+    return generate_trace(user_id, town, None, 0.0, None)
+
+
+class AccountRecord:
+    user_id: str

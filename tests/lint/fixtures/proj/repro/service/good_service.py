@@ -1,0 +1,8 @@
+"""Fixture: server-side code staying inside its layer."""
+
+from repro.core.protocol import Envelope
+from repro.privacy.history_store import HistoryStore
+
+
+def ingest(store: HistoryStore, envelope: Envelope, arrival_time: float):
+    return store.append(envelope.record, arrival_time=arrival_time)

@@ -1,0 +1,10 @@
+"""Fixture: the same violations waived by inline and file-level suppressions."""
+
+# repro: allow-file[layer-service-client] — fixture: whole-file waiver
+
+from repro.sensing.sensors import generate_trace
+from repro.client.app import RSPClient
+
+
+def issue(device_id):  # repro: allow[priv-server-identity] — fixture
+    return (device_id, generate_trace, RSPClient)

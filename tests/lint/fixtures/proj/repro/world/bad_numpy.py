@@ -1,0 +1,12 @@
+"""Fixture: direct numpy.random usage in a world module (det-numpy-random)."""
+
+import numpy as np
+
+
+def draw_visits(n):
+    rng = np.random.default_rng()
+    return rng.integers(0, 10, size=n)
+
+
+def legacy_draw(n):
+    return np.random.rand(n)

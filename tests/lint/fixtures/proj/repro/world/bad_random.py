@@ -1,0 +1,7 @@
+"""Fixture: bare stdlib random in a world module (det-random-module)."""
+
+import random
+
+
+def sample_need():
+    return random.random()

@@ -1,0 +1,12 @@
+"""Fixture: wall-clock reads in a world module (det-wall-clock)."""
+
+import time
+from datetime import datetime
+
+
+def stamp_event():
+    return time.time()
+
+
+def stamp_day():
+    return datetime.now().date()

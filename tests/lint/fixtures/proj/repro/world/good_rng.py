@@ -1,0 +1,17 @@
+"""Fixture: determinism done right — seeded Generators via repro.util.rng."""
+
+import numpy as np
+
+from repro.util.rng import make_rng
+
+
+def draw_visits(seed: int, n: int):
+    rng = make_rng(seed, "world/visits")
+    return rng.integers(0, 10, size=n)
+
+
+def consume(rng: np.random.Generator) -> float:
+    # Annotations and isinstance checks against np.random.Generator are
+    # fine; only *calls* into numpy.random are forbidden.
+    assert isinstance(rng, np.random.Generator)
+    return float(rng.uniform())

@@ -1,0 +1,7 @@
+"""Fixture: a justified inline suppression silences det-random-module."""
+
+import random  # repro: allow[det-random-module] — fixture: invariant stated here
+
+
+def sample_need():
+    return random.random()  # repro: allow[det-random-module] — fixture

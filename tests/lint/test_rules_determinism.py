@@ -1,0 +1,62 @@
+"""Determinism rule family: one failing and one passing case per rule."""
+
+from repro.lint import Analyzer, default_rules
+from repro.lint.engine import LintConfig
+
+from tests.lint.conftest import rule_ids
+
+
+class TestRandomModule:
+    def test_flags_import_and_call(self, lint_paths):
+        result = lint_paths("world/bad_random.py")
+        ids = rule_ids(result)
+        assert ids.count("det-random-module") == 2  # the import and the call
+        lines = sorted(v.line for v in result.violations)
+        assert lines == [3, 7]
+
+    def test_allowed_module_is_exempt(self, fixture_root, tmp_path):
+        # The same source is legal when it *is* the sanctioned rng module.
+        source = (fixture_root / "world" / "bad_random.py").read_text()
+        exempt = tmp_path / "rng.py"
+        exempt.write_text(source)
+        config = LintConfig(rng_modules=frozenset({"rng"}))
+        result = Analyzer(default_rules(), config).run([exempt])
+        assert "det-random-module" not in rule_ids(result)
+
+
+class TestWallClock:
+    def test_flags_time_and_datetime_reads(self, lint_paths):
+        result = lint_paths("world/bad_wall_clock.py")
+        ids = rule_ids(result)
+        assert ids.count("det-wall-clock") == 2
+        messages = " ".join(v.message for v in result.violations)
+        assert "time.time" in messages
+        assert "datetime.datetime.now" in messages
+
+    def test_simulated_clock_module_is_exempt(self, fixture_root, tmp_path):
+        source = (fixture_root / "world" / "bad_wall_clock.py").read_text()
+        exempt = tmp_path / "clock.py"
+        exempt.write_text(source)
+        config = LintConfig(clock_modules=frozenset({"clock"}))
+        result = Analyzer(default_rules(), config).run([exempt])
+        assert "det-wall-clock" not in rule_ids(result)
+
+
+class TestNumpyRandom:
+    def test_flags_unseeded_default_rng_and_legacy_api(self, lint_paths):
+        result = lint_paths("world/bad_numpy.py")
+        ids = rule_ids(result)
+        assert ids.count("det-numpy-random") == 2
+        messages = " ".join(v.message for v in result.violations)
+        assert "numpy.random.default_rng" in messages
+        assert "numpy.random.rand" in messages
+
+    def test_seeded_generators_via_util_rng_pass(self, lint_paths):
+        result = lint_paths("world/good_rng.py")
+        assert result.ok
+
+    def test_generator_annotations_are_not_calls(self, lint_paths):
+        # good_rng.py uses np.random.Generator in annotations and
+        # isinstance checks; neither may trip the rule.
+        result = lint_paths("world/good_rng.py")
+        assert "det-numpy-random" not in rule_ids(result)

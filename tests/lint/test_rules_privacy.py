@@ -1,0 +1,45 @@
+"""Privacy rule family: taint into sinks, identity in the service layer."""
+
+from tests.lint.conftest import rule_ids
+
+
+class TestSinkTaint:
+    def test_raw_identity_into_upload_payload_is_flagged(self, lint_paths):
+        result = lint_paths("client/bad_upload.py")
+        assert rule_ids(result) == ["priv-taint-sink"]
+        [violation] = result.violations
+        assert "`user_id`" in violation.message
+        assert "InteractionUpload" in violation.message
+        assert violation.line == 8  # the history_id=user_id keyword
+
+    def test_sanitized_identity_passes(self, lint_paths):
+        result = lint_paths("client/good_upload.py")
+        assert result.ok
+
+    def test_wire_protocol_envelope_without_identity_passes(self, lint_paths):
+        result = lint_paths("client/good_client.py")
+        assert result.ok
+
+
+class TestServerIdentity:
+    def test_identity_parameter_and_field_in_service_layer(self, lint_paths):
+        result = lint_paths("service/bad_service.py")
+        ids = rule_ids(result)
+        assert ids.count("priv-server-identity") == 2  # def param + class field
+        messages = [
+            v.message
+            for v in result.violations
+            if v.rule_id == "priv-server-identity"
+        ]
+        assert any("rebuild_profile" in m for m in messages)
+        assert any("AccountRecord" in m for m in messages)
+
+    def test_rule_only_applies_to_service_packages(self, lint_paths):
+        # The same identifier spellings on the client side are fine: the
+        # device is *supposed* to know who its user is.
+        result = lint_paths("client/bad_upload.py")
+        assert "priv-server-identity" not in rule_ids(result)
+
+    def test_server_side_code_without_identities_passes(self, lint_paths):
+        result = lint_paths("service/good_service.py")
+        assert result.ok

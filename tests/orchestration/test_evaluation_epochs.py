@@ -1,17 +1,15 @@
 """Tests for the evaluation diagnostics and multi-epoch operation."""
 
-import math
 
-import numpy as np
 import pytest
 
-from repro.service.epochs import run_epochs
-from repro.service.evaluation import (
+from repro.orchestration.epochs import run_epochs
+from repro.orchestration.evaluation import (
     abstention_calibration,
     accuracy_by_kind,
     coverage_diagnostics,
 )
-from repro.service.pipeline import PipelineConfig, run_full_pipeline
+from repro.orchestration.pipeline import PipelineConfig, run_full_pipeline
 from repro.world.behavior import BehaviorConfig, BehaviorSimulator
 from repro.world.population import TownConfig, build_town
 

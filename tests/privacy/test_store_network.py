@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 from repro.privacy.anonymity import AnonymityNetwork, batching_network, immediate_network
 from repro.privacy.history_store import HistoryStore, InteractionUpload
 from repro.privacy.tokens import TokenIssuer, TokenRedeemer, TokenWallet
-from repro.util.clock import DAY, HOUR
+from repro.util.clock import HOUR
 
 
 def upload(history_id="h1", entity_id="e1", t=0.0, duration=600.0, travel=1.0):

@@ -8,9 +8,8 @@ from repro.sensing.resolution import (
     EntityResolver,
     InteractionType,
     ObservedInteraction,
-    ResolverConfig,
 )
-from repro.sensing.sensors import TraceConfig, generate_trace, generate_traces
+from repro.sensing.sensors import generate_trace, generate_traces
 from repro.util.clock import DAY, HOUR
 from repro.world.behavior import BehaviorConfig, BehaviorSimulator
 from repro.world.events import CallEvent, VisitEvent

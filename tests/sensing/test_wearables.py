@@ -1,6 +1,5 @@
 """Tests for the wearable emotion channel (Section 3.1 extension)."""
 
-import numpy as np
 import pytest
 
 from repro.sensing.wearables import (

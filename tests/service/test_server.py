@@ -11,7 +11,6 @@ from repro.privacy.identifiers import DeviceIdentity
 from repro.privacy.tokens import TokenWallet, UploadToken
 from repro.service.server import RSPServer
 from repro.util.clock import DAY
-from repro.world.geography import Point
 from repro.world.population import TownConfig, build_town
 
 

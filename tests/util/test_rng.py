@@ -1,7 +1,6 @@
 """Tests for repro.util.rng: determinism and stream independence."""
 
 import numpy as np
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

@@ -6,7 +6,7 @@ import pytest
 from repro.util.clock import DAY
 from repro.util.stats import pearson
 from repro.world.behavior import BehaviorConfig, BehaviorSimulator, PostedReview
-from repro.world.entities import Entity, EntityKind, make_phone_number
+from repro.world.entities import Entity, EntityKind
 from repro.world.events import CallEvent, VisitEvent
 from repro.world.geography import Point
 from repro.world.population import TownConfig, build_town

@@ -4,14 +4,13 @@ The simulator feeds everything downstream, so its invariants must hold for
 *any* sane configuration, not just the defaults the other tests use.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.util.clock import DAY
 from repro.world.behavior import BehaviorConfig, BehaviorSimulator
-from repro.world.events import CallEvent, VisitEvent
+from repro.world.events import VisitEvent
 from repro.world.population import TownConfig, build_town
 
 

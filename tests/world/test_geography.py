@@ -1,6 +1,5 @@
 """Tests for repro.world.geography."""
 
-import math
 
 import pytest
 from hypothesis import given, settings

@@ -6,8 +6,7 @@ import numpy as np
 import pytest
 
 from repro.util.stats import pearson
-from repro.world.entities import EntityKind
-from repro.world.population import Town, TownConfig, build_town
+from repro.world.population import TownConfig, build_town
 from repro.world.scenarios import (
     DENTIST_A,
     DENTIST_B,

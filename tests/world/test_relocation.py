@@ -1,7 +1,6 @@
 """Tests for the relocation confounder (Section 4.1)."""
 
 import numpy as np
-import pytest
 
 from repro.util.clock import DAY
 from repro.world.behavior import BehaviorConfig, BehaviorSimulator

@@ -1,6 +1,5 @@
 """Tests for diurnal/weekday event scheduling."""
 
-import numpy as np
 import pytest
 
 from repro.util.clock import DAY, HOUR
