@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check lint ruff test bench
+.PHONY: check lint ruff test bench chaos
 
 check:
 	bash scripts/check.sh
@@ -19,3 +19,9 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+# Fault-matrix suite: the upload pipeline under scripted drops, outages,
+# crashes, and skew (tests/faults), plus the containment lint rule.
+chaos:
+	$(PYTHON) -m repro.lint src/repro --select faults-only-in-harness
+	$(PYTHON) -m pytest tests/faults -q

@@ -102,24 +102,77 @@ def _cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_fault_plan(args: argparse.Namespace, horizon: float, epoch_length: float):
+    """Translate the chaos flags into a FaultPlan (None when all are off)."""
+    from repro.faults import (
+        ClientCrash,
+        DropFault,
+        FaultPlan,
+        IssuerOutage,
+        ServerOutage,
+        Window,
+    )
+
+    drops = ()
+    if args.drop > 0:
+        drops = (DropFault(Window(0.0, horizon + 30 * 24 * 3600.0), args.drop),)
+    server_outages = ()
+    if args.server_outage_epoch is not None:
+        e = args.server_outage_epoch
+        # Cover the epoch's ingestion point too (epoch end + 2 days).
+        server_outages = (
+            ServerOutage(Window((e - 1) * epoch_length, e * epoch_length + 3 * 24 * 3600.0)),
+        )
+    issuer_outages = ()
+    if args.issuer_outage_epoch is not None:
+        e = args.issuer_outage_epoch
+        issuer_outages = (IssuerOutage(Window((e - 1) * epoch_length, e * epoch_length)),)
+    crashes = ()
+    if args.crash_epoch is not None:
+        crashes = (ClientCrash(time=(args.crash_epoch - 0.5) * epoch_length),)
+    plan = FaultPlan(
+        seed=args.fault_seed,
+        drops=drops,
+        server_outages=server_outages,
+        issuer_outages=issuer_outages,
+        crashes=crashes,
+    )
+    return None if plan.is_empty else plan
+
+
 def _cmd_epochs(args: argparse.Namespace) -> int:
     from repro.orchestration.epochs import run_epochs
     from repro.orchestration.pipeline import PipelineConfig
+    from repro.privacy.uploads import RetransmitPolicy
 
     town, result = _build_world(args)
+    horizon = args.days * 24 * 3600.0
+    plan = _build_fault_plan(args, horizon, horizon / args.epochs)
+    retransmit = RetransmitPolicy(max_attempts=args.retransmit) if args.retransmit > 1 else None
     outcome = run_epochs(
         town,
         result,
-        PipelineConfig(horizon_days=float(args.days), seed=args.seed),
+        PipelineConfig(horizon_days=float(args.days), seed=args.seed, retransmit=retransmit),
         n_epochs=args.epochs,
+        fault_plan=plan,
     )
+    if plan is not None:
+        print(f"fault injection: {plan.describe()}")
     print(f"{'epoch':>5} {'new records':>12} {'total':>7} "
-          f"{'histories':>10} {'opinions':>9} {'rejected':>9}")
+          f"{'histories':>10} {'opinions':>9} {'rejected':>9} "
+          f"{'dropped':>8} {'bounced':>8} {'dup-sup':>8} {'resent':>7}")
     for report in outcome.reports:
+        rejected_histories = (
+            f"{report.maintenance.n_rejected_histories:>9}"
+            if report.maintenance is not None
+            else f"{'deferred':>9}"
+        )
         print(
             f"{report.epoch:>5} {report.new_records:>12} {report.total_records:>7} "
             f"{report.total_histories:>10} {report.n_opinions:>9} "
-            f"{report.maintenance.n_rejected_histories:>9}"
+            f"{rejected_histories} "
+            f"{report.dropped_messages:>8} {report.rejected_envelopes:>8} "
+            f"{report.duplicates_suppressed:>8} {report.retransmissions:>7}"
         )
     return 0
 
@@ -299,6 +352,26 @@ def build_parser() -> argparse.ArgumentParser:
     epochs = sub.add_parser("epochs", help="operate the service over periodic syncs")
     add_world_args(epochs)
     epochs.add_argument("--epochs", type=int, default=6, help="number of sync epochs")
+    epochs.add_argument(
+        "--drop", type=float, default=0.0, help="injected network drop rate [0, 1]"
+    )
+    epochs.add_argument(
+        "--server-outage-epoch", type=int, default=None,
+        help="epoch (1-based) during which the upload endpoint is down",
+    )
+    epochs.add_argument(
+        "--issuer-outage-epoch", type=int, default=None,
+        help="epoch (1-based) during which the token issuer is down",
+    )
+    epochs.add_argument(
+        "--crash-epoch", type=int, default=None,
+        help="epoch (1-based) mid-way through which every client crashes and restores",
+    )
+    epochs.add_argument(
+        "--retransmit", type=int, default=1,
+        help="max send attempts per record (1 = fire-and-forget once)",
+    )
+    epochs.add_argument("--fault-seed", type=int, default=0, help="fault-plan seed")
     epochs.set_defaults(func=_cmd_epochs)
 
     figure3 = sub.add_parser("figure3", help="the three-dentist scenario")

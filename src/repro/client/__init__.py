@@ -1,6 +1,6 @@
 """The RSP's smartphone app: perception, inference, transparency, sharing."""
 
-from repro.client.app import ClientStats, RSPClient, infer_home
+from repro.client.app import ClientStats, PendingRecord, RSPClient, infer_home
 from repro.client.os_broker import (
     AuditEvent,
     EgressViolation,
@@ -25,6 +25,7 @@ __all__ = [
     "InferenceEntry",
     "InferenceStatus",
     "LocalSnapshot",
+    "PendingRecord",
     "RSPClient",
     "TransparencyLog",
     "infer_home",

@@ -24,16 +24,30 @@ from repro.core.classifier import OpinionClassifier
 from repro.core.features import extract_all_features
 from repro.core.personalization import PersonalizationWeights, PersonalizedResult, personalize
 from repro.client.snapshot import LocalSnapshot
-from repro.client.transparency import InferenceStatus, TransparencyLog
+from repro.client.transparency import InferenceEntry, InferenceStatus, TransparencyLog
 from repro.privacy.anonymity import AnonymityNetwork
+from repro.privacy.blindsig import BlindingResult
+from repro.privacy.history_store import InteractionUpload
 from repro.privacy.identifiers import DeviceIdentity
-from repro.privacy.tokens import QuotaExceeded, TokenIssuer, TokenWallet
-from repro.privacy.uploads import UploadConfig, UploadScheduler, hardened_config
+from repro.privacy.tokens import (
+    IssuerUnavailable,
+    QuotaExceeded,
+    TokenIssuer,
+    TokenWallet,
+    UploadToken,
+)
+from repro.privacy.uploads import (
+    RetransmitPolicy,
+    UploadConfig,
+    UploadScheduler,
+    hardened_config,
+)
 from repro.sensing.location import extract_stay_points
 from repro.sensing.resolution import EntityResolver, ObservedInteraction
 from repro.sensing.traces import DeviceTrace
-from repro.core.protocol import Envelope
+from repro.core.protocol import AnonymousRecord, Envelope
 from repro.util.clock import DAY
+from repro.util.rng import make_rng
 from repro.world.entities import Entity
 from repro.world.geography import Point
 
@@ -67,6 +81,29 @@ class ClientStats:
     envelopes_submitted: int = 0
     envelopes_deferred: int = 0
     snapshot_purged: int = 0
+    #: Re-sends of already-submitted records (fresh envelope, same nonce).
+    retransmissions: int = 0
+    #: Token-issuance attempts that hit an issuer outage and backed off.
+    issuer_retries: int = 0
+    #: Issuance requests abandoned after exhausting the backoff schedule.
+    issuer_failures: int = 0
+
+
+@dataclass
+class PendingRecord:
+    """One record queued for (re-)upload.
+
+    The ``nonce`` is fixed at staging time and reused by every attempt —
+    it is the server's idempotency key.  Everything *around* the record
+    (token, channel tag, delay) is fresh per attempt, so retries stay
+    unlinkable.
+    """
+
+    record: AnonymousRecord
+    base_time: float
+    nonce: bytes
+    attempts: int = 0
+    last_attempt_time: float | None = None
 
 
 class RSPClient:
@@ -80,7 +117,9 @@ class RSPClient:
         seed: int = 0,
         upload_config: UploadConfig | None = None,
         snapshot_retention: float = 30 * DAY,
+        retransmit: RetransmitPolicy | None = None,
     ) -> None:
+        self._seed = seed
         self.identity = DeviceIdentity.create(device_id, seed=seed)
         self.catalog = {entity.entity_id: entity for entity in catalog}
         self.classifier = classifier
@@ -92,8 +131,12 @@ class RSPClient:
         self.snapshot = LocalSnapshot(retention=snapshot_retention)
         self.transparency = TransparencyLog()
         self.stats = ClientStats()
+        #: ``None`` sends each record exactly once (the seed behaviour);
+        #: a policy enables bounded re-sending under the same nonce.
+        self.retransmit = retransmit
+        self._nonce_rng = make_rng(seed, f"client-nonce/{device_id}")
         self._interactions: list[ObservedInteraction] = []
-        self._pending: list[tuple[Envelope, float]] = []  # (envelope, base_time)
+        self._pending: list[PendingRecord] = []
         #: Interactions already staged for upload, so repeated observation
         #: windows (periodic syncs) never double-upload a record.
         self._staged_interactions: set[tuple[str, float]] = set()
@@ -139,6 +182,14 @@ class RSPClient:
         self._stage_envelopes(features)
         return interactions
 
+    def _fresh_nonce(self) -> bytes:
+        return bytes(self._nonce_rng.bytes(16))
+
+    def _stage(self, record: AnonymousRecord, base_time: float) -> None:
+        self._pending.append(
+            PendingRecord(record=record, base_time=base_time, nonce=self._fresh_nonce())
+        )
+
     def _stage_envelopes(self, features) -> None:
         by_entity: dict[str, list[ObservedInteraction]] = {}
         for interaction in self._interactions:
@@ -154,71 +205,271 @@ class RSPClient:
                     continue
                 self._staged_interactions.add(key)
                 upload = self.scheduler.build_upload(interaction)
-                self._pending.append(
-                    (
-                        Envelope(record=upload, token=None),
-                        interaction.time + interaction.duration,
-                    )
-                )
+                self._stage(upload, interaction.time + interaction.duration)
             rating = entry.effective_rating if entry is not None else None
             if rating is not None and self._staged_opinions.get(entity_id) != rating:
                 self._staged_opinions[entity_id] = rating
                 last = max(i.time + i.duration for i in own)
-                self._pending.append(
-                    (
-                        Envelope(
-                            record=OpinionUpload(
-                                history_id=self.identity.history_id(entity_id),
-                                entity_id=entity_id,
-                                rating=rating,
-                            ),
-                            token=None,
-                        ),
-                        last,
-                    )
+                self._stage(
+                    OpinionUpload(
+                        history_id=self.identity.history_id(entity_id),
+                        entity_id=entity_id,
+                        rating=rating,
+                    ),
+                    last,
                 )
 
     # --------------------------------------------------------------- share
 
+    #: Deterministic backoff offsets (seconds of simulated time) between
+    #: token-issuance attempts when the issuer is down.
+    ISSUANCE_BACKOFF: tuple[float, ...] = (300.0, 1800.0, 7200.0)
+
     def acquire_tokens(self, issuer: TokenIssuer, count: int, now: float) -> int:
-        """Get up to ``count`` tokens, respecting the issuer's quota."""
+        """Get up to ``count`` tokens, respecting the issuer's quota.
+
+        Issuance is the one attributed, ack-bearing exchange in the
+        protocol, so failures here are observable and retried: an
+        :class:`IssuerUnavailable` outage backs off along
+        :data:`ISSUANCE_BACKOFF` before giving up for this sync.  Either
+        way a failed issuance rolls its blinded candidates back out of the
+        wallet — leaving them pending would desynchronize the FIFO
+        blinding/signature pairing and poison every later issuance.
+        """
         allowed = min(count, issuer.remaining_quota(self.identity.device_id, now))
         if allowed <= 0:
             return 0
         blinded = self.wallet.mint(issuer.public_key, allowed)
-        try:
-            signatures = issuer.issue(self.identity.device_id, blinded, now=now)
-        except QuotaExceeded:
-            return 0
-        self.wallet.accept_signatures(issuer.public_key, signatures)
-        return allowed
+        attempt_time = now
+        for backoff in (0.0,) + self.ISSUANCE_BACKOFF:
+            attempt_time += backoff
+            try:
+                signatures = issuer.issue(
+                    self.identity.device_id, blinded, now=attempt_time
+                )
+            except QuotaExceeded:
+                self.wallet.discard_pending(blinded)
+                return 0
+            except IssuerUnavailable:
+                self.stats.issuer_retries += 1
+                continue
+            self.wallet.accept_signatures(issuer.public_key, signatures)
+            return allowed
+        self.wallet.discard_pending(blinded)
+        self.stats.issuer_failures += 1
+        return 0
+
+    def _submit_pending(
+        self, pending: PendingRecord, network: AnonymityNetwork, base_time: float
+    ) -> None:
+        stamped = Envelope(
+            record=pending.record, token=self.wallet.spend(), nonce=pending.nonce
+        )
+        self.scheduler.submit_payload(stamped, base_time, network)
+        pending.attempts += 1
+        pending.last_attempt_time = base_time
 
     def sync(self, network: AnonymityNetwork, issuer: TokenIssuer, now: float) -> int:
-        """Attach tokens to pending envelopes and submit what quota allows.
+        """Attach tokens to pending records and submit what quota allows.
 
-        Envelopes beyond today's token quota stay queued for the next sync
-        — rate limiting throttles, it never drops.
+        Records beyond today's token quota stay queued for the next sync —
+        rate limiting throttles, it never drops.  First-time sends go out
+        before retransmissions; with a :class:`RetransmitPolicy` installed,
+        already-sent records are re-enveloped (same nonce, fresh token and
+        channel tag, delay re-randomized from ``now``) until they hit
+        ``max_attempts``, after which they leave the queue for good.
         """
-        needed = len(self._pending) - self.wallet.balance
+        first_sends = [p for p in self._pending if p.attempts == 0]
+        retry_candidates: list[PendingRecord] = []
+        if self.retransmit is not None:
+            retry_candidates = [
+                p
+                for p in self._pending
+                if 0
+                < p.attempts
+                < self.retransmit.max_attempts
+                and p.last_attempt_time is not None
+                and now - p.last_attempt_time >= self.retransmit.min_interval
+            ]
+        needed = len(first_sends) + len(retry_candidates) - self.wallet.balance
         if needed > 0:
             self.acquire_tokens(issuer, needed, now)
+
         submitted = 0
-        still_pending: list[tuple[Envelope, float]] = []
-        for envelope, base_time in self._pending:
+        for pending in first_sends:
             if self.wallet.balance == 0:
-                still_pending.append((envelope, base_time))
-                continue
-            stamped = Envelope(record=envelope.record, token=self.wallet.spend())
-            self.scheduler.submit_payload(stamped, base_time, network)
+                break
+            self._submit_pending(pending, network, pending.base_time)
             submitted += 1
-        self._pending = still_pending
+        for pending in retry_candidates:
+            if self.wallet.balance == 0:
+                break
+            # Re-randomize the send time from *now*: the copy's timing must
+            # correlate with this sync, not with the original interaction.
+            self._submit_pending(pending, network, now)
+            submitted += 1
+            self.stats.retransmissions += 1
+
+        max_attempts = 1 if self.retransmit is None else self.retransmit.max_attempts
+        self._pending = [p for p in self._pending if p.attempts < max_attempts]
         self.stats.envelopes_submitted += submitted
-        self.stats.envelopes_deferred = len(still_pending)
+        self.stats.envelopes_deferred = self.n_pending
         return submitted
 
     @property
     def n_pending(self) -> int:
-        return len(self._pending)
+        """Records never yet sent (awaiting their first submission)."""
+        return sum(1 for p in self._pending if p.attempts == 0)
+
+    @property
+    def n_awaiting_retransmit(self) -> int:
+        """Sent records still queued for possible re-sending."""
+        return sum(1 for p in self._pending if p.attempts > 0)
+
+    # ----------------------------------------------------------- durability
+
+    def checkpoint(self) -> dict:
+        """Serialize everything a crash must not lose, JSON-compatibly.
+
+        Covered: the device identity secret, the pending upload queue
+        (records, nonces, attempt counts), the token wallet (spendable
+        tokens, in-flight blindings, mint counter), the scheduler and nonce
+        RNG streams, the staged-work dedup sets, user transparency
+        overrides, and the stats counters.  Deliberately *not* covered:
+        resolved interactions, the local snapshot, and model inferences —
+        those are rederived from the next ``observe_trace``, and the staged
+        sets guarantee rederivation never re-uploads anything.
+        """
+        return {
+            "device_id": self.identity.device_id,
+            "seed": self._seed,
+            "identity_secret": self.identity.secret,
+            "scheduler_rng": self.scheduler.rng_state(),
+            "nonce_rng": self._nonce_rng.bit_generator.state,
+            "wallet": {
+                "minted": self.wallet._minted,
+                "tokens": [
+                    {"token_id": t.token_id.hex(), "signature": t.signature}
+                    for t in self.wallet._tokens
+                ],
+                "pending_blindings": [
+                    {
+                        "message": b.message.hex(),
+                        "blinded": b.blinded,
+                        "unblinder": b.unblinder,
+                    }
+                    for b in self.wallet._pending
+                ],
+            },
+            "pending": [
+                {
+                    "kind": "interaction"
+                    if isinstance(p.record, InteractionUpload)
+                    else "opinion",
+                    "record": {
+                        field: getattr(p.record, field)
+                        for field in p.record.__dataclass_fields__
+                    },
+                    "base_time": p.base_time,
+                    "nonce": p.nonce.hex(),
+                    "attempts": p.attempts,
+                    "last_attempt_time": p.last_attempt_time,
+                }
+                for p in self._pending
+            ],
+            "staged_interactions": sorted(self._staged_interactions),
+            "staged_opinions": dict(self._staged_opinions),
+            "overrides": [
+                {
+                    "entity_id": entry.entity_id,
+                    "time": entry.time,
+                    "status": entry.status.value,
+                    "corrected_rating": entry.corrected_rating,
+                }
+                for entry in self.transparency._entries.values()
+                if entry.status is not InferenceStatus.ACTIVE
+            ],
+            "stats": {
+                field: getattr(self.stats, field)
+                for field in self.stats.__dataclass_fields__
+            },
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        state: dict,
+        catalog: list[Entity],
+        classifier: OpinionClassifier,
+        upload_config: UploadConfig | None = None,
+        snapshot_retention: float = 30 * DAY,
+        retransmit: RetransmitPolicy | None = None,
+    ) -> "RSPClient":
+        """Rebuild a client from a :meth:`checkpoint` after a crash.
+
+        Catalog, classifier, and policies are code/configuration, not
+        state — the restored install supplies them exactly as a reinstalled
+        app ships its own binaries.
+        """
+        client = cls(
+            device_id=state["device_id"],
+            catalog=catalog,
+            classifier=classifier,
+            seed=state.get("seed", 0),
+            upload_config=upload_config,
+            snapshot_retention=snapshot_retention,
+            retransmit=retransmit,
+        )
+        client.identity = DeviceIdentity(
+            device_id=state["device_id"], secret=state["identity_secret"]
+        )
+        client.scheduler.identity = client.identity
+        client.scheduler.restore_rng_state(state["scheduler_rng"])
+        client._nonce_rng.bit_generator.state = state["nonce_rng"]
+        client.wallet._minted = state["wallet"]["minted"]
+        client.wallet._tokens = [
+            UploadToken(token_id=bytes.fromhex(t["token_id"]), signature=t["signature"])
+            for t in state["wallet"]["tokens"]
+        ]
+        client.wallet._pending = [
+            BlindingResult(
+                message=bytes.fromhex(b["message"]),
+                blinded=b["blinded"],
+                unblinder=b["unblinder"],
+            )
+            for b in state["wallet"]["pending_blindings"]
+        ]
+        for item in state["pending"]:
+            record_cls = (
+                InteractionUpload if item["kind"] == "interaction" else OpinionUpload
+            )
+            client._pending.append(
+                PendingRecord(
+                    record=record_cls(**item["record"]),
+                    base_time=item["base_time"],
+                    nonce=bytes.fromhex(item["nonce"]),
+                    attempts=item["attempts"],
+                    last_attempt_time=item["last_attempt_time"],
+                )
+            )
+        client._staged_interactions = {
+            (entity_id, time) for entity_id, time in state["staged_interactions"]
+        }
+        client._staged_opinions = dict(state["staged_opinions"])
+        for item in state["overrides"]:
+            # A non-ACTIVE entry carries the user's decision; the model
+            # opinion is refreshed by the next observe_trace.
+            client.transparency._entries[item["entity_id"]] = InferenceEntry(
+                entity_id=item["entity_id"],
+                time=item["time"],
+                model_opinion=None,
+                evidence="(restored from checkpoint)",
+                status=InferenceStatus(item["status"]),
+                corrected_rating=item["corrected_rating"],
+            )
+        for field, value in state["stats"].items():
+            setattr(client.stats, field, value)
+        return client
 
     # ------------------------------------------------------- personalization
 

@@ -27,7 +27,21 @@ AnonymousRecord = InteractionUpload | OpinionUpload
 
 @dataclass(frozen=True)
 class Envelope:
-    """One anonymous upload: a record plus its spend-once token."""
+    """One anonymous upload: a record plus its spend-once token.
+
+    ``nonce`` is a per-*record* random identifier (not per-attempt): every
+    retransmission of the same record carries the same nonce inside a fresh
+    envelope (fresh token, fresh channel tag, re-randomized delay), and the
+    server accepts each nonce at most once.  That makes bounded
+    retransmission over the ack-free anonymous channel safe — duplicates
+    are suppressed idempotently instead of double-counting opinions.  The
+    nonce is drawn from the device's seeded RNG and carries no identity or
+    payload structure; dedup keyed on a payload or ``hash(Ru, e)`` digest
+    would either drop legitimate identical records or hand the server a
+    linkable identifier (see ``docs/RELIABILITY.md``).  ``None`` preserves
+    the legacy no-dedup wire format.
+    """
 
     record: AnonymousRecord
     token: UploadToken | None
+    nonce: bytes | None = None

@@ -10,7 +10,11 @@ The paper's guarantees are structural, so the linter checks structure:
   ``det-numpy-random``) — all entropy flows through ``repro.util.rng``
   and all time through ``repro.util.clock``;
 * **layering** (``layer-client-service``, ``layer-service-client``) —
-  device-side and service-side code only meet in ``repro.orchestration``.
+  device-side and service-side code only meet in ``repro.orchestration``;
+* **fault containment** (``faults-only-in-harness``) — only the
+  experiment harness may import :mod:`repro.faults`; production layers
+  receive faults through duck-typed ``fault_hook`` attributes and must
+  not be able to observe the fault plan.
 
 Run it with ``python -m repro.lint <paths>`` or ``repro lint``; see
 ``docs/STATIC_ANALYSIS.md`` for rule-by-rule rationale and suppression
@@ -37,6 +41,7 @@ def default_rules() -> list[Rule]:
         RandomModuleRule,
         WallClockRule,
     )
+    from repro.lint.rules_faults import FaultsOnlyInHarnessRule
     from repro.lint.rules_layering import (
         ClientImportsServiceRule,
         ServiceImportsClientRule,
@@ -51,6 +56,7 @@ def default_rules() -> list[Rule]:
         NumpyRandomRule(),
         ClientImportsServiceRule(),
         ServiceImportsClientRule(),
+        FaultsOnlyInHarnessRule(),
     ]
 
 

@@ -99,6 +99,18 @@ class LintConfig:
     # -- layering: packages forming the device side of the architecture.
     client_packages: tuple[str, ...] = ("repro.client", "repro.sensing")
 
+    # -- fault containment: chaos tooling and who may import it.
+    #: Packages that implement fault injection.
+    fault_packages: tuple[str, ...] = ("repro.faults",)
+    #: The experiment harness — the only code allowed to script faults.
+    fault_harness_packages: tuple[str, ...] = (
+        "repro.faults",
+        "repro.orchestration",
+        "repro.cli",
+    )
+    #: Root under which the containment rule applies (tests are outside).
+    fault_guarded_packages: tuple[str, ...] = ("repro",)
+
 
 @dataclass(frozen=True)
 class ParsedModule:

@@ -1,0 +1,57 @@
+"""Fault-injection containment: chaos stays in the harness.
+
+The robustness work of :mod:`repro.faults` scripts network loss, server
+outages, and client crashes.  Production layers must stay *subjects* of
+those experiments, never *participants*: a client or server that imports
+the fault plan could special-case injected failures (or, worse, consult
+the plan to "know" a message was dropped — information a real deployment
+never has, since the anonymous upload channel is ack-free by design).
+The production hooks are therefore duck-typed ``fault_hook`` attributes,
+set from the outside by the experiment drivers.
+
+* ``faults-only-in-harness`` — only the harness packages
+  (``repro.faults`` itself, ``repro.orchestration``, ``repro.cli``) may
+  import ``repro.faults``.  Everything else under the guarded root gets
+  flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.engine import LintConfig, ParsedModule, Rule, Violation
+from repro.lint.rules_layering import _hits, _imported_targets
+
+
+class FaultsOnlyInHarnessRule(Rule):
+    rule_id = "faults-only-in-harness"
+    description = "production code imports the fault-injection subsystem"
+    rationale = (
+        "fault realism: production layers must not observe or special-case "
+        "injected faults; only the experiment harness wires fault_hook"
+    )
+    message = (
+        "module `{module}` imports `{target}`; fault injection is wired from "
+        "the harness (repro.orchestration / repro.cli) via duck-typed "
+        "fault_hook attributes — production code must not import repro.faults"
+    )
+
+    def check(self, module: ParsedModule, config: LintConfig) -> Iterator[Violation]:
+        if not module.in_package(config.fault_guarded_packages):
+            return
+        if module.in_package(config.fault_harness_packages):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            flagged: set[str] = set()
+            for target in _imported_targets(module, node):
+                hit = _hits(target, config.fault_packages)
+                if hit is not None and hit not in flagged:
+                    flagged.add(hit)
+                    yield self.violation(
+                        module,
+                        node,
+                        self.message.format(module=module.module, target=target),
+                    )

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 from repro.client.app import RSPClient
 from repro.core.classifier import OpinionClassifier
+from repro.faults import FaultInjector, FaultPlan
 from repro.privacy.anonymity import AnonymityNetwork, batching_network
 from repro.sensing.policy import duty_cycled_policy
 from repro.sensing.sensors import generate_trace
@@ -31,7 +32,16 @@ from repro.world.population import Town
 
 @dataclass(frozen=True)
 class EpochReport:
-    """What one epoch did to the service."""
+    """What one epoch did to the service.
+
+    The robustness fields are per-epoch deltas: ``dropped_messages``
+    counts network losses plus envelopes that arrived while the endpoint
+    was down, ``rejected_envelopes`` counts token/validation bounces,
+    ``duplicates_suppressed`` counts idempotent-dedup hits, and
+    ``retransmissions`` counts client re-sends.  ``maintenance`` is
+    ``None`` when the maintenance cycle was deferred because the server
+    was down at epoch end (``server_deferred``).
+    """
 
     epoch: int
     end_time: float
@@ -40,7 +50,13 @@ class EpochReport:
     total_histories: int
     n_opinions: int
     envelopes_deferred: int
-    maintenance: MaintenanceReport
+    maintenance: MaintenanceReport | None
+    rejected_envelopes: int = 0
+    dropped_messages: int = 0
+    duplicates_suppressed: int = 0
+    retransmissions: int = 0
+    crash_restores: int = 0
+    server_deferred: bool = False
 
 
 @dataclass
@@ -50,10 +66,20 @@ class EpochsOutcome:
     server: RSPServer
     clients: dict[str, RSPClient]
     reports: list[EpochReport] = field(default_factory=list)
+    injector: FaultInjector | None = None
 
     @property
     def n_epochs(self) -> int:
         return len(self.reports)
+
+    def reports_digest(self) -> str:
+        """A canonical byte-for-byte rendering of the per-epoch reports.
+
+        Two runs of the same world, config, and :class:`FaultPlan` seed
+        must produce identical digests — the determinism guard that keeps
+        fault injection inside the ``repro.util.rng`` discipline.
+        """
+        return "\n".join(repr(report) for report in self.reports)
 
 
 def run_epochs(
@@ -63,8 +89,19 @@ def run_epochs(
     n_epochs: int = 6,
     classifier: OpinionClassifier | None = None,
     max_users: int | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> EpochsOutcome:
-    """Operate the service over ``n_epochs`` equal slices of the horizon."""
+    """Operate the service over ``n_epochs`` equal slices of the horizon.
+
+    With a :class:`FaultPlan`, the run is executed under deterministic
+    fault injection: the plan's seeded injector is installed as the
+    ``fault_hook`` of the network, the token issuer, and the server, and
+    the driver additionally simulates client crash–restore (each client is
+    checkpointed after every sync; a crashed client is rebuilt from its
+    latest durable checkpoint) and maintenance deferral (an epoch whose
+    end falls inside a server outage skips ingestion and maintenance — the
+    batch job waits for the endpoint, and the mix keeps buffering).
+    """
     if n_epochs < 1:
         raise ValueError("need at least one epoch")
     config = config or PipelineConfig()
@@ -76,6 +113,8 @@ def run_epochs(
             town, result, horizon, config.classifier, seed=config.seed
         )
 
+    injector = FaultInjector(fault_plan) if fault_plan is not None else None
+
     server = RSPServer(
         catalog=town.entities,
         quota_per_day=config.quota_per_day,
@@ -85,6 +124,10 @@ def run_epochs(
     network: AnonymityNetwork = batching_network(
         batch_interval=config.batch_interval, seed=config.seed
     )
+    if injector is not None:
+        network.fault_hook = injector
+        server.fault_hook = injector
+        server.issuer.fault_hook = injector
 
     users = town.users if max_users is None else town.users[:max_users]
     clients: dict[str, RSPClient] = {
@@ -94,32 +137,72 @@ def run_epochs(
             classifier=classifier,
             seed=config.seed * 100_003 + index,
             upload_config=config.upload,
+            retransmit=config.retransmit,
         )
         for index, user in enumerate(users)
     }
+    # Durable state as of the last completed sync (install-time initially);
+    # a crash rolls the client back to exactly this.
+    checkpoints: dict[str, dict] = {
+        user_id: client.checkpoint() for user_id, client in clients.items()
+    }
 
-    outcome = EpochsOutcome(server=server, clients=clients)
+    outcome = EpochsOutcome(server=server, clients=clients, injector=injector)
     records_before = 0
+    rejected_before = 0
+    dropped_before = 0
+    duplicates_before = 0
+    retransmissions_before = 0
     for epoch in range(1, n_epochs + 1):
+        start_time = (epoch - 1) * epoch_length
         end_time = epoch * epoch_length
 
+        crash_restores = 0
+        if injector is not None:
+            for crash in injector.crashes_in(start_time, end_time):
+                for user in users:
+                    if not crash.affects(user.user_id):
+                        continue
+                    injector.note_crash()
+                    crash_restores += 1
+                    restored = RSPClient.restore(
+                        checkpoints[user.user_id],
+                        catalog=town.entities,
+                        classifier=classifier,
+                        upload_config=config.upload,
+                        retransmit=config.retransmit,
+                    )
+                    clients[user.user_id] = restored
+                    outcome.clients[user.user_id] = restored
+
         for review in result.reviews:
-            if (epoch - 1) * epoch_length <= review.time < end_time:
+            if start_time <= review.time < end_time:
                 server.post_review(
                     review.user_id, review.entity_id, review.rating, review.time
                 )
 
         for user in users:
             client = clients[user.user_id]
+            skew = injector.skew_for(user.user_id) if injector is not None else 0.0
+            local_now = end_time + skew
             trace = generate_trace(
                 user.user_id, town, result, end_time, duty_cycled_policy(), seed=config.seed
             )
-            client.observe_trace(trace, now=end_time)
-            client.sync(network, server.issuer, now=end_time)
+            client.observe_trace(trace, now=local_now)
+            client.sync(network, server.issuer, now=local_now)
+            checkpoints[user.user_id] = client.checkpoint()
 
-        server.receive_all(network.deliveries_until(end_time + 2 * DAY))
-        maintenance = server.run_maintenance()
+        ingest_time = end_time + 2 * DAY
+        server_deferred = injector is not None and injector.server_down_at(ingest_time)
+        maintenance: MaintenanceReport | None = None
+        if not server_deferred:
+            server.receive_all(network.deliveries_until(ingest_time))
+            maintenance = server.run_maintenance()
 
+        dropped_now = network.n_dropped + server.dropped_by_outage
+        retransmissions_now = sum(
+            c.stats.retransmissions for c in clients.values()
+        )
         outcome.reports.append(
             EpochReport(
                 epoch=epoch,
@@ -130,7 +213,17 @@ def run_epochs(
                 n_opinions=server.n_opinions,
                 envelopes_deferred=sum(c.n_pending for c in clients.values()),
                 maintenance=maintenance,
+                rejected_envelopes=server.rejected_envelopes - rejected_before,
+                dropped_messages=dropped_now - dropped_before,
+                duplicates_suppressed=server.duplicates_suppressed - duplicates_before,
+                retransmissions=retransmissions_now - retransmissions_before,
+                crash_restores=crash_restores,
+                server_deferred=server_deferred,
             )
         )
         records_before = server.history_store.n_records
+        rejected_before = server.rejected_envelopes
+        dropped_before = dropped_now
+        duplicates_before = server.duplicates_suppressed
+        retransmissions_before = retransmissions_now
     return outcome

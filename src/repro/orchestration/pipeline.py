@@ -26,7 +26,7 @@ from repro.core.classifier import ClassifierConfig, OpinionClassifier
 from repro.core.features import OpinionFeatures, extract_all_features
 from repro.client.app import infer_home
 from repro.privacy.anonymity import AnonymityNetwork, batching_network
-from repro.privacy.uploads import UploadConfig, hardened_config
+from repro.privacy.uploads import RetransmitPolicy, UploadConfig, hardened_config
 from repro.sensing.policy import SensingPolicy, duty_cycled_policy
 from repro.sensing.sensors import TraceConfig, generate_trace
 from repro.service.server import RSPServer
@@ -44,6 +44,9 @@ class PipelineConfig:
     key_bits: int = 256  # simulation substrate; small keys keep runs fast
     batch_interval: float = 6 * 3600.0
     upload: UploadConfig = field(default_factory=hardened_config)
+    #: ``None`` = send each record exactly once (the seed behaviour);
+    #: a policy enables bounded, nonce-deduplicated retransmission.
+    retransmit: RetransmitPolicy | None = None
     classifier: ClassifierConfig = field(default_factory=ClassifierConfig)
     #: Feed the wearable affect channel (Section 3.1's scoped-out idea)
     #: into feature extraction for both training and deployment.
@@ -233,6 +236,7 @@ def run_full_pipeline(
             classifier=classifier,
             seed=config.seed * 100_003 + index,
             upload_config=config.upload,
+            retransmit=config.retransmit,
         )
         trace = generate_trace(
             user.user_id, town, result, horizon, duty_cycled_policy(), seed=config.seed

@@ -40,6 +40,7 @@ from repro.privacy.history_store import (
 )
 from repro.privacy.identifiers import DeviceIdentity, generate_user_secret
 from repro.privacy.tokens import (
+    IssuerUnavailable,
     QuotaExceeded,
     TokenIssuer,
     TokenRedeemer,
@@ -47,6 +48,7 @@ from repro.privacy.tokens import (
     UploadToken,
 )
 from repro.privacy.uploads import (
+    RetransmitPolicy,
     UploadConfig,
     UploadScheduler,
     hardened_config,
@@ -63,10 +65,12 @@ __all__ = [
     "HistoryStore",
     "InteractionHistory",
     "InteractionUpload",
+    "IssuerUnavailable",
     "LinkageReport",
     "QuotaExceeded",
     "RSAKeyPair",
     "RSAPublicKey",
+    "RetransmitPolicy",
     "StoredRecord",
     "TimingReport",
     "TokenIssuer",

@@ -58,6 +58,7 @@ class AnonymityNetwork(Generic[P]):
         latency: float = 2.0,
         seed: int = 0,
         drop_rate: float = 0.0,
+        fault_hook=None,
     ) -> None:
         """``drop_rate`` injects message loss at submission time.
 
@@ -67,6 +68,11 @@ class AnonymityNetwork(Generic[P]):
         gone.  The design degrades gracefully — each loss removes one
         interaction record or one opinion, never corrupts state — and the
         failure-injection tests pin that down.
+
+        ``fault_hook`` is an optional harness-installed object whose
+        ``network_fates(submit_time)`` returns the effective submit times
+        for one submission (empty = lost, >1 = duplicated).  The network
+        never imports the fault harness; it only calls what it is handed.
         """
         if batch_interval < 0 or latency < 0:
             raise ValueError("intervals must be non-negative")
@@ -75,7 +81,9 @@ class AnonymityNetwork(Generic[P]):
         self.batch_interval = batch_interval
         self.latency = latency
         self.drop_rate = drop_rate
+        self.fault_hook = fault_hook
         self.n_dropped = 0
+        self.n_duplicated = 0
         self._rng = make_rng(seed, "anonymity-network")
         self._pending: list[_Pending[P]] = []
         self._delivered: list[Delivery[P]] = []
@@ -89,6 +97,21 @@ class AnonymityNetwork(Generic[P]):
         """A client hands the network one message (possibly lost in transit)."""
         if self.drop_rate > 0 and self._rng.random() < self.drop_rate:
             self.n_dropped += 1
+            return
+        if self.fault_hook is not None:
+            fates = self.fault_hook.network_fates(submit_time)
+            if not fates:
+                self.n_dropped += 1
+                return
+            self.n_duplicated += len(fates) - 1
+            for effective_time in fates:
+                self._pending.append(
+                    _Pending(
+                        payload=payload,
+                        submit_time=effective_time,
+                        channel_tag=channel_tag,
+                    )
+                )
             return
         self._pending.append(
             _Pending(payload=payload, submit_time=submit_time, channel_tag=channel_tag)

@@ -46,6 +46,15 @@ class QuotaExceeded(Exception):
     """The device asked for more tokens than its rate limit allows."""
 
 
+class IssuerUnavailable(Exception):
+    """The token-issuing endpoint is down; retry later with backoff.
+
+    Unlike the anonymous upload path, issuance is an attributed
+    request/response exchange, so the client *can* observe this failure
+    and retry — see :meth:`repro.client.app.RSPClient.acquire_tokens`.
+    """
+
+
 class TokenIssuer:
     """The RSP's token-issuing endpoint (sees device identities)."""
 
@@ -53,6 +62,10 @@ class TokenIssuer:
         if quota_per_day < 1:
             raise ValueError("quota must be >= 1")
         self.quota_per_day = quota_per_day
+        #: Optional harness hook with ``issuer_down(now) -> bool``; the
+        #: issuer never imports the fault harness itself.
+        self.fault_hook = None
+        self.refused_while_down = 0
         self._keypair: RSAKeyPair = generate_keypair(bits=key_bits, seed=key_seed)
         self._issued_today: dict[str, int] = {}
         self._window_start: dict[str, float] = {}
@@ -65,8 +78,13 @@ class TokenIssuer:
         """Blind-sign the given values, enforcing the per-device quota.
 
         Raises :class:`QuotaExceeded` if the device would exceed its daily
-        allowance; no partial issuance happens in that case.
+        allowance; no partial issuance happens in that case.  Raises
+        :class:`IssuerUnavailable` during an injected outage window —
+        before any quota accounting, so a refused attempt costs no quota.
         """
+        if self.fault_hook is not None and self.fault_hook.issuer_down(now):
+            self.refused_while_down += 1
+            raise IssuerUnavailable(f"token issuer down at t={now:.0f}")
         window = self._window_start.get(device_id)
         if window is None or now - window >= DAY:
             self._window_start[device_id] = now
@@ -146,11 +164,29 @@ class TokenWallet:
                 raise ValueError("issuer returned an invalid signature")
             self._tokens.append(token)
 
+    def discard_pending(self, blinded_values: list[int]) -> int:
+        """Roll back blindings whose issuance failed; returns how many.
+
+        :meth:`accept_signatures` matches signatures to pending blindings
+        strictly FIFO, so a failed issuance (quota refusal, issuer outage)
+        MUST remove its blinded candidates — otherwise the next successful
+        issuance unblinds new signatures with the orphaned factors and
+        every token it yields fails verification.
+        """
+        doomed = set(blinded_values)
+        before = len(self._pending)
+        self._pending = [b for b in self._pending if b.blinded not in doomed]
+        return before - len(self._pending)
+
     def spend(self) -> UploadToken:
         """Take one token from the wallet."""
         if not self._tokens:
             raise ValueError("wallet is empty")
         return self._tokens.pop(0)
+
+    @property
+    def n_pending_blindings(self) -> int:
+        return len(self._pending)
 
     @property
     def balance(self) -> int:

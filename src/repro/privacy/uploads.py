@@ -49,6 +49,29 @@ class UploadConfig:
             raise ValueError("granularity must be positive")
 
 
+@dataclass(frozen=True)
+class RetransmitPolicy:
+    """Bounded re-sending of records over the ack-free anonymous channel.
+
+    No acknowledgement ever comes back (an ack would link the upload to
+    the device), so the client cannot know whether a record arrived.  The
+    only safe recovery is to send each record up to ``max_attempts`` times
+    total, each attempt in a fresh envelope — fresh token, fresh channel
+    tag, re-randomized delay, *same* per-record nonce — and let the server
+    suppress whichever copies survive in duplicate.  Attempts are spaced at
+    least ``min_interval`` apart so copies ride different mix batches.
+    """
+
+    max_attempts: int = 2
+    min_interval: float = 6 * HOUR
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.min_interval < 0:
+            raise ValueError("min_interval must be non-negative")
+
+
 def hardened_config() -> UploadConfig:
     """The paper's design: async, coarse timestamps, per-upload channels."""
     return UploadConfig(
@@ -74,6 +97,16 @@ class UploadScheduler:
         self.config = config or hardened_config()
         self._rng = make_rng(seed, f"uploads/{identity.device_id}")
         self._stable_tag = f"chan-{identity.device_id}"
+
+    def rng_state(self) -> dict:
+        """The scheduler's RNG state, for durable client checkpoints."""
+        return self._rng.bit_generator.state
+
+    def restore_rng_state(self, state: dict) -> None:
+        """Resume the delay/channel-tag stream exactly where it stopped,
+        so a crash–restore emits the same tags and delays the uncrashed
+        client would have."""
+        self._rng.bit_generator.state = state
 
     def _channel_tag(self) -> str:
         if self.config.reuse_channel_tag:

@@ -89,6 +89,18 @@ class RSPServer:
         self._summaries: dict[str, EntityOpinionSummary] = {}
         self._accepted_histories: dict[str, list[InteractionHistory]] = {}
         self.rejected_envelopes = 0
+        #: Nonces of accepted envelopes — the idempotent-dedup table that
+        #: makes client retransmission over the ack-free channel safe.
+        #: Keyed on the envelope's random nonce, never on a payload or
+        #: identity digest (see docs/RELIABILITY.md for why).
+        self._seen_nonces: set[bytes] = set()
+        self.duplicates_suppressed = 0
+        self.accepted_envelopes = 0
+        #: Envelopes that arrived while the endpoint was down (harness
+        #: hook); the fire-and-forget sender never learns about these.
+        self.dropped_by_outage = 0
+        #: Optional harness hook with ``server_down(now) -> bool``.
+        self.fault_hook = None
 
     # ------------------------------------------------------------- intake
 
@@ -133,26 +145,70 @@ class RSPServer:
         )
 
     def receive(self, delivery: Delivery[Envelope]) -> bool:
-        """Process one anonymous envelope off the network."""
+        """Process one anonymous envelope off the network.
+
+        Intake order is deliberate: outage check first (a down endpoint
+        processes nothing, so neither the token nor the nonce of a lost
+        envelope is consumed and a retransmitted copy can still land);
+        then the token trust boundary (only token-valid envelopes may
+        *write* dedup state, so an unauthenticated sender can never squat
+        a nonce and suppress someone's legitimate record); then idempotent
+        nonce dedup; then record validation.  A nonce is marked seen only
+        when its record is accepted, so a rejected upload can be repaired
+        and retransmitted under the same nonce.  One classification
+        nuance: a token failure whose nonce is already accepted is counted
+        as a suppressed duplicate rather than a rejection — an identical
+        network-replayed copy carries its original's spent token.
+        """
         envelope = delivery.payload
+        if self.fault_hook is not None and self.fault_hook.server_down(
+            delivery.arrival_time
+        ):
+            self.dropped_by_outage += 1
+            return False
+        nonce = getattr(envelope, "nonce", None)
         if self.require_tokens:
             if envelope.token is None or not self._redeemer.redeem(envelope.token):
-                self.rejected_envelopes += 1
+                # A token failure on an already-accepted nonce is, with
+                # overwhelming probability, a network-level duplicate of
+                # the accepted envelope (its token was spent when the
+                # first copy landed) — classify it as a suppressed
+                # duplicate, not a fraud bounce.
+                if nonce is not None and nonce in self._seen_nonces:
+                    self.duplicates_suppressed += 1
+                else:
+                    self.rejected_envelopes += 1
                 return False
+        if nonce is not None and nonce in self._seen_nonces:
+            self.duplicates_suppressed += 1
+            return False
         record = envelope.record
         if isinstance(record, InteractionUpload):
             if record.entity_id not in self.catalog:
                 self.rejected_envelopes += 1
                 return False
-            return self.history_store.append(record, arrival_time=delivery.arrival_time)
+            stored = self.history_store.append(
+                record, arrival_time=delivery.arrival_time
+            )
+            if stored:
+                self._mark_accepted(nonce)
+            else:
+                self.rejected_envelopes += 1
+            return stored
         if isinstance(record, OpinionUpload):
             if record.entity_id not in self.catalog:
                 self.rejected_envelopes += 1
                 return False
             self._opinions[record.history_id] = record
+            self._mark_accepted(nonce)
             return True
         self.rejected_envelopes += 1
         return False
+
+    def _mark_accepted(self, nonce: bytes | None) -> None:
+        self.accepted_envelopes += 1
+        if nonce is not None:
+            self._seen_nonces.add(nonce)
 
     def receive_all(self, deliveries: list[Delivery[Envelope]]) -> int:
         return sum(1 for delivery in deliveries if self.receive(delivery))
@@ -226,6 +282,11 @@ class RSPServer:
         return SearchResponse(
             query=response.query, results=response.results, visualization=visualization
         )
+
+    @property
+    def n_unique_nonces(self) -> int:
+        """Distinct envelope nonces accepted — duplicates never inflate this."""
+        return len(self._seen_nonces)
 
     @property
     def n_explicit_reviews(self) -> int:

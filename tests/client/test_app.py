@@ -98,7 +98,7 @@ class TestObserveTrace:
         suppressing._pending.clear()
         suppressing._stage_envelopes({})
         uploaded_entities = {
-            envelope.record.entity_id for envelope, _ in suppressing._pending
+            pending.record.entity_id for pending in suppressing._pending
         }
         assert target not in uploaded_entities
 
@@ -141,7 +141,7 @@ class TestSync:
         client = make_client(town, classifier, user_id, seed=5)
         trace = generate_trace(user_id, town, result, horizon, duty_cycled_policy(), seed=12)
         client.observe_trace(trace, now=horizon)
-        records = [envelope.record for envelope, _ in client._pending]
+        records = [pending.record for pending in client._pending]
         assert any(isinstance(r, InteractionUpload) for r in records)
         if client.stats.inferences_made:
             assert any(isinstance(r, OpinionUpload) for r in records)

@@ -1,0 +1,166 @@
+"""Durable client checkpoints: JSON roundtrip and exact crash–restore.
+
+The checkpoint is what survives a device crash, so it must (a) be plain
+JSON — real apps persist it to disk — and (b) restore a client whose
+observable behaviour is *identical* to the uncrashed one: same pending
+queue, same nonces, same wallet, and the same channel-tag/delay stream
+(an RNG discontinuity after restore would be a fingerprintable event).
+"""
+
+import json
+
+import pytest
+
+from repro.client.app import RSPClient
+from repro.orchestration.pipeline import train_classifier
+from repro.privacy.anonymity import batching_network
+from repro.privacy.tokens import TokenIssuer
+from repro.privacy.uploads import RetransmitPolicy
+from repro.sensing.policy import duty_cycled_policy
+from repro.sensing.sensors import generate_trace
+from repro.util.clock import DAY
+from repro.world.behavior import BehaviorConfig, BehaviorSimulator
+from repro.world.population import TownConfig, build_town
+
+
+@pytest.fixture(scope="module")
+def setting():
+    town = build_town(TownConfig(n_users=40), seed=23)
+    result = BehaviorSimulator(
+        town.users, town.entities, BehaviorConfig(duration_days=90), seed=23
+    ).run()
+    horizon = 90 * DAY
+    classifier = train_classifier(town, result, horizon, seed=23)
+    return town, result, horizon, classifier
+
+
+def busiest_user(result):
+    counts = {}
+    for event in result.events:
+        counts[event.user_id] = counts.get(event.user_id, 0) + 1
+    return max(counts, key=counts.get)
+
+
+def observed_client(setting, seed=7, retransmit=None):
+    town, result, horizon, classifier = setting
+    user_id = busiest_user(result)
+    client = RSPClient(
+        device_id=user_id,
+        catalog=town.entities,
+        classifier=classifier,
+        seed=seed,
+        retransmit=retransmit,
+    )
+    trace = generate_trace(
+        user_id, town, result, horizon, duty_cycled_policy(), seed=23
+    )
+    client.observe_trace(trace, now=horizon)
+    return client, horizon
+
+
+def roundtrip(client):
+    """checkpoint → JSON text → restore: what a real crash path does."""
+    state = json.loads(json.dumps(client.checkpoint()))
+    return RSPClient.restore(
+        state,
+        catalog=list(client.catalog.values()),
+        classifier=client.classifier,
+        retransmit=client.retransmit,
+    )
+
+
+class TestJsonRoundtrip:
+    def test_checkpoint_is_json_stable(self, setting):
+        """checkpoint → JSON → restore → checkpoint is a fixpoint."""
+        client, _ = observed_client(setting)
+        text = json.dumps(client.checkpoint(), sort_keys=True)
+        restored = roundtrip(client)
+        assert json.dumps(restored.checkpoint(), sort_keys=True) == text
+
+    def test_pending_queue_survives(self, setting):
+        client, _ = observed_client(setting)
+        restored = roundtrip(client)
+        assert len(restored._pending) == len(client._pending)
+        for ours, theirs in zip(client._pending, restored._pending):
+            assert ours.record == theirs.record
+            assert ours.nonce == theirs.nonce
+            assert ours.base_time == theirs.base_time
+            assert ours.attempts == theirs.attempts
+
+    def test_identity_and_staged_sets_survive(self, setting):
+        client, _ = observed_client(setting)
+        restored = roundtrip(client)
+        assert restored.identity.device_id == client.identity.device_id
+        assert restored.identity.secret == client.identity.secret
+        assert restored._staged_interactions == client._staged_interactions
+        assert restored._staged_opinions == client._staged_opinions
+        assert restored.stats == client.stats
+
+    def test_wallet_tokens_survive_and_spend(self, setting):
+        client, horizon = observed_client(setting)
+        issuer = TokenIssuer(quota_per_day=5, key_seed=7, key_bits=256)
+        client.acquire_tokens(issuer, 3, now=horizon)
+        assert client.wallet.balance == 3
+        restored = roundtrip(client)
+        assert restored.wallet.balance == 3
+        from repro.privacy.tokens import TokenRedeemer
+
+        redeemer = TokenRedeemer(issuer.public_key)
+        assert redeemer.redeem(restored.wallet.spend())
+
+    def test_suppression_override_survives(self, setting):
+        client, _ = observed_client(setting)
+        entries = client.transparency.audit()
+        if not entries:
+            pytest.skip("user formed no inferences in this world")
+        target = entries[0].entity_id
+        client.transparency.suppress(target)
+        restored = roundtrip(client)
+        from repro.client.transparency import InferenceStatus
+
+        assert restored.transparency._entries[target].status is (
+            InferenceStatus.SUPPRESSED
+        )
+
+
+class TestRestoredBehaviourIsIdentical:
+    def test_same_channel_tags_delays_and_nonces(self, setting):
+        """Run the original and its restored twin through identical
+        environments: the emitted deliveries must match exactly."""
+        policy = RetransmitPolicy(max_attempts=2, min_interval=6 * 3600.0)
+        original, horizon = observed_client(setting, retransmit=policy)
+        restored = roundtrip(original)
+
+        outcomes = []
+        for client in (original, restored):
+            issuer = TokenIssuer(quota_per_day=500, key_seed=9, key_bits=256)
+            network = batching_network(seed=9)
+            client.sync(network, issuer, now=horizon)
+            deliveries = network.deliveries_until(horizon + 30 * DAY)
+            outcomes.append(
+                [
+                    (d.channel_tag, d.arrival_time, d.payload.nonce)
+                    for d in deliveries
+                ]
+            )
+        assert outcomes[0] == outcomes[1]
+        assert outcomes[0]  # the scenario actually submitted something
+
+    def test_restored_client_does_not_restage_uploaded_work(self, setting):
+        """After a restore, re-observing the same trace must not re-upload
+        records the pre-crash client already staged (the staged sets are
+        part of the checkpoint)."""
+        town, result, horizon, _ = setting
+        client, _ = observed_client(setting)
+        staged_before = len(client._pending)
+        restored = roundtrip(client)
+        trace = generate_trace(
+            client.identity.device_id,
+            town,
+            result,
+            horizon,
+            duty_cycled_policy(),
+            seed=23,
+        )
+        restored.observe_trace(trace, now=horizon)
+        assert len(restored._pending) == staged_before

@@ -1,0 +1,176 @@
+"""Unit tests for fault plans and the injector's deterministic decisions."""
+
+import pytest
+
+from repro.faults import (
+    ClientCrash,
+    ClockSkew,
+    DelayFault,
+    DropFault,
+    DuplicateFault,
+    FaultInjector,
+    FaultPlan,
+    Window,
+    lossy_plan,
+    outage_plan,
+)
+
+
+class TestPlanValidation:
+    def test_window_is_half_open(self):
+        window = Window(10.0, 20.0)
+        assert window.contains(10.0)
+        assert window.contains(19.999)
+        assert not window.contains(20.0)
+        assert window.duration == 10.0
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            Window(5.0, 5.0)
+        with pytest.raises(ValueError):
+            Window(5.0, 1.0)
+
+    def test_drop_rate_bounds(self):
+        with pytest.raises(ValueError):
+            DropFault(Window(0.0, 1.0), rate=1.5)
+        with pytest.raises(ValueError):
+            DropFault(Window(0.0, 1.0), rate=-0.1)
+
+    def test_delay_must_be_non_negative(self):
+        with pytest.raises(ValueError):
+            DelayFault(Window(0.0, 1.0), max_extra=-1.0)
+
+    def test_duplicate_rate_and_offset_bounds(self):
+        with pytest.raises(ValueError):
+            DuplicateFault(Window(0.0, 1.0), rate=2.0)
+        with pytest.raises(ValueError):
+            DuplicateFault(Window(0.0, 1.0), rate=0.5, max_offset=-1.0)
+
+    def test_crash_targeting(self):
+        everyone = ClientCrash(time=100.0)
+        assert everyone.affects("any-device")
+        targeted = ClientCrash(time=100.0, device_ids=frozenset({"a"}))
+        assert targeted.affects("a")
+        assert not targeted.affects("b")
+
+    def test_skew_targeting(self):
+        fleet_wide = ClockSkew(offset=30.0)
+        assert fleet_wide.applies_to("x")
+        single = ClockSkew(offset=-10.0, device_id="x")
+        assert single.applies_to("x")
+        assert not single.applies_to("y")
+
+    def test_is_empty_and_describe(self):
+        assert FaultPlan().is_empty
+        plan = lossy_plan(0.2, horizon=100.0, seed=7)
+        assert not plan.is_empty
+        assert "seed=7" in plan.describe()
+        assert "drop window" in plan.describe()
+
+    def test_outage_plan_constructor(self):
+        plan = outage_plan(
+            server_window=Window(0.0, 10.0), issuer_window=Window(5.0, 15.0)
+        )
+        assert len(plan.server_outages) == 1
+        assert len(plan.issuer_outages) == 1
+        assert outage_plan().is_empty
+
+
+class TestInjectorNetwork:
+    def test_certain_drop_loses_everything(self):
+        injector = FaultInjector(lossy_plan(1.0, horizon=100.0))
+        for t in (0.0, 50.0, 99.9):
+            assert injector.network_fates(t) == []
+        assert injector.messages_dropped == 3
+
+    def test_no_faults_passes_through_unchanged(self):
+        injector = FaultInjector(FaultPlan())
+        assert injector.network_fates(42.0) == [42.0]
+        assert injector.messages_dropped == 0
+
+    def test_drop_outside_window_never_fires(self):
+        injector = FaultInjector(lossy_plan(1.0, horizon=100.0))
+        assert injector.network_fates(100.0) == [100.0]
+
+    def test_partial_drop_rate_is_roughly_respected(self):
+        injector = FaultInjector(lossy_plan(0.3, horizon=10_000.0, seed=3))
+        fates = [injector.network_fates(float(t)) for t in range(1000)]
+        lost = sum(1 for f in fates if not f)
+        assert 200 < lost < 400
+
+    def test_delay_adds_bounded_extra(self):
+        plan = FaultPlan(delays=(DelayFault(Window(0.0, 100.0), max_extra=60.0),))
+        injector = FaultInjector(plan)
+        [fate] = injector.network_fates(10.0)
+        assert 10.0 <= fate <= 70.0
+        assert injector.messages_delayed in (0, 1)
+
+    def test_certain_duplication_yields_two_fates(self):
+        plan = FaultPlan(
+            duplicates=(DuplicateFault(Window(0.0, 100.0), rate=1.0, max_offset=30.0),)
+        )
+        injector = FaultInjector(plan)
+        fates = injector.network_fates(10.0)
+        assert len(fates) == 2
+        assert fates[0] == 10.0
+        assert 10.0 <= fates[1] <= 40.0
+        assert injector.messages_duplicated == 1
+
+    def test_same_seed_same_decisions(self):
+        plan = lossy_plan(0.5, horizon=1000.0, seed=11)
+        a = FaultInjector(plan)
+        b = FaultInjector(plan)
+        sequence_a = [a.network_fates(float(t)) for t in range(200)]
+        sequence_b = [b.network_fates(float(t)) for t in range(200)]
+        assert sequence_a == sequence_b
+
+    def test_different_seed_different_decisions(self):
+        a = FaultInjector(lossy_plan(0.5, horizon=1000.0, seed=1))
+        b = FaultInjector(lossy_plan(0.5, horizon=1000.0, seed=2))
+        sequence_a = [bool(a.network_fates(float(t))) for t in range(200)]
+        sequence_b = [bool(b.network_fates(float(t))) for t in range(200)]
+        assert sequence_a != sequence_b
+
+
+class TestInjectorOutagesCrashesSkew:
+    def test_server_down_counts_each_loss(self):
+        injector = FaultInjector(outage_plan(server_window=Window(10.0, 20.0)))
+        assert injector.server_down(15.0)
+        assert injector.server_down(16.0)
+        assert not injector.server_down(25.0)
+        assert injector.envelopes_lost_to_outage == 2
+
+    def test_server_down_at_probe_is_side_effect_free(self):
+        injector = FaultInjector(outage_plan(server_window=Window(10.0, 20.0)))
+        assert injector.server_down_at(15.0)
+        assert not injector.server_down_at(20.0)
+        assert injector.envelopes_lost_to_outage == 0
+
+    def test_issuer_down_counts_refusals(self):
+        injector = FaultInjector(outage_plan(issuer_window=Window(0.0, 5.0)))
+        assert injector.issuer_down(1.0)
+        assert not injector.issuer_down(6.0)
+        assert injector.issuance_refusals == 1
+
+    def test_crashes_in_half_open_interval(self):
+        plan = FaultPlan(crashes=(ClientCrash(10.0), ClientCrash(20.0)))
+        injector = FaultInjector(plan)
+        assert [c.time for c in injector.crashes_in(0.0, 20.0)] == [10.0]
+        assert [c.time for c in injector.crashes_in(20.0, 30.0)] == [20.0]
+
+    def test_skew_sums_applicable_offsets(self):
+        plan = FaultPlan(
+            skews=(ClockSkew(offset=30.0), ClockSkew(offset=-10.0, device_id="a"))
+        )
+        injector = FaultInjector(plan)
+        assert injector.skew_for("a") == 20.0
+        assert injector.skew_for("b") == 30.0
+
+    def test_report_mirrors_counters(self):
+        injector = FaultInjector(outage_plan(server_window=Window(0.0, 10.0)))
+        injector.server_down(5.0)
+        injector.note_crash()
+        report = injector.report()
+        assert report.envelopes_lost_to_outage == 1
+        assert report.crashes_triggered == 1
+        assert report.messages_dropped == 0

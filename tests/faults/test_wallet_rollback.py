@@ -1,0 +1,130 @@
+"""Regression: failed token issuance must roll blinded candidates back.
+
+``TokenWallet.accept_signatures`` pairs signatures with pending blindings
+strictly FIFO.  Before the rollback fix, an issuance that failed *after*
+``wallet.mint`` left its blindings orphaned at the head of the queue, so
+the next successful issuance paired fresh signatures with stale blindings
+and every token it produced failed verification — a silent, permanent
+wedge of the upload pipeline.
+"""
+
+import pytest
+
+from repro.client.app import RSPClient
+from repro.faults import FaultInjector, Window, outage_plan
+from repro.privacy.tokens import (
+    IssuerUnavailable,
+    TokenIssuer,
+    TokenRedeemer,
+    TokenWallet,
+)
+from repro.util.clock import DAY, HOUR
+from repro.world.entities import Entity
+from repro.world.geography import Point
+
+
+class StaleQuotaIssuer(TokenIssuer):
+    """An issuer whose advertised quota over-promises — the skew a client
+    with a stale cached quota view experiences."""
+
+    def remaining_quota(self, device_id: str, now: float) -> int:
+        return super().remaining_quota(device_id, now) + 2
+
+
+def minimal_client(seed=5):
+    from repro.core.classifier import OpinionClassifier, synthetic_training_pairs
+    from repro.world.entities import EntityKind
+
+    entity = Entity(
+        entity_id="e1",
+        kind=EntityKind.RESTAURANT,
+        category="thai",
+        location=Point(0.0, 0.0),
+        quality=4.0,
+    )
+    classifier = OpinionClassifier()
+    classifier.fit(*synthetic_training_pairs(40, seed=seed))
+    return RSPClient(
+        device_id="dev", catalog=[entity], classifier=classifier, seed=seed
+    )
+
+
+class TestWalletDiscardPending:
+    def test_discard_removes_only_named_blindings(self):
+        issuer = TokenIssuer(quota_per_day=10, key_seed=1, key_bits=256)
+        wallet = TokenWallet(device_id="dev", seed=1)
+        first = wallet.mint(issuer.public_key, 2)
+        second = wallet.mint(issuer.public_key, 1)
+        assert wallet.n_pending_blindings == 3
+        assert wallet.discard_pending(first) == 2
+        assert wallet.n_pending_blindings == 1
+        # The surviving blinding still pairs with its signature.
+        wallet.accept_signatures(
+            issuer.public_key, issuer.issue("dev", second, now=0.0)
+        )
+        assert wallet.balance == 1
+
+    def test_quota_exceeded_rolls_back_and_next_day_tokens_verify(self):
+        issuer = StaleQuotaIssuer(quota_per_day=2, key_seed=2, key_bits=256)
+        client = minimal_client(seed=2)
+        # The over-promised quota makes the client mint 4 blindings; the
+        # issuer signs none (the request exceeds the true quota of 2) and
+        # raises QuotaExceeded after the mint.
+        got = client.acquire_tokens(issuer, 4, now=0.0)
+        assert got == 0
+        assert client.wallet.n_pending_blindings == 0  # the regression
+        assert client.wallet.balance == 0
+        # Next day the quota renews; issuance must produce *valid* tokens.
+        got = client.acquire_tokens(issuer, 2, now=1.5 * DAY)
+        assert got == 2
+        redeemer = TokenRedeemer(issuer.public_key)
+        assert redeemer.redeem(client.wallet.spend())
+        assert redeemer.redeem(client.wallet.spend())
+
+
+class TestIssuerOutageBackoff:
+    def outage_issuer(self, window: Window):
+        issuer = TokenIssuer(quota_per_day=10, key_seed=3, key_bits=256)
+        issuer.fault_hook = FaultInjector(outage_plan(issuer_window=window))
+        return issuer
+
+    def test_issue_raises_issuer_unavailable_during_outage(self):
+        issuer = self.outage_issuer(Window(0.0, 100.0))
+        with pytest.raises(IssuerUnavailable):
+            issuer.issue("dev", [1], now=50.0)
+        assert issuer.refused_while_down == 1
+
+    def test_outage_consumes_no_quota(self):
+        issuer = self.outage_issuer(Window(0.0, 100.0))
+        before = issuer.remaining_quota("dev", 50.0)
+        with pytest.raises(IssuerUnavailable):
+            issuer.issue("dev", [1], now=50.0)
+        assert issuer.remaining_quota("dev", 50.0) == before
+
+    def test_backoff_rides_out_a_short_outage(self):
+        # Down for the first two attempts (0s, +300s); back before +1800s.
+        client = minimal_client(seed=4)
+        issuer = self.outage_issuer(Window(0.0, 1000.0))
+        got = client.acquire_tokens(issuer, 3, now=0.0)
+        assert got == 3
+        assert client.wallet.balance == 3
+        assert client.stats.issuer_retries == 2
+        assert client.stats.issuer_failures == 0
+        redeemer = TokenRedeemer(issuer.public_key)
+        assert redeemer.redeem(client.wallet.spend())
+
+    def test_exhausted_backoff_rolls_back_and_recovers_later(self):
+        # Down past the whole backoff schedule (0 + 300 + 1800 + 7200 s).
+        client = minimal_client(seed=6)
+        issuer = self.outage_issuer(Window(0.0, 10_000.0))
+        got = client.acquire_tokens(issuer, 3, now=0.0)
+        assert got == 0
+        assert client.stats.issuer_failures == 1
+        assert client.wallet.n_pending_blindings == 0  # rolled back
+        # Hours later the issuer is back; a fresh acquisition must yield
+        # tokens that verify (no FIFO desync from the failed round).
+        got = client.acquire_tokens(issuer, 2, now=10_000.0 + HOUR)
+        assert got == 2
+        redeemer = TokenRedeemer(issuer.public_key)
+        assert redeemer.redeem(client.wallet.spend())
+        assert redeemer.redeem(client.wallet.spend())

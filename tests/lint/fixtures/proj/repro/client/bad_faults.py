@@ -1,0 +1,8 @@
+"""BAD: device-side code importing the fault-injection subsystem."""
+
+from repro.faults import FaultInjector
+
+
+def peek_at_plan(injector: FaultInjector, now: float) -> bool:
+    # A real client can never know whether its upload was dropped.
+    return injector.server_down_at(now)

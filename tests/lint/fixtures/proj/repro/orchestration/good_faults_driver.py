@@ -1,0 +1,7 @@
+"""GOOD: the experiment harness is allowed to script faults."""
+
+from repro.faults import FaultInjector, FaultPlan
+
+
+def drive(plan: FaultPlan):
+    return FaultInjector(plan)
