@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check lint ruff test bench chaos
+.PHONY: check lint ruff test bench chaos scale bench-shards
 
 check:
 	bash scripts/check.sh
@@ -25,3 +25,13 @@ bench:
 chaos:
 	$(PYTHON) -m repro.lint src/repro --select faults-only-in-harness
 	$(PYTHON) -m pytest tests/faults -q
+
+# Scale suite: differential + property tests proving the sharded server
+# equivalent to the monolith, then the line-coverage floor on repro.scale.
+scale:
+	$(PYTHON) -m pytest tests/scale -q
+	$(PYTHON) scripts/coverage_gate.py --fail-under 85
+
+# Sharded maintenance benchmark; emits BENCH_3.json at the repo root.
+bench-shards:
+	$(PYTHON) -m pytest benchmarks/test_bench_shards.py --benchmark-only -q -s

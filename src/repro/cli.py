@@ -155,9 +155,16 @@ def _cmd_epochs(args: argparse.Namespace) -> int:
         PipelineConfig(horizon_days=float(args.days), seed=args.seed, retransmit=retransmit),
         n_epochs=args.epochs,
         fault_plan=plan,
+        n_shards=args.shards,
+        workers=args.workers,
     )
     if plan is not None:
         print(f"fault injection: {plan.describe()}")
+    if args.shards > 1 or args.workers > 0:
+        print(
+            f"deployment: {args.shards} shards, "
+            f"{args.workers} maintenance workers (0 = serial)"
+        )
     print(f"{'epoch':>5} {'new records':>12} {'total':>7} "
           f"{'histories':>10} {'opinions':>9} {'rejected':>9} "
           f"{'dropped':>8} {'bounced':>8} {'dup-sup':>8} {'resent':>7}")
@@ -372,6 +379,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="max send attempts per record (1 = fire-and-forget once)",
     )
     epochs.add_argument("--fault-seed", type=int, default=0, help="fault-plan seed")
+    epochs.add_argument(
+        "--shards", type=int, default=1,
+        help="store partitions (1 = monolithic server; >1 = repro.scale)",
+    )
+    epochs.add_argument(
+        "--workers", type=int, default=0,
+        help="maintenance worker processes (0 = serial in-process)",
+    )
     epochs.set_defaults(func=_cmd_epochs)
 
     figure3 = sub.add_parser("figure3", help="the three-dentist scenario")

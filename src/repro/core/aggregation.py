@@ -109,18 +109,37 @@ def deflate_groups(
 
     Returns ``(effective_interactions, raw_interactions)``.
     """
-    signature_counts: dict[tuple[float, float], int] = defaultdict(int)
-    raw = 0
+    raw = sum(len(history.records) for history in histories)
+    if raw == 0:
+        return 0.0, 0
+    times = np.empty(raw, dtype=np.float64)
+    durations = np.empty(raw, dtype=np.float64)
+    cursor = 0
     for history in histories:
         for record in history.records:
-            raw += 1
-            signature = (
-                round(record.upload.event_time / time_quantum),
-                round(record.upload.duration, 3),
-            )
-            signature_counts[signature] += 1
-    effective = float(len(signature_counts))
-    return effective, raw
+            times[cursor] = record.upload.event_time
+            durations[cursor] = record.upload.duration
+            cursor += 1
+    return deflate_groups_arrays(times, durations, time_quantum), raw
+
+
+def deflate_groups_arrays(
+    times: "np.ndarray", durations: "np.ndarray", time_quantum: float = 1.0
+) -> float:
+    """Count distinct ``(quantized time, rounded duration)`` signatures.
+
+    This is the single definition of a group signature: every caller —
+    the monolithic server and the sharded maintenance path alike — must
+    quantize through here, so re-partitioning the stores can never change
+    which interactions collapse into one group (the merge-determinism
+    contract of ``docs/SCALING.md``).
+    """
+    if times.size == 0:
+        return 0.0
+    signatures = np.column_stack(
+        (np.round(times / time_quantum), np.round(durations, 3))
+    )
+    return float(np.unique(signatures, axis=0).shape[0])
 
 
 def influence_weight(n_interactions: int, maturity_interactions: int = 3) -> float:
@@ -159,6 +178,50 @@ def summarize_entity(
         if depth is None:
             continue
         kept.append((upload.rating, influence_weight(depth, maturity_interactions)))
+    raw = sum(len(history.records) for history in histories)
+    times = np.empty(raw, dtype=np.float64)
+    durations = np.empty(raw, dtype=np.float64)
+    cursor = 0
+    for history in histories:
+        for record in history.records:
+            times[cursor] = record.upload.event_time
+            durations[cursor] = record.upload.duration
+            cursor += 1
+    return summarize_entity_from_parts(
+        entity_id=entity_id,
+        n_histories=len(histories),
+        raw_interactions=raw,
+        times=times,
+        durations=durations,
+        kept=kept,
+        explicit_ratings=explicit_ratings,
+        group_time_quantum=group_time_quantum,
+    )
+
+
+def summarize_entity_from_parts(
+    entity_id: str,
+    n_histories: int,
+    raw_interactions: int,
+    times: "np.ndarray",
+    durations: "np.ndarray",
+    kept: list[tuple[float, float]],
+    explicit_ratings: list[float],
+    group_time_quantum: float = 1.0,
+) -> EntityOpinionSummary:
+    """Assemble a summary from pre-extracted columns.
+
+    This is the single definition of the summary math.
+    :func:`summarize_entity` extracts the columns from history/opinion
+    objects; the sharded maintenance path
+    (:func:`repro.scale.kernel.summarize_partition_frame`) extracts the
+    identical columns from its cached frames — both funnel through here,
+    so the two deployments cannot drift apart.  ``kept`` must be the
+    ``(rating, weight)`` pairs in canonical (history-id-sorted) order:
+    the weight sum and ``np.average`` are order-dependent float
+    reductions, and this ordering is the contract that makes them a pure
+    function of store content (docs/SCALING.md).
+    """
     kept_ratings = [rating for rating, _ in kept]
     weight_sum = sum(weight for _, weight in kept)
     inferred_mean = (
@@ -166,7 +229,11 @@ def summarize_entity(
         if kept and weight_sum > 0
         else (float(np.mean(kept_ratings)) if kept_ratings else None)
     )
-    effective, raw = deflate_groups(histories, group_time_quantum)
+    effective = (
+        deflate_groups_arrays(times, durations, group_time_quantum)
+        if raw_interactions
+        else 0.0
+    )
     return EntityOpinionSummary(
         entity_id=entity_id,
         n_explicit_reviews=len(explicit_ratings),
@@ -175,8 +242,8 @@ def summarize_entity(
         n_inferred_opinions=len(kept_ratings),
         inferred_mean=inferred_mean,
         inferred_histogram=rating_histogram(kept_ratings),
-        n_interacting_users=len(histories),
+        n_interacting_users=n_histories,
         effective_interactions=effective,
-        raw_interactions=raw,
+        raw_interactions=raw_interactions,
         inferred_weight=weight_sum,
     )

@@ -15,8 +15,8 @@ with next-day follow-ups) and the detector only needs calibrated extremes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from collections.abc import Iterable
+from dataclasses import dataclass, field
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
@@ -36,7 +36,13 @@ class FeatureBand:
 
     @classmethod
     def from_values(cls, values: Iterable[float]) -> "FeatureBand":
-        array = np.asarray(list(values), dtype=np.float64)
+        # Sharded maintenance hands over float64 arrays; reuse them rather
+        # than round-tripping through a 10^5-element Python list.  The
+        # percentiles are identical either way (same multiset of floats).
+        if isinstance(values, np.ndarray):
+            array = np.asarray(values, dtype=np.float64)
+        else:
+            array = np.asarray(list(values), dtype=np.float64)
         if array.size == 0:
             raise ValueError("cannot build a band from no samples")
         return cls(
@@ -77,6 +83,79 @@ def _kind_of(entity_id: str, entity_kinds: dict[str, str]) -> str | None:
     return entity_kinds.get(entity_id)
 
 
+@dataclass
+class ProfilePools:
+    """Per-kind feature-value pools, not yet reduced to percentile bands.
+
+    This is the mergeable intermediate of profile building: pools from
+    disjoint subsets of the store concatenate into the pools of the whole
+    store, and every percentile taken from a pool depends only on the
+    *multiset* of values (``np.percentile`` sorts its input), never on the
+    order they were collected in.  That pair of facts is what lets the
+    sharded maintenance path (:mod:`repro.scale`) profile each shard
+    independently and still land on bit-identical global profiles.
+
+    Values may be held as Python lists or as NumPy float64 arrays; both
+    feed :class:`FeatureBand.from_values` identically.
+    """
+
+    gaps: dict[str, Sequence[float]] = field(default_factory=dict)
+    durations: dict[str, Sequence[float]] = field(default_factory=dict)
+    counts: dict[str, Sequence[float]] = field(default_factory=dict)
+    n_histories: dict[str, int] = field(default_factory=dict)
+
+
+def collect_profile_pools(
+    histories: Iterable[InteractionHistory],
+    entity_kinds: dict[str, str],
+    min_history_length: int = 2,
+) -> ProfilePools:
+    """Pool the per-kind feature values of ``histories``.
+
+    Histories shorter than ``min_history_length`` contribute counts but no
+    gap statistics (they have none).
+    """
+    pools = ProfilePools()
+    gaps: dict[str, list[float]] = pools.gaps
+    durations: dict[str, list[float]] = pools.durations
+    counts: dict[str, list[float]] = pools.counts
+    for history in histories:
+        kind = _kind_of(history.entity_id, entity_kinds)
+        if kind is None:
+            continue
+        pools.n_histories[kind] = pools.n_histories.get(kind, 0) + 1
+        counts.setdefault(kind, []).append(float(history.n_interactions))
+        durations.setdefault(kind, []).extend(history.durations())
+        if history.n_interactions >= min_history_length:
+            gaps.setdefault(kind, []).extend(history.gaps())
+    return pools
+
+
+def profiles_from_pools(pools: ProfilePools) -> dict[str, TypicalProfile]:
+    """Reduce pooled feature values to per-kind percentile profiles.
+
+    A kind with no gap or duration samples yields no profile (its
+    histories stay unjudged), mirroring the long-standing behaviour of
+    :func:`build_profiles`.
+    """
+    profiles: dict[str, TypicalProfile] = {}
+    for kind, n_histories in pools.n_histories.items():
+        kind_gaps = pools.gaps.get(kind)
+        kind_durations = pools.durations.get(kind)
+        if kind_gaps is None or len(kind_gaps) == 0:
+            continue
+        if kind_durations is None or len(kind_durations) == 0:
+            continue
+        profiles[kind] = TypicalProfile(
+            kind_label=kind,
+            gaps=FeatureBand.from_values(kind_gaps),
+            durations=FeatureBand.from_values(kind_durations),
+            counts=FeatureBand.from_values(pools.counts[kind]),
+            n_histories=n_histories,
+        )
+    return profiles
+
+
 def build_profiles(
     store: HistoryStore,
     entity_kinds: dict[str, str],
@@ -85,36 +164,14 @@ def build_profiles(
     """Merge every stored history into per-kind typical profiles.
 
     ``entity_kinds`` maps entity_id -> kind label (public catalog data).
-    Histories shorter than ``min_history_length`` contribute counts but no
-    gap statistics (they have none).
+    Composed from :func:`collect_profile_pools` and
+    :func:`profiles_from_pools` so partitioned deployments can run the
+    collection phase per shard and the reduction once, globally.
     """
-    gaps: dict[str, list[float]] = {}
-    durations: dict[str, list[float]] = {}
-    counts: dict[str, list[float]] = {}
-    histories: dict[str, int] = {}
-
-    for history in store.all_histories():
-        kind = _kind_of(history.entity_id, entity_kinds)
-        if kind is None:
-            continue
-        histories[kind] = histories.get(kind, 0) + 1
-        counts.setdefault(kind, []).append(float(history.n_interactions))
-        durations.setdefault(kind, []).extend(history.durations())
-        if history.n_interactions >= min_history_length:
-            gaps.setdefault(kind, []).extend(history.gaps())
-
-    profiles: dict[str, TypicalProfile] = {}
-    for kind in histories:
-        if not gaps.get(kind) or not durations.get(kind):
-            continue
-        profiles[kind] = TypicalProfile(
-            kind_label=kind,
-            gaps=FeatureBand.from_values(gaps[kind]),
-            durations=FeatureBand.from_values(durations[kind]),
-            counts=FeatureBand.from_values(counts[kind]),
-            n_histories=histories[kind],
-        )
-    return profiles
+    pools = collect_profile_pools(
+        store.all_histories(), entity_kinds, min_history_length
+    )
+    return profiles_from_pools(pools)
 
 
 def profile_from_histories(

@@ -94,7 +94,9 @@ class LintConfig:
         {"history_id", "record_id", "stable_digest", "stable_u64", "blind", "unblind"}
     )
     #: Package prefixes forming the server side of the architecture.
-    service_packages: tuple[str, ...] = ("repro.service",)
+    #: ``repro.scale`` is the sharded deployment of the same service and
+    #: is held to the same identity-handling rules.
+    service_packages: tuple[str, ...] = ("repro.service", "repro.scale")
 
     # -- layering: packages forming the device side of the architecture.
     client_packages: tuple[str, ...] = ("repro.client", "repro.sensing")

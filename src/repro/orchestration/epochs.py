@@ -24,6 +24,7 @@ from repro.privacy.anonymity import AnonymityNetwork, batching_network
 from repro.sensing.policy import duty_cycled_policy
 from repro.sensing.sensors import generate_trace
 from repro.orchestration.pipeline import PipelineConfig, train_classifier
+from repro.scale.server import ShardedRSPServer
 from repro.service.server import MaintenanceReport, RSPServer
 from repro.util.clock import DAY
 from repro.world.behavior import SimulationResult
@@ -63,7 +64,10 @@ class EpochReport:
 class EpochsOutcome:
     """The long-running deployment's final state and per-epoch history."""
 
-    server: RSPServer
+    #: The service endpoint: an :class:`RSPServer`, or a
+    #: :class:`~repro.scale.server.ShardedRSPServer` when the run was
+    #: sharded — both expose the same counters and query surface.
+    server: RSPServer | ShardedRSPServer
     clients: dict[str, RSPClient]
     reports: list[EpochReport] = field(default_factory=list)
     injector: FaultInjector | None = None
@@ -90,8 +94,18 @@ def run_epochs(
     classifier: OpinionClassifier | None = None,
     max_users: int | None = None,
     fault_plan: FaultPlan | None = None,
+    n_shards: int = 1,
+    workers: int = 0,
 ) -> EpochsOutcome:
     """Operate the service over ``n_epochs`` equal slices of the horizon.
+
+    ``n_shards``/``workers`` select the service deployment: the default
+    ``(1, 0)`` runs the monolithic :class:`RSPServer`; anything else runs
+    a :class:`~repro.scale.server.ShardedRSPServer` with that many store
+    partitions and maintenance worker processes.  The sharded deployment
+    is contractually bit-identical in every report this driver emits
+    (``tests/scale/test_differential.py``), so the flags are pure
+    performance knobs.
 
     With a :class:`FaultPlan`, the run is executed under deterministic
     fault injection: the plan's seeded injector is installed as the
@@ -113,14 +127,30 @@ def run_epochs(
             town, result, horizon, config.classifier, seed=config.seed
         )
 
+    if n_shards < 1:
+        raise ValueError("need at least one shard")
+    if workers < 0:
+        raise ValueError("workers must be >= 0 (0 = serial)")
+
     injector = FaultInjector(fault_plan) if fault_plan is not None else None
 
-    server = RSPServer(
-        catalog=town.entities,
-        quota_per_day=config.quota_per_day,
-        key_seed=config.seed,
-        key_bits=config.key_bits,
-    )
+    server: RSPServer | ShardedRSPServer
+    if n_shards == 1 and workers == 0:
+        server = RSPServer(
+            catalog=town.entities,
+            quota_per_day=config.quota_per_day,
+            key_seed=config.seed,
+            key_bits=config.key_bits,
+        )
+    else:
+        server = ShardedRSPServer(
+            catalog=town.entities,
+            quota_per_day=config.quota_per_day,
+            key_seed=config.seed,
+            key_bits=config.key_bits,
+            n_shards=n_shards,
+            workers=workers,
+        )
     network: AnonymityNetwork = batching_network(
         batch_interval=config.batch_interval, seed=config.seed
     )
@@ -207,9 +237,9 @@ def run_epochs(
             EpochReport(
                 epoch=epoch,
                 end_time=end_time,
-                new_records=server.history_store.n_records - records_before,
-                total_records=server.history_store.n_records,
-                total_histories=server.history_store.n_histories,
+                new_records=server.n_records - records_before,
+                total_records=server.n_records,
+                total_histories=server.n_histories,
                 n_opinions=server.n_opinions,
                 envelopes_deferred=sum(c.n_pending for c in clients.values()),
                 maintenance=maintenance,
@@ -221,7 +251,7 @@ def run_epochs(
                 server_deferred=server_deferred,
             )
         )
-        records_before = server.history_store.n_records
+        records_before = server.n_records
         rejected_before = server.rejected_envelopes
         dropped_before = dropped_now
         duplicates_before = server.duplicates_suppressed

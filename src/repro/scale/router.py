@@ -1,0 +1,65 @@
+"""Stable shard routing on the unlinkable record key.
+
+A record is routed by a prefix of the SHA-256 of its ``hash(Ru, e)``
+record identifier — the very identifier the store already keys on.  The
+router therefore learns nothing an unsharded server does not already
+know: the shard index is a public function of an identifier that is
+itself unlinkable (docs/SCALING.md walks through why this cannot weaken
+unlinkability).
+
+Routing must be *stable*: the same key maps to the same shard in every
+process, on every run, forever — a record and all of its retransmissions
+land together, so per-shard nonce dedup remains globally correct.  That
+is why the route goes through :func:`repro.util.hashing.stable_u64`
+(process-salt-free SHA-256) and never through builtin ``hash``.
+"""
+
+from __future__ import annotations
+
+from repro.util.hashing import stable_u64
+
+#: Domain-separation label so shard routing never collides with any other
+#: consumer of the stable-hash namespace.
+_ROUTE_LABEL = "scale/shard-route"
+
+
+class ShardRouter:
+    """Maps keys (record ids, entity ids, nonces, token ids) to shards."""
+
+    __slots__ = ("n_shards",)
+
+    def __init__(self, n_shards: int) -> None:
+        if n_shards < 1:
+            raise ValueError("need at least one shard")
+        self.n_shards = int(n_shards)
+
+    def shard_of(self, key: str) -> int:
+        """Shard index for a string key (record id or entity id).
+
+        Record identifiers are already 64-hex-digit SHA-256 outputs —
+        uniformly distributed by construction — so their leading 64 bits
+        route directly, without hashing a hash.  Any other string key
+        (entity ids, arbitrary test keys) takes the ``stable_u64`` path.
+        Both branches are pure functions of the key, so routing stays
+        stable across processes and runs.
+        """
+        if len(key) == 64:
+            try:
+                return int(key[:16], 16) % self.n_shards
+            except ValueError:
+                pass
+        return stable_u64(_ROUTE_LABEL, key) % self.n_shards
+
+    def shard_of_bytes(self, key: bytes) -> int:
+        """Shard index for a bytes key (envelope nonce or token id).
+
+        Nonces and token ids are uniformly random byte strings, so their
+        leading 8 bytes route directly; short keys fall back to the
+        stable hash.
+        """
+        if len(key) >= 8:
+            return int.from_bytes(key[:8], "big") % self.n_shards
+        return stable_u64(_ROUTE_LABEL, key) % self.n_shards
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ShardRouter(n_shards={self.n_shards})"

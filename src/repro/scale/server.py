@@ -1,0 +1,395 @@
+"""The sharded RSP service: N store partitions behind one intake facade.
+
+:class:`ShardedRSPServer` exposes the same surface as the monolithic
+:class:`~repro.service.server.RSPServer` — intake, maintenance, search,
+counters, ``fault_hook`` — but keys every piece of durable state to one
+of N shards:
+
+* interaction histories and inferred opinions route by their unlinkable
+  ``hash(Ru, e)`` record identifier (so a record, its re-uploads, and its
+  opinion all live together);
+* explicit reviews and entity summaries route by entity identifier;
+* the seen-nonce and spent-token tables are partitioned by their own key
+  bytes, which keeps duplicate suppression and double-spend rejection
+  *globally* exact: identical nonces (or token ids) always meet in the
+  same bucket, whatever record they arrive with.
+
+Every behaviour here is contractually bit-identical to the monolithic
+server: same accepted/rejected/duplicate classification for every intake
+sequence, same maintenance reports, verdicts, and summaries for every
+shard and worker count.  ``tests/scale`` holds the proof obligations.
+"""
+
+from __future__ import annotations
+
+from repro.core.aggregation import EntityOpinionSummary, OpinionUpload
+from repro.core.discovery import DiscoveryService, Query, SearchResponse
+from repro.core.protocol import Envelope
+from repro.core.visualization import ComparativeVisualization, compare_entities
+from repro.fraud.attestation import AttestationQuote, AttestationVerifier
+from repro.fraud.detector import DetectorConfig
+from repro.fraud.profiles import profiles_from_pools
+from repro.privacy.anonymity import Delivery
+from repro.privacy.history_store import InteractionHistory, InteractionUpload
+from repro.privacy.tokens import TokenIssuer, UploadToken
+from repro.scale import parallel
+from repro.scale.kernel import GatherFrame, build_gather
+from repro.scale.merge import merge_pools
+from repro.scale.router import ShardRouter
+from repro.scale.shard import ShardState
+from repro.service.server import ExplicitReview, MaintenanceReport
+from repro.world.entities import Entity
+
+
+class ShardedTokenRedeemer:
+    """Double-spend protection with the spent set partitioned by token id.
+
+    Buckets are chosen by the token's own identifier bytes, so the two
+    copies of a replayed token always contend in the same bucket — the
+    partition is invisible to the double-spend semantics.
+    """
+
+    def __init__(self, public_key, router: ShardRouter) -> None:
+        self._public_key = public_key
+        self._router = router
+        self._spent: list[set[int]] = [set() for _ in range(router.n_shards)]
+
+    def redeem(self, token: UploadToken) -> bool:
+        bucket = self._spent[self._router.shard_of_bytes(token.token_id)]
+        if token.token_id in bucket:
+            return False
+        if not self._public_key.verify(token.token_id, token.signature):
+            return False
+        bucket.add(token.token_id)
+        return True
+
+    @property
+    def n_redeemed(self) -> int:
+        return sum(len(bucket) for bucket in self._spent)
+
+
+class ShardedRSPServer:
+    """The re-architected service, partitioned for horizontal scale."""
+
+    def __init__(
+        self,
+        catalog: list[Entity],
+        quota_per_day: int = 48,
+        key_seed: int = 0,
+        key_bits: int = 512,
+        require_tokens: bool = True,
+        detector_config: DetectorConfig | None = None,
+        attestation: AttestationVerifier | None = None,
+        n_shards: int = 8,
+        workers: int = 0,
+    ) -> None:
+        if not catalog:
+            raise ValueError("catalog must be non-empty")
+        if workers < 0:
+            raise ValueError("workers must be >= 0 (0 = serial)")
+        self.catalog = {entity.entity_id: entity for entity in catalog}
+        self.entity_kinds = {e.entity_id: e.kind.label for e in catalog}
+        self.issuer = TokenIssuer(
+            quota_per_day=quota_per_day, key_seed=key_seed, key_bits=key_bits
+        )
+        self.require_tokens = require_tokens
+        self.attestation = attestation
+        self.rejected_attestations = 0
+        self.router = ShardRouter(n_shards)
+        #: Worker processes for maintenance (0 = in-process serial).
+        self.workers = workers
+        self.shards = [ShardState(index, key_seed) for index in range(n_shards)]
+        self._redeemer = ShardedTokenRedeemer(self.issuer.public_key, self.router)
+        self._nonce_buckets: list[set[bytes]] = [set() for _ in range(n_shards)]
+        self._discovery = DiscoveryService(catalog)
+        self._detector_config = detector_config
+        self._summaries: dict[str, EntityOpinionSummary] = {}
+        self._accepted_histories: dict[str, list[InteractionHistory]] = {}
+        self._gather: GatherFrame | None = None
+        self._gather_versions: tuple[int, ...] | None = None
+        self.rejected_envelopes = 0
+        self.duplicates_suppressed = 0
+        self.accepted_envelopes = 0
+        self.dropped_by_outage = 0
+        #: Times the worker pool died and maintenance re-ran serially.
+        self.pool_fallbacks = 0
+        #: Optional harness hook with ``server_down(now) -> bool``.
+        self.fault_hook = None
+
+    # ------------------------------------------------------------- intake
+
+    def issue_tokens(
+        self,
+        # Issuance-side identity only; the blind signature unlinks the
+        # redeemed token from this device (Section 4.2).
+        device_id: str,  # repro: allow[priv-server-identity]
+        blinded_values: list[int],
+        now: float,
+        quote: AttestationQuote | None = None,
+    ) -> list[int]:
+        """Blind-sign upload tokens for an attested device.
+
+        Issuance is a single-endpoint concern (quota windows are per
+        device), so it is not sharded; only redemption state is.
+        """
+        if self.attestation is not None:
+            if quote is None or not self.attestation.verify(quote):
+                self.rejected_attestations += 1
+                raise PermissionError(
+                    f"device {device_id} failed attestation; no tokens issued"
+                )
+        return self.issuer.issue(device_id, blinded_values, now=now)
+
+    def post_review(
+        self,
+        # Explicit reviews are the attributed legacy path (Section 2
+        # baseline); they never mix with the anonymous hash(Ru, e) stores.
+        user_id: str,  # repro: allow[priv-server-identity]
+        entity_id: str,
+        rating: int,
+        time: float,
+    ) -> None:
+        """Accept an explicit, attributed review (the legacy path)."""
+        if entity_id not in self.catalog:
+            raise KeyError(f"unknown entity {entity_id!r}")
+        shard = self.shards[self.router.shard_of(entity_id)]
+        shard.reviews.setdefault(entity_id, []).append(
+            ExplicitReview(
+                user_id=user_id, entity_id=entity_id, rating=rating, time=time
+            )
+        )
+
+    def receive(self, delivery: Delivery[Envelope]) -> bool:
+        """Process one anonymous envelope off the network.
+
+        Same check order, classification nuances, and transactional
+        accept semantics as :meth:`RSPServer.receive` — only the tables
+        are partitioned.
+        """
+        return self._receive_one(delivery)
+
+    def receive_all(self, deliveries: list[Delivery[Envelope]]) -> int:
+        return self.receive_batch(deliveries)
+
+    def receive_batch(self, deliveries: list[Delivery[Envelope]]) -> int:
+        """Batched intake: group envelopes per shard, then process.
+
+        Grouping amortizes per-shard dispatch and keeps each shard's
+        writes contiguous.  Relative order *within* a shard follows the
+        delivery order, and all state an envelope touches (its history,
+        its opinion slot, its nonce bucket, its token bucket) is keyed by
+        values the envelope itself carries — so regrouping across shards
+        cannot change any accept/reject/duplicate outcome.
+        """
+        groups: list[list[Delivery[Envelope]]] = [
+            [] for _ in range(self.router.n_shards)
+        ]
+        for delivery in deliveries:
+            groups[self._route(delivery)].append(delivery)
+        accepted = 0
+        for group in groups:
+            for delivery in group:
+                if self._receive_one(delivery):
+                    accepted += 1
+        return accepted
+
+    def _route(self, delivery: Delivery[Envelope]) -> int:
+        record = delivery.payload.record
+        key = getattr(record, "history_id", None)
+        if isinstance(key, str):
+            return self.router.shard_of(key)
+        return 0
+
+    def _receive_one(self, delivery: Delivery[Envelope]) -> bool:
+        envelope = delivery.payload
+        if self.fault_hook is not None and self.fault_hook.server_down(
+            delivery.arrival_time
+        ):
+            self.dropped_by_outage += 1
+            return False
+        nonce = getattr(envelope, "nonce", None)
+        nonce_bucket = (
+            None
+            if nonce is None
+            else self._nonce_buckets[self.router.shard_of_bytes(nonce)]
+        )
+        if self.require_tokens:
+            if envelope.token is None or not self._redeemer.redeem(envelope.token):
+                if nonce_bucket is not None and nonce in nonce_bucket:
+                    self.duplicates_suppressed += 1
+                else:
+                    self.rejected_envelopes += 1
+                return False
+        if nonce_bucket is not None and nonce in nonce_bucket:
+            self.duplicates_suppressed += 1
+            return False
+        record = envelope.record
+        try:
+            if isinstance(record, InteractionUpload):
+                if record.entity_id not in self.catalog:
+                    self.rejected_envelopes += 1
+                    return False
+                shard = self.shards[self.router.shard_of(record.history_id)]
+                stored = shard.store.append(
+                    record, arrival_time=delivery.arrival_time
+                )
+                if stored:
+                    shard.version += 1
+            elif isinstance(record, OpinionUpload):
+                if record.entity_id not in self.catalog:
+                    self.rejected_envelopes += 1
+                    return False
+                shard = self.shards[self.router.shard_of(record.history_id)]
+                shard.opinions[record.history_id] = record
+                shard.version += 1
+                stored = True
+            else:
+                self.rejected_envelopes += 1
+                return False
+        except Exception:
+            # Transactional accept: nothing durably written, so neither
+            # the counter nor the nonce may burn (mirrors RSPServer).
+            self.rejected_envelopes += 1
+            return False
+        if stored:
+            self.accepted_envelopes += 1
+            if nonce_bucket is not None:
+                nonce_bucket.add(nonce)
+        else:
+            self.rejected_envelopes += 1
+        return stored
+
+    # -------------------------------------------------------- maintenance
+
+    def gather_frame(self) -> GatherFrame:
+        """The cross-shard summarization view, cached by store version."""
+        versions = tuple(shard.version for shard in self.shards)
+        if self._gather is None or self._gather_versions != versions:
+            frames = [shard.frame(self.entity_kinds) for shard in self.shards]
+            self._gather = build_gather(
+                frames,
+                [shard.opinions for shard in self.shards],
+                self.router.shard_of,
+                self.catalog,
+            )
+            self._gather_versions = versions
+        return self._gather
+
+    def run_maintenance(self) -> MaintenanceReport:
+        """Shard-parallel maintenance with a deterministic global merge.
+
+        Three phases, each fanned across the shards (serially when
+        ``workers == 0``): **A** pools per-kind feature values per shard
+        and merges them into the global typical profiles; **B** judges
+        every shard's histories against those global profiles; **C**
+        rebuilds entity summaries per entity partition.  All merges are
+        order-independent (sums, sorted concatenations), so the report is
+        bit-identical to the monolithic cycle for any shard/worker count.
+        """
+        report = MaintenanceReport(
+            n_histories=self.n_histories,
+            n_opinions_received=self.n_opinions,
+        )
+        shard_indices = range(self.router.n_shards)
+        # Warm the per-shard frames and the cross-shard gather view in the
+        # parent, *before* the pool forks: workers then inherit read-only
+        # columnar caches and never walk the store object graphs, which
+        # keeps fork-time copy-on-write from duplicating the stores.
+        for shard in self.shards:
+            shard.frame(self.entity_kinds)
+        self.gather_frame()
+        with parallel.MaintenancePool(self, self.workers) as pool:
+            pools = pool.map(
+                parallel.collect_shard_pools, [(index,) for index in shard_indices]
+            )
+            profiles = profiles_from_pools(merge_pools(pools))
+            judgements = pool.map(
+                parallel.judge_shard,
+                [(index, profiles, self._detector_config) for index in shard_indices],
+            )
+            rejected = sorted(
+                (verdict for result in judgements for verdict in result.verdicts),
+                key=lambda verdict: verdict.history_id,
+            )
+            rejected_ids = frozenset(verdict.history_id for verdict in rejected)
+            report.n_rejected_histories = len(rejected)
+            report.rejected = rejected
+            report.n_opinions_kept = sum(
+                result.n_kept_opinions for result in judgements
+            )
+            partitions = pool.map(
+                parallel.summarize_partition,
+                [(index, rejected_ids) for index in shard_indices],
+            )
+        self._summaries = {
+            summary.entity_id: summary
+            for partition in partitions
+            for summary in partition
+        }
+        accepted_histories: dict[str, list[InteractionHistory]] = {}
+        for shard in self.shards:
+            for history in shard.store.all_histories():
+                if history.history_id in rejected_ids:
+                    continue
+                accepted_histories.setdefault(history.entity_id, []).append(history)
+        for histories in accepted_histories.values():
+            histories.sort(key=lambda history: history.history_id)
+        self._accepted_histories = accepted_histories
+        return report
+
+    # -------------------------------------------------------------- query
+
+    def summary(self, entity_id: str) -> EntityOpinionSummary | None:
+        return self._summaries.get(entity_id)
+
+    def all_summaries(self) -> dict[str, EntityOpinionSummary]:
+        """Every entity summary from the latest maintenance cycle."""
+        return dict(self._summaries)
+
+    def reviews_for(self, entity_id: str) -> list[ExplicitReview]:
+        shard = self.shards[self.router.shard_of(entity_id)]
+        return list(shard.reviews.get(entity_id, []))
+
+    def search(self, query: Query, compare_top: int = 3) -> SearchResponse:
+        """Answer a query with ranked results plus comparative visualizations
+        of the top candidates — same semantics as the monolithic server."""
+        response = self._discovery.search(query, self._summaries)
+        visualization: ComparativeVisualization | None = None
+        top = [r.entity.entity_id for r in response.results[:compare_top]]
+        if top:
+            visualization = compare_entities(
+                {
+                    entity_id: self._accepted_histories.get(entity_id, [])
+                    for entity_id in top
+                }
+            )
+        return SearchResponse(
+            query=response.query, results=response.results, visualization=visualization
+        )
+
+    # ----------------------------------------------------------- counters
+
+    @property
+    def n_records(self) -> int:
+        return sum(shard.store.n_records for shard in self.shards)
+
+    @property
+    def n_histories(self) -> int:
+        return sum(shard.store.n_histories for shard in self.shards)
+
+    @property
+    def n_opinions(self) -> int:
+        return sum(len(shard.opinions) for shard in self.shards)
+
+    @property
+    def n_explicit_reviews(self) -> int:
+        return sum(
+            len(reviews)
+            for shard in self.shards
+            for reviews in shard.reviews.values()
+        )
+
+    @property
+    def n_unique_nonces(self) -> int:
+        """Distinct envelope nonces accepted — duplicates never inflate this."""
+        return sum(len(bucket) for bucket in self._nonce_buckets)

@@ -159,6 +159,12 @@ class RSPServer:
         nuance: a token failure whose nonce is already accepted is counted
         as a suppressed duplicate rather than a rejection — an identical
         network-replayed copy carries its original's spent token.
+
+        Acceptance is transactional with store dispatch: the accept
+        counter and the nonce table are touched only after the record is
+        durably in its store, so a poisoned record that raises mid-append
+        neither inflates the counters nor burns its nonce — the sender may
+        repair and retransmit under the same nonce.
         """
         envelope = delivery.payload
         if self.fault_hook is not None and self.fault_hook.server_down(
@@ -183,27 +189,33 @@ class RSPServer:
             self.duplicates_suppressed += 1
             return False
         record = envelope.record
-        if isinstance(record, InteractionUpload):
-            if record.entity_id not in self.catalog:
-                self.rejected_envelopes += 1
-                return False
-            stored = self.history_store.append(
-                record, arrival_time=delivery.arrival_time
-            )
-            if stored:
-                self._mark_accepted(nonce)
+        try:
+            if isinstance(record, InteractionUpload):
+                if record.entity_id not in self.catalog:
+                    self.rejected_envelopes += 1
+                    return False
+                stored = self.history_store.append(
+                    record, arrival_time=delivery.arrival_time
+                )
+            elif isinstance(record, OpinionUpload):
+                if record.entity_id not in self.catalog:
+                    self.rejected_envelopes += 1
+                    return False
+                self._opinions[record.history_id] = record
+                stored = True
             else:
                 self.rejected_envelopes += 1
-            return stored
-        if isinstance(record, OpinionUpload):
-            if record.entity_id not in self.catalog:
-                self.rejected_envelopes += 1
                 return False
-            self._opinions[record.history_id] = record
+        except Exception:
+            # Store dispatch blew up: nothing was durably written, so
+            # nothing may be marked accepted.
+            self.rejected_envelopes += 1
+            return False
+        if stored:
             self._mark_accepted(nonce)
-            return True
-        self.rejected_envelopes += 1
-        return False
+        else:
+            self.rejected_envelopes += 1
+        return stored
 
     def _mark_accepted(self, nonce: bytes | None) -> None:
         self.accepted_envelopes += 1
@@ -216,7 +228,17 @@ class RSPServer:
     # -------------------------------------------------------- maintenance
 
     def run_maintenance(self) -> MaintenanceReport:
-        """Rebuild fraud profiles, filter histories, recompute summaries."""
+        """Rebuild fraud profiles, filter histories, recompute summaries.
+
+        Aggregation inputs are put into *canonical order* (histories and
+        opinions sorted by ``history_id``, entities visited in sorted
+        order, verdicts sorted by ``history_id``) before any float math
+        runs.  Floating-point reductions are order-dependent, so this is
+        what makes the cycle's output a pure function of store *content*
+        rather than arrival interleaving — and what lets the sharded
+        maintenance path of :mod:`repro.scale` reproduce it bit for bit
+        from any partitioning (see docs/SCALING.md).
+        """
         report = MaintenanceReport(
             n_histories=self.history_store.n_histories,
             n_opinions_received=len(self._opinions),
@@ -224,17 +246,21 @@ class RSPServer:
         profiles = build_profiles(self.history_store, self.entity_kinds)
         detector = FraudDetector(profiles, self.entity_kinds, self._detector_config)
         accepted, rejected = detector.filter_store(self.history_store)
+        rejected = sorted(rejected, key=lambda verdict: verdict.history_id)
         report.n_rejected_histories = len(rejected)
         report.rejected = rejected
 
         self._accepted_histories = {}
         for history in accepted:
             self._accepted_histories.setdefault(history.entity_id, []).append(history)
+        for histories in self._accepted_histories.values():
+            histories.sort(key=lambda history: history.history_id)
 
         surviving_ids = {history.history_id for history in accepted}
-        kept_opinions = [
-            o for o in self._opinions.values() if o.history_id in surviving_ids
-        ]
+        kept_opinions = sorted(
+            (o for o in self._opinions.values() if o.history_id in surviving_ids),
+            key=lambda opinion: opinion.history_id,
+        )
         report.n_opinions_kept = len(kept_opinions)
 
         opinions_by_entity: dict[str, list[OpinionUpload]] = {}
@@ -247,7 +273,7 @@ class RSPServer:
             | set(opinions_by_entity)
             | set(self._reviews)
         )
-        for entity_id in entity_ids:
+        for entity_id in sorted(entity_ids):
             self._summaries[entity_id] = summarize_entity(
                 entity_id=entity_id,
                 histories=self._accepted_histories.get(entity_id, []),
@@ -282,6 +308,19 @@ class RSPServer:
         return SearchResponse(
             query=response.query, results=response.results, visualization=visualization
         )
+
+    def all_summaries(self) -> dict[str, EntityOpinionSummary]:
+        """Every entity summary from the latest maintenance cycle."""
+        return dict(self._summaries)
+
+    @property
+    def n_records(self) -> int:
+        """Total interactions stored (shard-agnostic store-size accessor)."""
+        return self.history_store.n_records
+
+    @property
+    def n_histories(self) -> int:
+        return self.history_store.n_histories
 
     @property
     def n_unique_nonces(self) -> int:

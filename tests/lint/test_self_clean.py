@@ -29,13 +29,18 @@ def test_whole_tree_has_zero_violations():
 
 
 def test_every_waiver_is_a_known_audited_exception():
-    """Suppressions are load-bearing documentation: each one must sit in the
-    server's two sanctioned identity touchpoints, nowhere else."""
+    """Suppressions are load-bearing documentation: each one must sit in a
+    server facade's sanctioned identity touchpoints (token issuance and
+    explicit-review posting), nowhere else."""
     result = Analyzer(default_rules()).run([SRC_REPRO])
+    by_file = {}
     for violation in result.suppressed:
         assert violation.rule_id == "priv-server-identity"
-        assert violation.path.endswith("service/server.py")
-    assert len(result.suppressed) == 3
+        assert violation.path.endswith(("service/server.py", "scale/server.py"))
+        by_file[violation.path] = by_file.get(violation.path, 0) + 1
+    # The monolith's three touchpoints, mirrored minus the redeemer
+    # internals by the sharded facade.
+    assert sorted(by_file.values()) == [2, 3]
 
 
 def test_cli_exits_zero_on_the_tree(capsys):

@@ -1,0 +1,215 @@
+"""Property tests for the order-independent merges of ``repro.scale.merge``.
+
+Hand-rolled generators over ``repro.util.rng``.  Float-summing merges are
+exercised with dyadic rationals (multiples of 1/16 well inside the
+53-bit mantissa), for which IEEE-754 addition is exact — so associativity
+and commutativity can be asserted as *equality*, not approximation.
+Percentile-consuming merges (:func:`merge_pools`) are exercised with
+arbitrary floats, because their contract is permutation-invariance of the
+downstream *profiles*, which only needs the multiset to survive.
+"""
+
+import numpy as np
+
+from repro.fraud.profiles import ProfilePools, profiles_from_pools
+from repro.privacy.history_store import (
+    FoldedStats,
+    InteractionHistory,
+    InteractionUpload,
+    StoredRecord,
+)
+from repro.scale.merge import merge_counts, merge_folded, merge_histories, merge_pools
+from repro.util.rng import make_rng
+
+
+def dyadic(rng, low=0, high=16 * 4096):
+    """A float that IEEE-754 addition treats exactly: k/16."""
+    return float(int(rng.integers(low, high))) / 16.0
+
+
+def random_folded(rng):
+    n = int(rng.integers(1, 50))
+    return FoldedStats(
+        n=n,
+        earliest_event_time=dyadic(rng),
+        latest_event_time=dyadic(rng),
+        duration_sum=dyadic(rng),
+        travel_sum=dyadic(rng),
+    )
+
+
+class TestMergeFolded:
+    def test_commutative(self):
+        rng = make_rng(1, "scale/test/folded-comm")
+        for _ in range(100):
+            a, b = random_folded(rng), random_folded(rng)
+            assert merge_folded(a, b) == merge_folded(b, a)
+
+    def test_associative(self):
+        rng = make_rng(2, "scale/test/folded-assoc")
+        for _ in range(100):
+            a, b, c = (random_folded(rng) for _ in range(3))
+            assert merge_folded(merge_folded(a, b), c) == merge_folded(
+                a, merge_folded(b, c)
+            )
+
+    def test_none_and_empty_are_identities(self):
+        rng = make_rng(3, "scale/test/folded-identity")
+        a = random_folded(rng)
+        empty = FoldedStats()
+        assert merge_folded(a, None) is a
+        assert merge_folded(None, a) is a
+        assert merge_folded(a, empty) is a
+        assert merge_folded(empty, a) is a
+        assert merge_folded(None, None) is None
+
+
+def record(rng, hid, eid):
+    t = dyadic(rng)
+    return StoredRecord(
+        upload=InteractionUpload(
+            history_id=hid,
+            entity_id=eid,
+            interaction_type="visit",
+            event_time=t,
+            duration=dyadic(rng),
+            travel_km=dyadic(rng),
+        ),
+        arrival_time=t + 1.0,
+    )
+
+
+def partial_history(rng, hid="h", eid="e", n_max=6, with_folded=False):
+    records = [record(rng, hid, eid) for _ in range(int(rng.integers(0, n_max)))]
+    folded = random_folded(rng) if with_folded and rng.integers(0, 2) else None
+    return InteractionHistory(
+        history_id=hid, entity_id=eid, records=records, folded=folded
+    )
+
+
+class TestMergeHistories:
+    def test_commutative(self):
+        rng = make_rng(4, "scale/test/hist-comm")
+        for _ in range(50):
+            a = partial_history(rng, with_folded=True)
+            b = partial_history(rng, with_folded=True)
+            assert merge_histories(a, b) == merge_histories(b, a)
+
+    def test_associative(self):
+        rng = make_rng(5, "scale/test/hist-assoc")
+        for _ in range(50):
+            a, b, c = (partial_history(rng, with_folded=True) for _ in range(3))
+            assert merge_histories(merge_histories(a, b), c) == merge_histories(
+                a, merge_histories(b, c)
+            )
+
+    def test_record_multiset_preserved(self):
+        rng = make_rng(6, "scale/test/hist-multiset")
+        a, b = partial_history(rng), partial_history(rng)
+        merged = merge_histories(a, b)
+        assert sorted(
+            (r.upload.event_time, r.upload.duration) for r in merged.records
+        ) == sorted(
+            (r.upload.event_time, r.upload.duration)
+            for r in list(a.records) + list(b.records)
+        )
+
+    def test_mismatched_identifier_rejected(self):
+        rng = make_rng(7, "scale/test/hist-mismatch")
+        a = partial_history(rng, hid="h1")
+        b = partial_history(rng, hid="h2")
+        try:
+            merge_histories(a, b)
+        except ValueError:
+            pass
+        else:  # pragma: no cover - defends the assertion
+            raise AssertionError("merging different histories must fail")
+
+    def test_mismatched_entity_binding_rejected(self):
+        rng = make_rng(8, "scale/test/hist-entity")
+        a = partial_history(rng, hid="h1", eid="e1")
+        b = partial_history(rng, hid="h1", eid="e2")
+        try:
+            merge_histories(a, b)
+        except ValueError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("one identifier is bound to one entity")
+
+
+def random_counts(rng, kinds=("restaurant", "dentist", "gym")):
+    return {
+        kind: int(rng.integers(0, 100))
+        for kind in kinds
+        if rng.integers(0, 2)
+    }
+
+
+class TestMergeCounts:
+    def test_commutative_and_associative(self):
+        rng = make_rng(9, "scale/test/counts")
+        for _ in range(100):
+            a, b, c = (random_counts(rng) for _ in range(3))
+            assert merge_counts(a, b) == merge_counts(b, a)
+            assert merge_counts(merge_counts(a, b), c) == merge_counts(
+                a, merge_counts(b, c)
+            )
+
+    def test_emitted_in_sorted_key_order(self):
+        merged = merge_counts({"z": 1}, {"a": 2, "m": 3})
+        assert list(merged) == ["a", "m", "z"]
+
+
+def random_pools(rng, kinds=("restaurant", "dentist")):
+    pools = ProfilePools()
+    for kind in kinds:
+        n = int(rng.integers(0, 6))
+        if n == 0:
+            continue
+        pools.n_histories[kind] = n
+        pools.counts[kind] = [float(rng.integers(1, 20)) for _ in range(n)]
+        pools.durations[kind] = list(rng.uniform(60.0, 7200.0, size=3 * n))
+        if rng.integers(0, 2):
+            pools.gaps[kind] = np.asarray(
+                rng.uniform(3600.0, 10 * 86400.0, size=2 * n), dtype=np.float64
+            )
+    return pools
+
+
+class TestMergePools:
+    def test_concatenation_preserves_multisets(self):
+        rng = make_rng(10, "scale/test/pools-multiset")
+        parts = [random_pools(rng) for _ in range(4)]
+        merged = merge_pools(parts)
+        for field in ("gaps", "durations", "counts"):
+            expected: dict[str, list[float]] = {}
+            for pools in parts:
+                for kind, values in getattr(pools, field).items():
+                    expected.setdefault(kind, []).extend(float(v) for v in values)
+            got = getattr(merged, field)
+            assert set(got) == {k for k, v in expected.items() if v}
+            for kind in got:
+                assert sorted(float(v) for v in got[kind]) == sorted(expected[kind])
+
+    def test_profiles_invariant_under_input_permutation(self):
+        """The whole point of the mergeable intermediate: whatever order
+        shards report in, the global profiles are identical."""
+        rng = make_rng(11, "scale/test/pools-perm")
+        for trial in range(10):
+            parts = [random_pools(rng) for _ in range(5)]
+            reference = profiles_from_pools(merge_pools(parts))
+            perm_rng = make_rng(12, f"scale/test/pools-perm[{trial}]")
+            order = perm_rng.permutation(len(parts))
+            permuted = profiles_from_pools(
+                merge_pools([parts[int(i)] for i in order])
+            )
+            assert permuted == reference
+
+    def test_histories_counter_sums(self):
+        rng = make_rng(13, "scale/test/pools-counts")
+        parts = [random_pools(rng) for _ in range(3)]
+        merged = merge_pools(parts)
+        for kind in merged.n_histories:
+            assert merged.n_histories[kind] == sum(
+                p.n_histories.get(kind, 0) for p in parts
+            )

@@ -219,3 +219,77 @@ class TestAttestationGatedIssuance:
         signatures = server.issue_tokens("dev", blinded, now=0.0)
         wallet.accept_signatures(server.issuer.public_key, signatures)
         assert wallet.balance == 1
+
+
+class _PoisonedHistoryKey(str):
+    """A history key whose first hash — inside the store — explodes."""
+
+    def __hash__(self):
+        raise RuntimeError("poisoned record")
+
+
+class TestTransactionalIntake:
+    """Regression: accept bookkeeping must be transactional with store
+    dispatch.  A record that fails *inside* the store must neither count
+    as accepted nor burn its nonce — the client's retransmission of a
+    repaired record under the same nonce must still land."""
+
+    def test_poisoned_record_neither_counts_nor_burns_nonce(self):
+        town = build_town(TownConfig(n_users=3), seed=24)
+        server = RSPServer(catalog=town.entities, key_seed=24, require_tokens=False)
+        identity = DeviceIdentity.create("u", seed=1)
+        entity_id = town.entities[0].entity_id
+        good = interaction_record(identity, entity_id)
+        poisoned = InteractionUpload(
+            history_id=_PoisonedHistoryKey(good.history_id),
+            entity_id=entity_id,
+            interaction_type="visit",
+            event_time=0.0,
+            duration=1800.0,
+            travel_km=2.0,
+        )
+        envelope = Envelope(record=poisoned, token=None, nonce=b"keep-me")
+        assert not server.receive(
+            Delivery(payload=envelope, arrival_time=1.0, channel_tag="c")
+        )
+        assert server.rejected_envelopes == 1
+        assert server.accepted_envelopes == 0
+        assert server.n_unique_nonces == 0
+        assert server.history_store.n_records == 0
+        # Retransmission of the repaired record, same nonce: accepted.
+        retry = Envelope(record=good, token=None, nonce=b"keep-me")
+        assert server.receive(
+            Delivery(payload=retry, arrival_time=2.0, channel_tag="c")
+        )
+        assert server.accepted_envelopes == 1
+        assert server.history_store.n_records == 1
+
+    def test_poisoned_record_does_not_block_the_batch(self):
+        town = build_town(TownConfig(n_users=3), seed=24)
+        server = RSPServer(catalog=town.entities, key_seed=24, require_tokens=False)
+        identity = DeviceIdentity.create("u", seed=2)
+        entity_id = town.entities[0].entity_id
+        good = interaction_record(identity, entity_id)
+        poisoned = InteractionUpload(
+            history_id=_PoisonedHistoryKey(good.history_id),
+            entity_id=entity_id,
+            interaction_type="visit",
+            event_time=0.0,
+            duration=1800.0,
+            travel_km=2.0,
+        )
+        batch = [
+            Delivery(
+                payload=Envelope(record=poisoned, token=None, nonce=b"n1"),
+                arrival_time=1.0,
+                channel_tag="c",
+            ),
+            Delivery(
+                payload=Envelope(record=good, token=None, nonce=b"n2"),
+                arrival_time=2.0,
+                channel_tag="c",
+            ),
+        ]
+        assert server.receive_all(batch) == 1
+        assert server.accepted_envelopes == 1
+        assert server.rejected_envelopes == 1
