@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check lint ruff test bench chaos scale bench-shards
+.PHONY: check lint ruff test bench chaos scale bench-shards telemetry bench-telemetry
 
 check:
 	bash scripts/check.sh
@@ -35,3 +35,15 @@ scale:
 # Sharded maintenance benchmark; emits BENCH_3.json at the repo root.
 bench-shards:
 	$(PYTHON) -m pytest benchmarks/test_bench_shards.py --benchmark-only -q -s
+
+# Telemetry suite: merge-algebra properties, golden export pins, counter
+# consistency under chaos, the label-privacy lint rule, and the
+# line-coverage floor on repro.telemetry.
+telemetry:
+	$(PYTHON) -m repro.lint src/repro --select priv-telemetry-label
+	$(PYTHON) -m pytest tests/telemetry -q
+	$(PYTHON) scripts/coverage_gate.py --target telemetry --fail-under 85
+
+# Instrumentation overhead benchmark; emits BENCH_4.json at the repo root.
+bench-telemetry:
+	$(PYTHON) -m pytest benchmarks/test_bench_telemetry.py --benchmark-only -q -s

@@ -1,10 +1,10 @@
 #!/usr/bin/env python
-"""Line-coverage floor for ``src/repro/scale`` — stdlib only.
+"""Line-coverage floor for a ``src/repro`` package — stdlib only.
 
 The container has no ``coverage``/``pytest-cov``, so this gate measures
 line coverage with ``sys.settrace`` directly: the denominator is the set
 of executable lines reported by each compiled module's ``co_lines()``,
-the numerator is the set of lines actually hit while the scale test
+the numerator is the set of lines actually hit while the selected test
 suite runs in-process.
 
 Lines that only execute inside forked pool workers are invisible to the
@@ -14,6 +14,7 @@ same kernel/merge code) are what earns the floor.
 Usage::
 
     PYTHONPATH=src python scripts/coverage_gate.py --fail-under 85
+    PYTHONPATH=src python scripts/coverage_gate.py --target telemetry
 """
 
 from __future__ import annotations
@@ -26,7 +27,12 @@ from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 SRC = ROOT / "src"
-TARGET = SRC / "repro" / "scale"
+
+#: Gated packages: name -> (source tree, default pytest targets).
+TARGETS = {
+    "scale": (SRC / "repro" / "scale", ["tests/scale"]),
+    "telemetry": (SRC / "repro" / "telemetry", ["tests/telemetry"]),
+}
 
 
 def executable_lines(path: Path) -> set[int]:
@@ -45,18 +51,26 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--fail-under", type=float, default=85.0)
     parser.add_argument(
+        "--target",
+        choices=sorted(TARGETS),
+        default="scale",
+        help="which src/repro package to gate (default: scale)",
+    )
+    parser.add_argument(
         "--tests",
         nargs="*",
-        default=["tests/scale"],
-        help="pytest targets to run under the trace (default: tests/scale)",
+        default=None,
+        help="pytest targets to run under the trace (default: the target's suite)",
     )
     args = parser.parse_args()
+    target_dir, default_tests = TARGETS[args.target]
+    tests = args.tests if args.tests is not None else default_tests
 
     sys.path.insert(0, str(SRC))
     os.chdir(ROOT)
     import pytest
 
-    prefix = str(TARGET) + os.sep
+    prefix = str(target_dir) + os.sep
     hits: dict[str, set[int]] = {}
 
     def tracer(frame, event, arg):
@@ -70,7 +84,7 @@ def main() -> int:
     threading.settrace(tracer)
     sys.settrace(tracer)
     try:
-        exit_code = pytest.main(["-q", "--no-header", "-p", "no:cacheprovider", *args.tests])
+        exit_code = pytest.main(["-q", "--no-header", "-p", "no:cacheprovider", *tests])
     finally:
         sys.settrace(None)
         threading.settrace(None)  # type: ignore[arg-type]
@@ -81,7 +95,7 @@ def main() -> int:
     total_lines = 0
     total_hit = 0
     rows = []
-    for path in sorted(TARGET.rglob("*.py")):
+    for path in sorted(target_dir.rglob("*.py")):
         lines = executable_lines(path)
         hit = hits.get(str(path), set()) & lines
         total_lines += len(lines)
@@ -99,7 +113,8 @@ def main() -> int:
             print(f"    missing: {shown}{more}")
 
     total = 100.0 * total_hit / total_lines if total_lines else 100.0
-    print(f"\nTOTAL src/repro/scale: {total_hit}/{total_lines} lines = {total:.1f}%")
+    rel_target = target_dir.relative_to(ROOT)
+    print(f"\nTOTAL {rel_target}: {total_hit}/{total_lines} lines = {total:.1f}%")
     if total < args.fail_under:
         print(f"coverage gate: {total:.1f}% < --fail-under {args.fail_under:.1f}%")
         return 1

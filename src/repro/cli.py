@@ -11,6 +11,7 @@ benchmarks exercise:
 * ``audit``    — de-anonymization attacks against naive vs hardened clients
 * ``redteam``  — the fraud attacker zoo vs the typical-user detector
 * ``lint``     — the AST invariant analyzer (privacy, determinism, layering)
+* ``telemetry`` — run the service and render its observability dashboard
 """
 
 from __future__ import annotations
@@ -181,6 +182,39 @@ def _cmd_epochs(args: argparse.Namespace) -> int:
             f"{report.dropped_messages:>8} {report.rejected_envelopes:>8} "
             f"{report.duplicates_suppressed:>8} {report.retransmissions:>7}"
         )
+    return 0
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    from repro.orchestration.epochs import run_epochs
+    from repro.orchestration.pipeline import PipelineConfig
+    from repro.telemetry import AGGREGATE
+    from repro.telemetry.dashboard import render_dashboard
+
+    town, result = _build_world(args)
+    horizon = args.days * 24 * 3600.0
+    plan = _build_fault_plan(args, horizon, horizon / args.epochs)
+    outcome = run_epochs(
+        town,
+        result,
+        PipelineConfig(horizon_days=float(args.days), seed=args.seed),
+        n_epochs=args.epochs,
+        fault_plan=plan,
+        n_shards=args.shards,
+        workers=args.workers,
+    )
+    telemetry = outcome.telemetry
+    scope = AGGREGATE if args.aggregate_only else None
+    if args.json:
+        print(telemetry.export_json(scope=scope, indent=2))
+        return 0
+    if plan is not None:
+        print(f"fault injection: {plan.describe()}\n")
+    print(
+        f"deployment: {args.shards} shard(s), {args.workers} worker(s) — "
+        f"aggregate digest {telemetry.digest(scope=AGGREGATE)[:16]}…\n"
+    )
+    print(render_dashboard(telemetry, scope=scope))
     return 0
 
 
@@ -388,6 +422,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="maintenance worker processes (0 = serial in-process)",
     )
     epochs.set_defaults(func=_cmd_epochs)
+
+    telemetry = sub.add_parser(
+        "telemetry", help="run the service, then render its telemetry dashboard"
+    )
+    add_world_args(telemetry)
+    telemetry.add_argument("--epochs", type=int, default=6, help="number of sync epochs")
+    telemetry.add_argument(
+        "--drop", type=float, default=0.0, help="injected network drop rate [0, 1]"
+    )
+    telemetry.add_argument(
+        "--server-outage-epoch", type=int, default=None,
+        help="epoch (1-based) during which the upload endpoint is down",
+    )
+    telemetry.add_argument(
+        "--issuer-outage-epoch", type=int, default=None,
+        help="epoch (1-based) during which the token issuer is down",
+    )
+    telemetry.add_argument(
+        "--crash-epoch", type=int, default=None,
+        help="epoch (1-based) mid-way through which every client crashes and restores",
+    )
+    telemetry.add_argument("--fault-seed", type=int, default=0, help="fault-plan seed")
+    telemetry.add_argument(
+        "--shards", type=int, default=1,
+        help="store partitions (1 = monolithic server; >1 = repro.scale)",
+    )
+    telemetry.add_argument(
+        "--workers", type=int, default=0,
+        help="maintenance worker processes (0 = serial in-process)",
+    )
+    telemetry.add_argument(
+        "--json", action="store_true", help="print the canonical JSON export instead"
+    )
+    telemetry.add_argument(
+        "--aggregate-only", action="store_true",
+        help="restrict to the deployment-invariant (aggregate) scope",
+    )
+    telemetry.set_defaults(func=_cmd_telemetry)
 
     figure3 = sub.add_parser("figure3", help="the three-dentist scenario")
     figure3.add_argument("--seed", type=int, default=42)

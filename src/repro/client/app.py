@@ -46,6 +46,7 @@ from repro.sensing.location import extract_stay_points
 from repro.sensing.resolution import EntityResolver, ObservedInteraction
 from repro.sensing.traces import DeviceTrace
 from repro.core.protocol import AnonymousRecord, Envelope
+from repro.telemetry import NULL, Telemetry
 from repro.util.clock import DAY
 from repro.util.rng import make_rng
 from repro.world.entities import Entity
@@ -134,6 +135,9 @@ class RSPClient:
         #: ``None`` sends each record exactly once (the seed behaviour);
         #: a policy enables bounded re-sending under the same nonce.
         self.retransmit = retransmit
+        #: Aggregate-only observability sink shared with the deployment;
+        #: see :meth:`attach_telemetry`.
+        self.telemetry: Telemetry = NULL
         self._nonce_rng = make_rng(seed, f"client-nonce/{device_id}")
         self._interactions: list[ObservedInteraction] = []
         self._pending: list[PendingRecord] = []
@@ -144,6 +148,12 @@ class RSPClient:
         #: opinion is not re-uploaded every epoch.
         self._staged_opinions: dict[str, float] = {}
         self._inferred_home: Point | None = None
+
+    def attach_telemetry(self, telemetry: Telemetry) -> None:
+        """Share one deployment-wide sink with this client's components."""
+        self.telemetry = telemetry
+        self.scheduler.telemetry = telemetry
+        self.wallet.telemetry = telemetry
 
     # ------------------------------------------------------------ perceive
 
@@ -252,11 +262,13 @@ class RSPClient:
                 return 0
             except IssuerUnavailable:
                 self.stats.issuer_retries += 1
+                self.telemetry.inc("client.issuer.retries")
                 continue
             self.wallet.accept_signatures(issuer.public_key, signatures)
             return allowed
         self.wallet.discard_pending(blinded)
         self.stats.issuer_failures += 1
+        self.telemetry.inc("client.issuer.failures")
         return 0
 
     def _submit_pending(
@@ -309,10 +321,13 @@ class RSPClient:
             self._submit_pending(pending, network, now)
             submitted += 1
             self.stats.retransmissions += 1
+            self.telemetry.inc("client.retransmissions")
 
         max_attempts = 1 if self.retransmit is None else self.retransmit.max_attempts
         self._pending = [p for p in self._pending if p.attempts < max_attempts]
         self.stats.envelopes_submitted += submitted
+        if submitted:
+            self.telemetry.inc("client.envelopes.submitted", submitted)
         self.stats.envelopes_deferred = self.n_pending
         return submitted
 

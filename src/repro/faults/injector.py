@@ -20,6 +20,7 @@ same decisions in the same order.
 from __future__ import annotations
 
 from repro.faults.plan import ClientCrash, FaultPlan, FaultReport
+from repro.telemetry import NULL, Telemetry
 from repro.util.rng import make_rng
 
 
@@ -35,6 +36,8 @@ class FaultInjector:
         self.envelopes_lost_to_outage = 0
         self.issuance_refusals = 0
         self.crashes_triggered = 0
+        #: Aggregate-only sink; counts injected events by kind.
+        self.telemetry: Telemetry = NULL
 
     # ------------------------------------------------------------- network
 
@@ -48,6 +51,7 @@ class FaultInjector:
             if drop.window.contains(submit_time):
                 if float(self._rng.random()) < drop.rate:
                     self.messages_dropped += 1
+                    self.telemetry.inc("faults.injected", kind="drop")
                     return []
         extra = 0.0
         for delay in self.plan.delays:
@@ -55,6 +59,7 @@ class FaultInjector:
                 extra += float(self._rng.uniform(0.0, delay.max_extra))
         if extra > 0:
             self.messages_delayed += 1
+            self.telemetry.inc("faults.injected", kind="delay")
         fates = [submit_time + extra]
         for dup in self.plan.duplicates:
             if dup.window.contains(submit_time):
@@ -66,6 +71,7 @@ class FaultInjector:
                     )
                     fates.append(submit_time + extra + offset)
                     self.messages_duplicated += 1
+                    self.telemetry.inc("faults.injected", kind="duplicate")
         return fates
 
     # ------------------------------------------------------------- outages
@@ -75,6 +81,7 @@ class FaultInjector:
         for outage in self.plan.server_outages:
             if outage.window.contains(now):
                 self.envelopes_lost_to_outage += 1
+                self.telemetry.inc("faults.injected", kind="server-outage")
                 return True
         return False
 
@@ -87,6 +94,7 @@ class FaultInjector:
         for outage in self.plan.issuer_outages:
             if outage.window.contains(now):
                 self.issuance_refusals += 1
+                self.telemetry.inc("faults.injected", kind="issuer-outage")
                 return True
         return False
 
@@ -98,6 +106,7 @@ class FaultInjector:
 
     def note_crash(self) -> None:
         self.crashes_triggered += 1
+        self.telemetry.inc("faults.injected", kind="crash")
 
     def skew_for(self, device_id: str) -> float:
         """Total clock offset applying to one device."""

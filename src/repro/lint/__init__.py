@@ -2,10 +2,10 @@
 
 The paper's guarantees are structural, so the linter checks structure:
 
-* **privacy taint** (``priv-taint-sink``, ``priv-server-identity``) —
-  raw identities reach upload/publication sinks only through
-  ``hash(Ru, e)`` / blind-signature sanitizers, and never surface in
-  service-layer APIs;
+* **privacy taint** (``priv-taint-sink``, ``priv-server-identity``,
+  ``priv-telemetry-label``) — raw identities reach upload/publication
+  sinks only through ``hash(Ru, e)`` / blind-signature sanitizers, never
+  surface in service-layer APIs, and never appear in telemetry labels;
 * **determinism** (``det-random-module``, ``det-wall-clock``,
   ``det-numpy-random``) — all entropy flows through ``repro.util.rng``
   and all time through ``repro.util.clock``;
@@ -46,11 +46,16 @@ def default_rules() -> list[Rule]:
         ClientImportsServiceRule,
         ServiceImportsClientRule,
     )
-    from repro.lint.rules_privacy import ServerIdentityRule, SinkTaintRule
+    from repro.lint.rules_privacy import (
+        ServerIdentityRule,
+        SinkTaintRule,
+        TelemetryLabelRule,
+    )
 
     return [
         SinkTaintRule(),
         ServerIdentityRule(),
+        TelemetryLabelRule(),
         RandomModuleRule(),
         WallClockRule(),
         NumpyRandomRule(),

@@ -98,6 +98,20 @@ class LintConfig:
     #: is held to the same identity-handling rules.
     service_packages: tuple[str, ...] = ("repro.service", "repro.scale")
 
+    # -- telemetry labels: where the label-privacy policy is enforced.
+    #: Attribute spellings that hold a telemetry sink (``self.telemetry``,
+    #: a bare ``telemetry`` local, or its ``metrics``/``spans`` facets).
+    telemetry_receivers: frozenset[str] = frozenset({"telemetry", "metrics", "spans"})
+    #: Recording methods whose keyword arguments are label positions.
+    telemetry_methods: frozenset[str] = frozenset(
+        {"inc", "observe", "set_gauge", "span", "record"}
+    )
+    #: Keyword parameters of those methods that carry measurement values,
+    #: not labels — exempt from the label taint check.
+    telemetry_value_params: frozenset[str] = frozenset(
+        {"n", "value", "buckets", "scope", "start", "end", "now"}
+    )
+
     # -- layering: packages forming the device side of the architecture.
     client_packages: tuple[str, ...] = ("repro.client", "repro.sensing")
 

@@ -17,7 +17,11 @@ summary.  These rules make that flow illegal at the AST level:
   exceptions (the attributed legacy-review path and the issuance-side
   ``device_id`` used only for token quotas) carry explicit, justified
   ``# repro: allow[priv-server-identity]`` suppressions so every identity
-  touchpoint in the server is auditable.
+  touchpoint in the server is auditable;
+* ``priv-telemetry-label`` — telemetry label positions may carry only
+  coarse categories (entity kinds, shard indices, epoch numbers).  An
+  identity-bearing value in a metric or span label would republish through
+  the observability side channel exactly what the upload path hides.
 """
 
 from __future__ import annotations
@@ -35,6 +39,36 @@ def _last_segment(func: ast.expr) -> str | None:
     if isinstance(func, ast.Name):
         return func.id
     return None
+
+
+def _iter_tainted(config: LintConfig, node: ast.expr) -> Iterator[tuple[ast.expr, str]]:
+    """Identity-bearing names reachable in ``node``, sanitizers excepted.
+
+    Descends through nested calls (a taint wrapped only in formatting is
+    still a taint) but stops at sanctioned sanitizer calls, whose output
+    is unlinkable by construction.  Each finding stops its own branch, so
+    ``record.device_id`` reports once, not per attribute segment.
+    """
+    if isinstance(node, ast.Call):
+        callee = _last_segment(node.func)
+        if callee in config.sanitizers:
+            return  # sanctioned: the call's output is unlinkable
+        for child in list(node.args) + [kw.value for kw in node.keywords]:
+            yield from _iter_tainted(config, child)
+        if isinstance(node.func, ast.Attribute):
+            yield from _iter_tainted(config, node.func.value)
+        return
+    tainted: str | None = None
+    if isinstance(node, ast.Name) and node.id in config.identity_names:
+        tainted = node.id
+    elif isinstance(node, ast.Attribute) and node.attr in config.identity_names:
+        tainted = node.attr
+    if tainted is not None:
+        yield node, tainted
+        return
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, ast.expr):
+            yield from _iter_tainted(config, child)
 
 
 class SinkTaintRule(Rule):
@@ -55,37 +89,15 @@ class SinkTaintRule(Rule):
                 continue
             values = list(node.args) + [kw.value for kw in node.keywords]
             for value in values:
-                yield from self._scan(module, config, sink, value)
-
-    def _scan(
-        self, module: ParsedModule, config: LintConfig, sink: str, node: ast.expr
-    ) -> Iterator[Violation]:
-        if isinstance(node, ast.Call):
-            callee = _last_segment(node.func)
-            if callee in config.sanitizers:
-                return  # sanctioned: the call's output is unlinkable
-            for child in list(node.args) + [kw.value for kw in node.keywords]:
-                yield from self._scan(module, config, sink, child)
-            if isinstance(node.func, ast.Attribute):
-                yield from self._scan(module, config, sink, node.func.value)
-            return
-        tainted: str | None = None
-        if isinstance(node, ast.Name) and node.id in config.identity_names:
-            tainted = node.id
-        elif isinstance(node, ast.Attribute) and node.attr in config.identity_names:
-            tainted = node.attr
-        if tainted is not None:
-            yield self.violation(
-                module,
-                node,
-                f"identity-bearing `{tainted}` flows into `{sink}(...)`; route it "
-                "through a sanctioned sanitizer (e.g. DeviceIdentity.history_id "
-                "or repro.util.hashing.record_id) or drop it from the payload",
-            )
-            return
-        for child in ast.iter_child_nodes(node):
-            if isinstance(child, ast.expr):
-                yield from self._scan(module, config, sink, child)
+                for tainted_node, tainted in _iter_tainted(config, value):
+                    yield self.violation(
+                        module,
+                        tainted_node,
+                        f"identity-bearing `{tainted}` flows into `{sink}(...)`; "
+                        "route it through a sanctioned sanitizer (e.g. "
+                        "DeviceIdentity.history_id or repro.util.hashing."
+                        "record_id) or drop it from the payload",
+                    )
 
 
 class ServerIdentityRule(Rule):
@@ -143,3 +155,43 @@ class ServerIdentityRule(Rule):
                     f"field `{target.id}`; server-side records must be keyed by "
                     "hash(Ru, e) identifiers (or suppress with a stated invariant)",
                 )
+
+
+class TelemetryLabelRule(Rule):
+    rule_id = "priv-telemetry-label"
+    description = "identity-bearing value used as a telemetry label"
+    rationale = (
+        "metrics and spans are exported, merged, and plotted far from the "
+        "upload path's unlinkability machinery; a user_id/device_id/secret in "
+        "a label position republishes through the observability side channel "
+        "exactly what hash(Ru, e) keying hides — labels may carry only entity "
+        "categories, shard indices, and epoch numbers (docs/OBSERVABILITY.md)"
+    )
+
+    def check(self, module: ParsedModule, config: LintConfig) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr not in config.telemetry_methods:
+                continue
+            if _last_segment(func.value) not in config.telemetry_receivers:
+                continue
+            for keyword in node.keywords:
+                if (
+                    keyword.arg is not None
+                    and keyword.arg in config.telemetry_value_params
+                ):
+                    continue
+                label = keyword.arg if keyword.arg is not None else "**"
+                for tainted_node, tainted in _iter_tainted(config, keyword.value):
+                    yield self.violation(
+                        module,
+                        tainted_node,
+                        f"identity-bearing `{tainted}` reaches telemetry label "
+                        f"`{label}` on `{func.attr}(...)`; labels may carry only "
+                        "entity categories, shard indices, and epoch numbers — "
+                        "aggregate the value or drop the label",
+                    )

@@ -26,6 +26,7 @@ from repro.sensing.sensors import generate_trace
 from repro.orchestration.pipeline import PipelineConfig, train_classifier
 from repro.scale.server import ShardedRSPServer
 from repro.service.server import MaintenanceReport, RSPServer
+from repro.telemetry import Telemetry
 from repro.util.clock import DAY
 from repro.world.behavior import SimulationResult
 from repro.world.population import Town
@@ -71,6 +72,10 @@ class EpochsOutcome:
     clients: dict[str, RSPClient]
     reports: list[EpochReport] = field(default_factory=list)
     injector: FaultInjector | None = None
+    #: The deployment-wide observability sink shared by every component of
+    #: the run; the :class:`EpochReport` robustness fields are derived from
+    #: its counters (see docs/OBSERVABILITY.md).
+    telemetry: Telemetry | None = None
 
     @property
     def n_epochs(self) -> int:
@@ -113,8 +118,9 @@ def run_epochs(
     the driver additionally simulates client crash–restore (each client is
     checkpointed after every sync; a crashed client is rebuilt from its
     latest durable checkpoint) and maintenance deferral (an epoch whose
-    end falls inside a server outage skips ingestion and maintenance — the
-    batch job waits for the endpoint, and the mix keeps buffering).
+    end falls inside a server outage skips maintenance — the batch job
+    holds the mix's released deliveries and replays them at the catch-up
+    cycle, so nothing buffered during the outage is ever counted as lost).
     """
     if n_epochs < 1:
         raise ValueError("need at least one epoch")
@@ -154,7 +160,14 @@ def run_epochs(
     network: AnonymityNetwork = batching_network(
         batch_interval=config.batch_interval, seed=config.seed
     )
+    # One shared sink for the whole deployment: the server (and its
+    # issuer), the mix, the injector, and every client record into the
+    # same registry, so the epoch reports below are pure derived views.
+    telemetry = Telemetry()
+    server.attach_telemetry(telemetry)
+    network.telemetry = telemetry
     if injector is not None:
+        injector.telemetry = telemetry
         network.fault_hook = injector
         server.fault_hook = injector
         server.issuer.fault_hook = injector
@@ -171,18 +184,28 @@ def run_epochs(
         )
         for index, user in enumerate(users)
     }
+    for client in clients.values():
+        client.attach_telemetry(telemetry)
     # Durable state as of the last completed sync (install-time initially);
     # a crash rolls the client back to exactly this.
     checkpoints: dict[str, dict] = {
         user_id: client.checkpoint() for user_id, client in clients.items()
     }
 
-    outcome = EpochsOutcome(server=server, clients=clients, injector=injector)
+    outcome = EpochsOutcome(
+        server=server, clients=clients, injector=injector, telemetry=telemetry
+    )
     records_before = 0
     rejected_before = 0
     dropped_before = 0
     duplicates_before = 0
     retransmissions_before = 0
+    #: Deliveries already released by the mix while the upload endpoint was
+    #: down.  The deferred batch job holds them here and replays them at
+    #: the catch-up cycle with ``now=ingest_time`` — they were buffered,
+    #: not lost, so the outage check must use the catch-up time, not the
+    #: (in-outage) arrival times stamped when the mix flushed.
+    held_backlog: list = []
     for epoch in range(1, n_epochs + 1):
         start_time = (epoch - 1) * epoch_length
         end_time = epoch * epoch_length
@@ -202,6 +225,7 @@ def run_epochs(
                         upload_config=config.upload,
                         retransmit=config.retransmit,
                     )
+                    restored.attach_telemetry(telemetry)
                     clients[user.user_id] = restored
                     outcome.clients[user.user_id] = restored
 
@@ -225,14 +249,29 @@ def run_epochs(
         ingest_time = end_time + 2 * DAY
         server_deferred = injector is not None and injector.server_down_at(ingest_time)
         maintenance: MaintenanceReport | None = None
-        if not server_deferred:
+        if server_deferred:
+            # The batch job waits for the endpoint; drain the mix's
+            # released batches into the driver-held backlog so the
+            # catch-up cycle can replay them without the outage check
+            # mistaking buffered deliveries for in-outage arrivals.
+            held_backlog.extend(network.deliveries_until(ingest_time))
+        else:
+            if held_backlog:
+                server.receive_all(held_backlog, now=ingest_time)
+                held_backlog = []
             server.receive_all(network.deliveries_until(ingest_time))
-            maintenance = server.run_maintenance()
+            maintenance = server.run_maintenance(now=ingest_time)
 
-        dropped_now = network.n_dropped + server.dropped_by_outage
-        retransmissions_now = sum(
-            c.stats.retransmissions for c in clients.values()
+        telemetry.span("epoch", start_time, end_time, epoch=epoch)
+        # The robustness fields are derived views of the shared telemetry
+        # registry — tests/telemetry/test_counter_consistency.py pins them
+        # to the legacy server/injector counters.
+        rejected_now = telemetry.total("rsp.envelopes.rejected")
+        dropped_now = telemetry.total("mix.dropped") + telemetry.total(
+            "rsp.envelopes.outage_dropped"
         )
+        duplicates_now = telemetry.total("rsp.envelopes.duplicate")
+        retransmissions_now = telemetry.total("client.retransmissions")
         outcome.reports.append(
             EpochReport(
                 epoch=epoch,
@@ -243,17 +282,17 @@ def run_epochs(
                 n_opinions=server.n_opinions,
                 envelopes_deferred=sum(c.n_pending for c in clients.values()),
                 maintenance=maintenance,
-                rejected_envelopes=server.rejected_envelopes - rejected_before,
+                rejected_envelopes=rejected_now - rejected_before,
                 dropped_messages=dropped_now - dropped_before,
-                duplicates_suppressed=server.duplicates_suppressed - duplicates_before,
+                duplicates_suppressed=duplicates_now - duplicates_before,
                 retransmissions=retransmissions_now - retransmissions_before,
                 crash_restores=crash_restores,
                 server_deferred=server_deferred,
             )
         )
         records_before = server.n_records
-        rejected_before = server.rejected_envelopes
+        rejected_before = rejected_now
         dropped_before = dropped_now
-        duplicates_before = server.duplicates_suppressed
+        duplicates_before = duplicates_now
         retransmissions_before = retransmissions_now
     return outcome

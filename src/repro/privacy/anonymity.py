@@ -23,6 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Generic, TypeVar
 
+from repro.telemetry import NULL, Telemetry
+from repro.telemetry.catalog import MIX_BATCH_BUCKETS
 from repro.util.rng import make_rng
 
 P = TypeVar("P")
@@ -84,6 +86,9 @@ class AnonymityNetwork(Generic[P]):
         self.fault_hook = fault_hook
         self.n_dropped = 0
         self.n_duplicated = 0
+        #: Aggregate-only observability sink.  The mix reports batch
+        #: sizes and queue depth — never channel tags or payload shapes.
+        self.telemetry: Telemetry = NULL
         self._rng = make_rng(seed, "anonymity-network")
         self._pending: list[_Pending[P]] = []
         self._delivered: list[Delivery[P]] = []
@@ -95,15 +100,20 @@ class AnonymityNetwork(Generic[P]):
 
     def submit(self, payload: P, submit_time: float, channel_tag: str) -> None:
         """A client hands the network one message (possibly lost in transit)."""
+        self.telemetry.inc("mix.submissions")
         if self.drop_rate > 0 and self._rng.random() < self.drop_rate:
             self.n_dropped += 1
+            self.telemetry.inc("mix.dropped")
             return
         if self.fault_hook is not None:
             fates = self.fault_hook.network_fates(submit_time)
             if not fates:
                 self.n_dropped += 1
+                self.telemetry.inc("mix.dropped")
                 return
             self.n_duplicated += len(fates) - 1
+            if len(fates) > 1:
+                self.telemetry.inc("mix.duplicated", len(fates) - 1)
             for effective_time in fates:
                 self._pending.append(
                     _Pending(
@@ -138,6 +148,9 @@ class AnonymityNetwork(Generic[P]):
                 batch = [p for p in self._pending if p.submit_time < boundary]
                 self._pending = [p for p in self._pending if p.submit_time >= boundary]
                 if batch:
+                    self.telemetry.observe(
+                        "mix.batch_size", len(batch), buckets=MIX_BATCH_BUCKETS
+                    )
                     order = self._rng.permutation(len(batch))
                     for index in order:
                         p = batch[int(index)]
@@ -151,6 +164,7 @@ class AnonymityNetwork(Generic[P]):
                 self._last_flush = boundary
                 boundary += self.batch_interval
         self._delivered.extend(out)
+        self.telemetry.set_gauge("mix.queue_depth", len(self._pending))
         return out
 
     @property

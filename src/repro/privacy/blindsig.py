@@ -29,6 +29,7 @@ import hashlib
 import math
 from dataclasses import dataclass
 
+from repro.telemetry import NULL, Telemetry
 from repro.util.rng import make_rng
 
 #: Deterministic Miller–Rabin bases: exact for all n < 3,317,044,064,679,887,385,961,981.
@@ -156,8 +157,17 @@ class BlindingResult:
     unblinder: int  # r^{-1} mod n
 
 
-def blind(public: RSAPublicKey, message: bytes, seed: int) -> BlindingResult:
-    """Blind a message for signing: ``H(m) * r^e mod n``."""
+def blind(
+    public: RSAPublicKey,
+    message: bytes,
+    seed: int,
+    telemetry: Telemetry = NULL,
+) -> BlindingResult:
+    """Blind a message for signing: ``H(m) * r^e mod n``.
+
+    ``telemetry`` counts the operation (aggregate volume only — the
+    message, factor, and blinded value never reach a label).
+    """
     gen = make_rng(seed, "blinding")
     n = public.n
     while True:
@@ -166,9 +176,16 @@ def blind(public: RSAPublicKey, message: bytes, seed: int) -> BlindingResult:
             break
     h = public.hash_to_group(message)
     blinded = (h * pow(r, public.e, n)) % n
+    telemetry.inc("blindsig.blind_ops")
     return BlindingResult(message=message, blinded=blinded, unblinder=pow(r, -1, n))
 
 
-def unblind(public: RSAPublicKey, blinding: BlindingResult, blind_signature: int) -> int:
+def unblind(
+    public: RSAPublicKey,
+    blinding: BlindingResult,
+    blind_signature: int,
+    telemetry: Telemetry = NULL,
+) -> int:
     """Recover the real signature: ``blind_signature * r^{-1} mod n``."""
+    telemetry.inc("blindsig.unblind_ops")
     return (blind_signature * blinding.unblinder) % public.n

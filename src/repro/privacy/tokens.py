@@ -30,6 +30,7 @@ from repro.privacy.blindsig import (
     generate_keypair,
     unblind,
 )
+from repro.telemetry import NULL, Telemetry
 from repro.util.clock import DAY
 from repro.util.rng import make_rng
 
@@ -66,6 +67,9 @@ class TokenIssuer:
         #: issuer never imports the fault harness itself.
         self.fault_hook = None
         self.refused_while_down = 0
+        #: Aggregate-only observability sink — issuance volumes and
+        #: refusal reasons, never device identities.
+        self.telemetry: Telemetry = NULL
         self._keypair: RSAKeyPair = generate_keypair(bits=key_bits, seed=key_seed)
         self._issued_today: dict[str, int] = {}
         self._window_start: dict[str, float] = {}
@@ -84,6 +88,7 @@ class TokenIssuer:
         """
         if self.fault_hook is not None and self.fault_hook.issuer_down(now):
             self.refused_while_down += 1
+            self.telemetry.inc("issuer.refusals", reason="outage")
             raise IssuerUnavailable(f"token issuer down at t={now:.0f}")
         window = self._window_start.get(device_id)
         if window is None or now - window >= DAY:
@@ -91,11 +96,13 @@ class TokenIssuer:
             self._issued_today[device_id] = 0
         used = self._issued_today[device_id]
         if used + len(blinded_values) > self.quota_per_day:
+            self.telemetry.inc("issuer.refusals", reason="quota")
             raise QuotaExceeded(
                 f"device {device_id} requested {len(blinded_values)} tokens "
                 f"with {self.quota_per_day - used} remaining today"
             )
         self._issued_today[device_id] = used + len(blinded_values)
+        self.telemetry.inc("issuer.tokens.issued", len(blinded_values))
         return [self._keypair.sign_raw(value) for value in blinded_values]
 
     def remaining_quota(self, device_id: str, now: float) -> int:
@@ -135,6 +142,8 @@ class TokenWallet:
     _pending: list[BlindingResult] = field(default_factory=list)
     _tokens: list[UploadToken] = field(default_factory=list)
     _minted: int = 0
+    #: Aggregate-only sink; counts blinding operations, never token ids.
+    telemetry: Telemetry = field(default=NULL, repr=False, compare=False)
 
     def mint(self, public_key, count: int) -> list[int]:
         """Create ``count`` fresh blinded token identifiers to send for signing."""
@@ -145,9 +154,15 @@ class TokenWallet:
         for _ in range(count):
             token_id = bytes(rng.bytes(32)) + self._minted.to_bytes(8, "big")
             self._minted += 1
-            result = blind(public_key, token_id, seed=int(rng.integers(0, 2**62)))
+            result = blind(
+                public_key,
+                token_id,
+                seed=int(rng.integers(0, 2**62)),
+                telemetry=self.telemetry,
+            )
             self._pending.append(result)
             blinded.append(result.blinded)
+        self.telemetry.inc("client.tokens.blinded", count)
         return blinded
 
     def accept_signatures(self, public_key, blind_signatures: list[int]) -> None:
@@ -158,7 +173,9 @@ class TokenWallet:
             blinding = self._pending.pop(0)
             token = UploadToken(
                 token_id=blinding.message,
-                signature=unblind(public_key, blinding, signature),
+                signature=unblind(
+                    public_key, blinding, signature, telemetry=self.telemetry
+                ),
             )
             if not public_key.verify(token.token_id, token.signature):
                 raise ValueError("issuer returned an invalid signature")

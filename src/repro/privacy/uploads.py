@@ -26,6 +26,8 @@ from repro.privacy.anonymity import AnonymityNetwork
 from repro.privacy.history_store import InteractionUpload
 from repro.privacy.identifiers import DeviceIdentity
 from repro.sensing.resolution import ObservedInteraction
+from repro.telemetry import NULL, Telemetry
+from repro.telemetry.catalog import UPLOAD_DELAY_BUCKETS
 from repro.util.clock import DAY, HOUR
 from repro.util.rng import make_rng
 
@@ -97,6 +99,8 @@ class UploadScheduler:
         self.config = config or hardened_config()
         self._rng = make_rng(seed, f"uploads/{identity.device_id}")
         self._stable_tag = f"chan-{identity.device_id}"
+        #: Aggregate-only sink; observes delays, never tags or records.
+        self.telemetry: Telemetry = NULL
 
     def rng_state(self) -> dict:
         """The scheduler's RNG state, for durable client checkpoints."""
@@ -142,6 +146,9 @@ class UploadScheduler:
             if self.config.max_upload_delay > 0
             else 0.0
         )
+        self.telemetry.observe(
+            "client.upload_delay", delay, buckets=UPLOAD_DELAY_BUCKETS
+        )
         network.submit(
             payload=payload,
             submit_time=base_time + delay,
@@ -165,6 +172,9 @@ class UploadScheduler:
                 float(self._rng.uniform(0, self.config.max_upload_delay))
                 if self.config.max_upload_delay > 0
                 else 0.0
+            )
+            self.telemetry.observe(
+                "client.upload_delay", delay, buckets=UPLOAD_DELAY_BUCKETS
             )
             network.submit(
                 payload=upload,

@@ -35,6 +35,8 @@ from repro.scale.kernel import (
     judge_frame,
     summarize_partition_frame,
 )
+from repro.telemetry import DEPLOYMENT
+from repro.telemetry.catalog import POOL_CHUNK_BUCKETS
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.scale.server import ShardedRSPServer
@@ -92,6 +94,13 @@ class MaintenancePool:
         """
         if self._executor is not None:
             chunks = _split_chunks(argument_tuples, self.workers)
+            for chunk in chunks:
+                self.server.telemetry.observe(
+                    "rsp.pool.chunk",
+                    len(chunk),
+                    buckets=POOL_CHUNK_BUCKETS,
+                    scope=DEPLOYMENT,
+                )
             try:
                 futures = [
                     self._executor.submit(_run_chunk, fn, chunk) for chunk in chunks
@@ -101,6 +110,7 @@ class MaintenancePool:
                 # Task functions are pure, so recomputing everything
                 # serially is safe and lands on the identical result.
                 self.server.pool_fallbacks += 1
+                self.server.telemetry.inc("rsp.pool.fallbacks", scope=DEPLOYMENT)
                 self._close_executor()
         return [fn(*arguments) for arguments in argument_tuples]
 

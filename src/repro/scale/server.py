@@ -38,6 +38,12 @@ from repro.scale.merge import merge_pools
 from repro.scale.router import ShardRouter
 from repro.scale.shard import ShardState
 from repro.service.server import ExplicitReview, MaintenanceReport
+from repro.telemetry import DEPLOYMENT, NULL, Telemetry
+from repro.telemetry.catalog import (
+    INGEST_LAG_BUCKETS,
+    INTAKE_BATCH_BUCKETS,
+    SHARD_BATCH_BUCKETS,
+)
 from repro.world.entities import Entity
 
 
@@ -115,6 +121,16 @@ class ShardedRSPServer:
         self.pool_fallbacks = 0
         #: Optional harness hook with ``server_down(now) -> bool``.
         self.fault_hook = None
+        #: Aggregate metrics here are emitted with the *same* names and
+        #: values as the monolith's (integer arithmetic makes them
+        #: grouping-order independent); per-shard detail is emitted under
+        #: DEPLOYMENT scope and excluded from the invariant digest.
+        self.telemetry: Telemetry = NULL
+
+    def attach_telemetry(self, telemetry: Telemetry) -> None:
+        """Install a shared telemetry sink on the facade and its issuer."""
+        self.telemetry = telemetry
+        self.issuer.telemetry = telemetry
 
     # ------------------------------------------------------------- intake
 
@@ -158,20 +174,25 @@ class ShardedRSPServer:
                 user_id=user_id, entity_id=entity_id, rating=rating, time=time
             )
         )
+        self.telemetry.inc("rsp.reviews.posted")
 
-    def receive(self, delivery: Delivery[Envelope]) -> bool:
+    def receive(self, delivery: Delivery[Envelope], now: float | None = None) -> bool:
         """Process one anonymous envelope off the network.
 
-        Same check order, classification nuances, and transactional
-        accept semantics as :meth:`RSPServer.receive` — only the tables
-        are partitioned.
+        Same check order, classification nuances, transactional accept
+        semantics, and ``now`` override as :meth:`RSPServer.receive` —
+        only the tables are partitioned.
         """
-        return self._receive_one(delivery)
+        return self._receive_one(delivery, now=now)
 
-    def receive_all(self, deliveries: list[Delivery[Envelope]]) -> int:
-        return self.receive_batch(deliveries)
+    def receive_all(
+        self, deliveries: list[Delivery[Envelope]], now: float | None = None
+    ) -> int:
+        return self.receive_batch(deliveries, now=now)
 
-    def receive_batch(self, deliveries: list[Delivery[Envelope]]) -> int:
+    def receive_batch(
+        self, deliveries: list[Delivery[Envelope]], now: float | None = None
+    ) -> int:
         """Batched intake: group envelopes per shard, then process.
 
         Grouping amortizes per-shard dispatch and keeps each shard's
@@ -181,15 +202,26 @@ class ShardedRSPServer:
         values the envelope itself carries — so regrouping across shards
         cannot change any accept/reject/duplicate outcome.
         """
+        self.telemetry.observe(
+            "rsp.intake.batch", len(deliveries), buckets=INTAKE_BATCH_BUCKETS
+        )
         groups: list[list[Delivery[Envelope]]] = [
             [] for _ in range(self.router.n_shards)
         ]
         for delivery in deliveries:
             groups[self._route(delivery)].append(delivery)
         accepted = 0
-        for group in groups:
+        for shard_index, group in enumerate(groups):
+            if group:
+                self.telemetry.observe(
+                    "rsp.shard.batch",
+                    len(group),
+                    buckets=SHARD_BATCH_BUCKETS,
+                    scope=DEPLOYMENT,
+                    shard=shard_index,
+                )
             for delivery in group:
-                if self._receive_one(delivery):
+                if self._receive_one(delivery, now=now):
                     accepted += 1
         return accepted
 
@@ -200,12 +232,15 @@ class ShardedRSPServer:
             return self.router.shard_of(key)
         return 0
 
-    def _receive_one(self, delivery: Delivery[Envelope]) -> bool:
+    def _receive_one(
+        self, delivery: Delivery[Envelope], now: float | None = None
+    ) -> bool:
         envelope = delivery.payload
         if self.fault_hook is not None and self.fault_hook.server_down(
-            delivery.arrival_time
+            delivery.arrival_time if now is None else now
         ):
             self.dropped_by_outage += 1
+            self.telemetry.inc("rsp.envelopes.outage_dropped")
             return False
         nonce = getattr(envelope, "nonce", None)
         nonce_bucket = (
@@ -217,17 +252,22 @@ class ShardedRSPServer:
             if envelope.token is None or not self._redeemer.redeem(envelope.token):
                 if nonce_bucket is not None and nonce in nonce_bucket:
                     self.duplicates_suppressed += 1
+                    self.telemetry.inc("rsp.envelopes.duplicate")
                 else:
                     self.rejected_envelopes += 1
+                    self.telemetry.inc("rsp.envelopes.rejected", reason="token")
                 return False
         if nonce_bucket is not None and nonce in nonce_bucket:
             self.duplicates_suppressed += 1
+            self.telemetry.inc("rsp.envelopes.duplicate")
             return False
         record = envelope.record
+        record_kind = None
         try:
             if isinstance(record, InteractionUpload):
                 if record.entity_id not in self.catalog:
                     self.rejected_envelopes += 1
+                    self.telemetry.inc("rsp.envelopes.rejected", reason="unknown-entity")
                     return False
                 shard = self.shards[self.router.shard_of(record.history_id)]
                 stored = shard.store.append(
@@ -235,28 +275,41 @@ class ShardedRSPServer:
                 )
                 if stored:
                     shard.version += 1
+                record_kind = "interaction"
             elif isinstance(record, OpinionUpload):
                 if record.entity_id not in self.catalog:
                     self.rejected_envelopes += 1
+                    self.telemetry.inc("rsp.envelopes.rejected", reason="unknown-entity")
                     return False
                 shard = self.shards[self.router.shard_of(record.history_id)]
                 shard.opinions[record.history_id] = record
                 shard.version += 1
                 stored = True
+                record_kind = "opinion"
             else:
                 self.rejected_envelopes += 1
+                self.telemetry.inc("rsp.envelopes.rejected", reason="malformed")
                 return False
         except Exception:
             # Transactional accept: nothing durably written, so neither
             # the counter nor the nonce may burn (mirrors RSPServer).
             self.rejected_envelopes += 1
+            self.telemetry.inc("rsp.envelopes.rejected", reason="store-error")
             return False
         if stored:
             self.accepted_envelopes += 1
             if nonce_bucket is not None:
                 nonce_bucket.add(nonce)
+            self.telemetry.inc("rsp.envelopes.accepted", record=record_kind)
+            if record_kind == "interaction":
+                self.telemetry.observe(
+                    "rsp.ingest_lag",
+                    delivery.arrival_time - record.event_time,
+                    buckets=INGEST_LAG_BUCKETS,
+                )
         else:
             self.rejected_envelopes += 1
+            self.telemetry.inc("rsp.envelopes.rejected", reason="unstored")
         return stored
 
     # -------------------------------------------------------- maintenance
@@ -275,7 +328,7 @@ class ShardedRSPServer:
             self._gather_versions = versions
         return self._gather
 
-    def run_maintenance(self) -> MaintenanceReport:
+    def run_maintenance(self, now: float | None = None) -> MaintenanceReport:
         """Shard-parallel maintenance with a deterministic global merge.
 
         Three phases, each fanned across the shards (serially when
@@ -285,6 +338,11 @@ class ShardedRSPServer:
         rebuilds entity summaries per entity partition.  All merges are
         order-independent (sums, sorted concatenations), so the report is
         bit-identical to the monolithic cycle for any shard/worker count.
+
+        Telemetry is recorded in the parent process only — increments in
+        forked pool workers would die with the worker, and parent-side
+        recording is also what keeps the aggregate export invariant
+        across worker counts.  ``now`` timestamps the cycle's spans.
         """
         report = MaintenanceReport(
             n_histories=self.n_histories,
@@ -335,6 +393,27 @@ class ShardedRSPServer:
         for histories in accepted_histories.values():
             histories.sort(key=lambda history: history.history_id)
         self._accepted_histories = accepted_histories
+        self.telemetry.inc("rsp.maintenance.cycles")
+        self.telemetry.set_gauge("rsp.maintenance.histories", report.n_histories)
+        self.telemetry.set_gauge(
+            "rsp.maintenance.rejected_histories", report.n_rejected_histories
+        )
+        self.telemetry.set_gauge(
+            "rsp.maintenance.opinions_kept", report.n_opinions_kept
+        )
+        for shard in self.shards:
+            self.telemetry.set_gauge(
+                "rsp.shard.histories",
+                shard.store.n_histories,
+                scope=DEPLOYMENT,
+                shard=shard.index,
+            )
+        if now is not None:
+            self.telemetry.span("maintenance", now, now)
+            for shard in self.shards:
+                self.telemetry.span(
+                    "shard.maintenance", now, now, scope=DEPLOYMENT, shard=shard.index
+                )
         return report
 
     # -------------------------------------------------------------- query

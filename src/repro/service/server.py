@@ -25,6 +25,8 @@ from repro.privacy.anonymity import Delivery
 from repro.privacy.history_store import HistoryStore, InteractionHistory, InteractionUpload
 from repro.privacy.tokens import TokenIssuer, TokenRedeemer
 from repro.core.protocol import Envelope
+from repro.telemetry import NULL, Telemetry
+from repro.telemetry.catalog import INGEST_LAG_BUCKETS, INTAKE_BATCH_BUCKETS
 from repro.world.entities import Entity
 
 
@@ -101,6 +103,14 @@ class RSPServer:
         self.dropped_by_outage = 0
         #: Optional harness hook with ``server_down(now) -> bool``.
         self.fault_hook = None
+        #: Aggregate-only observability sink (no-op until a harness
+        #: installs a real :class:`~repro.telemetry.Telemetry`).
+        self.telemetry: Telemetry = NULL
+
+    def attach_telemetry(self, telemetry: Telemetry) -> None:
+        """Install a shared telemetry sink on the server and its issuer."""
+        self.telemetry = telemetry
+        self.issuer.telemetry = telemetry
 
     # ------------------------------------------------------------- intake
 
@@ -143,8 +153,9 @@ class RSPServer:
         self._reviews.setdefault(entity_id, []).append(
             ExplicitReview(user_id=user_id, entity_id=entity_id, rating=rating, time=time)
         )
+        self.telemetry.inc("rsp.reviews.posted")
 
-    def receive(self, delivery: Delivery[Envelope]) -> bool:
+    def receive(self, delivery: Delivery[Envelope], now: float | None = None) -> bool:
         """Process one anonymous envelope off the network.
 
         Intake order is deliberate: outage check first (a down endpoint
@@ -165,12 +176,19 @@ class RSPServer:
         durably in its store, so a poisoned record that raises mid-append
         neither inflates the counters nor burns its nonce — the sender may
         repair and retransmit under the same nonce.
+
+        ``now`` overrides the time the outage check sees: a catch-up
+        batch job processing a backlog held through an outage passes its
+        own (post-outage) processing time, because the endpoint being
+        down when an envelope *queued* must not drop it once it is
+        processed later (see :func:`repro.orchestration.epochs.run_epochs`).
         """
         envelope = delivery.payload
         if self.fault_hook is not None and self.fault_hook.server_down(
-            delivery.arrival_time
+            delivery.arrival_time if now is None else now
         ):
             self.dropped_by_outage += 1
+            self.telemetry.inc("rsp.envelopes.outage_dropped")
             return False
         nonce = getattr(envelope, "nonce", None)
         if self.require_tokens:
@@ -182,39 +200,57 @@ class RSPServer:
                 # duplicate, not a fraud bounce.
                 if nonce is not None and nonce in self._seen_nonces:
                     self.duplicates_suppressed += 1
+                    self.telemetry.inc("rsp.envelopes.duplicate")
                 else:
                     self.rejected_envelopes += 1
+                    self.telemetry.inc("rsp.envelopes.rejected", reason="token")
                 return False
         if nonce is not None and nonce in self._seen_nonces:
             self.duplicates_suppressed += 1
+            self.telemetry.inc("rsp.envelopes.duplicate")
             return False
         record = envelope.record
+        record_kind = None
         try:
             if isinstance(record, InteractionUpload):
                 if record.entity_id not in self.catalog:
                     self.rejected_envelopes += 1
+                    self.telemetry.inc("rsp.envelopes.rejected", reason="unknown-entity")
                     return False
                 stored = self.history_store.append(
                     record, arrival_time=delivery.arrival_time
                 )
+                record_kind = "interaction"
             elif isinstance(record, OpinionUpload):
                 if record.entity_id not in self.catalog:
                     self.rejected_envelopes += 1
+                    self.telemetry.inc("rsp.envelopes.rejected", reason="unknown-entity")
                     return False
                 self._opinions[record.history_id] = record
                 stored = True
+                record_kind = "opinion"
             else:
                 self.rejected_envelopes += 1
+                self.telemetry.inc("rsp.envelopes.rejected", reason="malformed")
                 return False
         except Exception:
             # Store dispatch blew up: nothing was durably written, so
             # nothing may be marked accepted.
             self.rejected_envelopes += 1
+            self.telemetry.inc("rsp.envelopes.rejected", reason="store-error")
             return False
         if stored:
             self._mark_accepted(nonce)
+            self.telemetry.inc("rsp.envelopes.accepted", record=record_kind)
+            if record_kind == "interaction":
+                self.telemetry.observe(
+                    "rsp.ingest_lag",
+                    delivery.arrival_time - record.event_time,
+                    buckets=INGEST_LAG_BUCKETS,
+                )
         else:
             self.rejected_envelopes += 1
+            self.telemetry.inc("rsp.envelopes.rejected", reason="unstored")
         return stored
 
     def _mark_accepted(self, nonce: bytes | None) -> None:
@@ -222,13 +258,21 @@ class RSPServer:
         if nonce is not None:
             self._seen_nonces.add(nonce)
 
-    def receive_all(self, deliveries: list[Delivery[Envelope]]) -> int:
-        return sum(1 for delivery in deliveries if self.receive(delivery))
+    def receive_all(
+        self, deliveries: list[Delivery[Envelope]], now: float | None = None
+    ) -> int:
+        self.telemetry.observe(
+            "rsp.intake.batch", len(deliveries), buckets=INTAKE_BATCH_BUCKETS
+        )
+        return sum(1 for delivery in deliveries if self.receive(delivery, now=now))
 
     # -------------------------------------------------------- maintenance
 
-    def run_maintenance(self) -> MaintenanceReport:
+    def run_maintenance(self, now: float | None = None) -> MaintenanceReport:
         """Rebuild fraud profiles, filter histories, recompute summaries.
+
+        ``now`` is the simulated time of the cycle; when given, the cycle
+        is recorded as a ``maintenance`` span on the telemetry timeline.
 
         Aggregation inputs are put into *canonical order* (histories and
         opinions sorted by ``history_id``, entities visited in sorted
@@ -282,6 +326,16 @@ class RSPServer:
                     float(r.rating) for r in self._reviews.get(entity_id, [])
                 ],
             )
+        self.telemetry.inc("rsp.maintenance.cycles")
+        self.telemetry.set_gauge("rsp.maintenance.histories", report.n_histories)
+        self.telemetry.set_gauge(
+            "rsp.maintenance.rejected_histories", report.n_rejected_histories
+        )
+        self.telemetry.set_gauge(
+            "rsp.maintenance.opinions_kept", report.n_opinions_kept
+        )
+        if now is not None:
+            self.telemetry.span("maintenance", now, now)
         return report
 
     # -------------------------------------------------------------- query

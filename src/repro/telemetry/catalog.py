@@ -1,0 +1,31 @@
+"""Histogram bucket shapes shared by every instrumentation site.
+
+A histogram's buckets are fixed at first use, and the monolithic and
+sharded servers must declare *identical* shapes for the same metric name
+or their exports could never be byte-identical — so the shapes live
+here, once.  The full metric catalog (names, kinds, labels, scopes) is
+documented in ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+from repro.util.clock import DAY, HOUR
+
+#: ``rsp.intake.batch`` — envelopes handed to ``receive_all`` per call.
+INTAKE_BATCH_BUCKETS: tuple[float, ...] = (1, 2, 5, 10, 20, 50, 100, 200, 500)
+
+#: ``rsp.ingest_lag`` — accepted interaction's arrival minus its
+#: (quantized) event time, in simulated seconds.
+INGEST_LAG_BUCKETS: tuple[float, ...] = (HOUR, 6 * HOUR, DAY, 2 * DAY, 4 * DAY, 7 * DAY)
+
+#: ``mix.batch_size`` — messages released per mix batch flush.
+MIX_BATCH_BUCKETS: tuple[float, ...] = (1, 2, 5, 10, 20, 50, 100, 200)
+
+#: ``client.upload_delay`` — random submit delay per upload, seconds.
+UPLOAD_DELAY_BUCKETS: tuple[float, ...] = (HOUR, 3 * HOUR, 6 * HOUR, 12 * HOUR, DAY)
+
+#: ``rsp.shard.batch`` — per-shard group size within one intake batch.
+SHARD_BATCH_BUCKETS: tuple[float, ...] = (1, 2, 5, 10, 20, 50, 100)
+
+#: ``rsp.pool.chunk`` — task tuples per worker chunk in the pool.
+POOL_CHUNK_BUCKETS: tuple[float, ...] = (1, 2, 4, 8, 16)

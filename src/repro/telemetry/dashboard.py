@@ -1,0 +1,96 @@
+"""The ``repro telemetry`` terminal dashboard.
+
+Renders one :class:`~repro.telemetry.api.Telemetry` export with the same
+:mod:`repro.util.ascii_plot` building blocks the paper figures use:
+aligned tables for counters and gauges, horizontal-bar histograms per
+distribution, and a span summary grouped by name.  Purely a rendering
+layer — everything it prints comes from :meth:`Telemetry.export`.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.api import Telemetry
+from repro.telemetry.labels import format_labels
+from repro.telemetry.registry import SUM_SCALE
+from repro.util.ascii_plot import render_histogram, render_table
+from repro.util.clock import format_time
+
+
+def _metric_label(row: dict) -> str:
+    labels = tuple(sorted(row["labels"].items()))
+    suffix = "" if row["scope"] == "aggregate" else f"  [{row['scope']}]"
+    return f"{row['name']}{format_labels(labels)}{suffix}"
+
+
+def _bucket_labels(bounds: list[float]) -> list[str]:
+    labels = [f"<= {bound:g}" for bound in bounds]
+    labels.append(f"> {bounds[-1]:g}")
+    return labels
+
+
+def render_dashboard(telemetry: Telemetry, scope: str | None = None) -> str:
+    """Render the full dashboard for one telemetry export."""
+    export = telemetry.export(scope)
+    metrics = export["metrics"]
+    sections: list[str] = []
+
+    counters = [row for row in metrics if row["kind"] == "counter"]
+    if counters:
+        sections.append(
+            "== counters ==\n"
+            + render_table(
+                ["counter", "value"],
+                [[_metric_label(row), row["value"]] for row in counters],
+            )
+        )
+
+    gauges = [row for row in metrics if row["kind"] == "gauge"]
+    if gauges:
+        sections.append(
+            "== gauges ==\n"
+            + render_table(
+                ["gauge", "value"],
+                [[_metric_label(row), f"{row['value']:g}"] for row in gauges],
+            )
+        )
+
+    histograms = [row for row in metrics if row["kind"] == "histogram"]
+    for row in histograms:
+        mean = row["sum_scaled"] / SUM_SCALE / row["count"] if row["count"] else 0.0
+        title = (
+            f"{_metric_label(row)}  "
+            f"(n={row['count']}, mean={mean:g}, "
+            f"min={row['min']:g}, max={row['max']:g})"
+            if row["count"]
+            else f"{_metric_label(row)}  (empty)"
+        )
+        sections.append(
+            render_histogram(_bucket_labels(row["bounds"]), row["bucket_counts"], title)
+        )
+
+    spans = export["spans"]
+    if spans:
+        by_name: dict[str, list[dict]] = {}
+        for span in spans:
+            by_name.setdefault(span["name"], []).append(span)
+        rows = []
+        for name in sorted(by_name):
+            group = by_name[name]
+            total = sum(s["end"] - s["start"] for s in group)
+            rows.append(
+                [
+                    name,
+                    len(group),
+                    format_time(min(s["start"] for s in group)),
+                    format_time(max(s["end"] for s in group)),
+                    format_time(total),
+                ]
+            )
+        sections.append(
+            "== spans ==\n"
+            + render_table(["span", "n", "first", "last", "total"], rows)
+        )
+
+    if not sections:
+        return "(no telemetry recorded)"
+    return "\n\n".join(sections)

@@ -1,0 +1,13 @@
+"""Fixture: raw identities leaked into telemetry labels (priv-telemetry-label)."""
+
+
+def leak_into_counter(telemetry, user_id):
+    telemetry.inc("client.sync", user=user_id)
+
+
+def leak_attribute_into_histogram(self, record):
+    self.telemetry.observe("client.upload_delay", 3.0, device=record.device_id)
+
+
+def leak_formatted_into_span(telemetry, device_id, start, end):
+    telemetry.span("sync", start, end, owner=f"dev-{device_id}")

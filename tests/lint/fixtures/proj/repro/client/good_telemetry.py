@@ -1,0 +1,15 @@
+"""Fixture: telemetry labels carrying only coarse categories (clean)."""
+
+
+def record_coarse_labels(telemetry, entity_kind, shard_index, epoch):
+    telemetry.inc("rsp.envelopes.accepted", record=entity_kind)
+    telemetry.observe("rsp.shard.batch", 7, shard=shard_index)
+    telemetry.span("epoch", 0.0, 1.0, epoch=epoch)
+
+
+def value_positions_are_not_labels(self, device_id, identity, entity_id):
+    # ``n``/``value``/``start``/``end`` carry measurements, not labels,
+    # and a sanitized identity is fine anywhere.
+    self.telemetry.inc("client.tokens.blinded", n=3)
+    self.telemetry.set_gauge("mix.queue_depth", value=4)
+    self.telemetry.inc("client.sync", history=identity.history_id(entity_id))

@@ -47,7 +47,7 @@ class TestJsonReporter:
         result = Analyzer(default_rules()).run([FIXTURE_ROOT / "client"])
         document = json.loads(render_json(result))
         assert document["ok"] is False
-        assert document["files_checked"] == 6  # 5 modules + __init__
+        assert document["files_checked"] == 8  # 7 modules + __init__
         assert document["violation_count"] == len(document["violations"])
         for violation in document["violations"]:
             assert set(violation) == {

@@ -43,3 +43,26 @@ class TestServerIdentity:
     def test_server_side_code_without_identities_passes(self, lint_paths):
         result = lint_paths("service/good_service.py")
         assert result.ok
+
+
+class TestTelemetryLabel:
+    def test_identity_in_label_positions_is_flagged(self, lint_paths):
+        result = lint_paths("client/bad_telemetry.py")
+        ids = rule_ids(result)
+        # One per leak site: a bare name on inc(), an attribute on
+        # observe(), and an f-string-wrapped name on span().
+        assert ids == ["priv-telemetry-label"] * 3
+        messages = [v.message for v in result.violations]
+        assert any("`user_id`" in m and "`user`" in m for m in messages)
+        assert any("`device_id`" in m and "`device`" in m for m in messages)
+        assert any("`owner`" in m and "span" in m for m in messages)
+
+    def test_coarse_labels_and_value_params_pass(self, lint_paths):
+        result = lint_paths("client/good_telemetry.py")
+        assert result.ok
+
+    def test_rule_fires_outside_service_packages_too(self, lint_paths):
+        # Unlike priv-server-identity, label hygiene is global: client-side
+        # code records into the same exported registry.
+        result = lint_paths("client/bad_telemetry.py")
+        assert "priv-telemetry-label" in rule_ids(result)

@@ -1,0 +1,188 @@
+"""Unit tests for the telemetry core: labels, instruments, facade, dashboard."""
+
+import pytest
+
+from repro.telemetry import (
+    AGGREGATE,
+    DEPLOYMENT,
+    NULL,
+    LabelPolicyError,
+    MetricError,
+    MetricsRegistry,
+    SpanTimeline,
+    Telemetry,
+)
+from repro.telemetry.dashboard import render_dashboard
+from repro.telemetry.labels import canonical_labels, format_labels, validate_label
+from repro.telemetry.registry import SUM_SCALE, Counter, Gauge, Histogram
+
+
+class TestLabelPolicy:
+    def test_allowed_keys_and_token_values(self):
+        assert validate_label("reason", "token") == "token"
+        assert validate_label("epoch", 3) == "3"
+        assert validate_label("shard", 0) == "0"
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(LabelPolicyError, match="aggregate-label vocabulary"):
+            validate_label("user", "u-1")
+
+    def test_long_value_rejected(self):
+        with pytest.raises(LabelPolicyError, match="exceeds 24 characters"):
+            validate_label("reason", "x" * 25)
+
+    def test_hash_shaped_value_rejected(self):
+        # 16+ hex chars is the shape of hash(Ru, e) keys, nonces, and tags.
+        with pytest.raises(LabelPolicyError, match="hex run"):
+            validate_label("reason", "8e602d290266cd06")
+
+    def test_bool_and_float_values_rejected(self):
+        with pytest.raises(LabelPolicyError):
+            validate_label("outcome", True)
+        with pytest.raises(LabelPolicyError):
+            validate_label("epoch", 1.5)
+
+    def test_canonical_labels_sorted_and_rendered(self):
+        labels = canonical_labels({"shard": 2, "epoch": 1})
+        assert labels == (("epoch", "1"), ("shard", "2"))
+        assert format_labels(labels) == "{epoch=1,shard=2}"
+
+
+class TestCounter:
+    def test_monotone_integer_only(self):
+        counter = Counter()
+        counter.inc(2)
+        counter.inc()
+        assert counter.value == 3
+        with pytest.raises(MetricError):
+            counter.inc(-1)
+        with pytest.raises(MetricError):
+            counter.inc(1.5)
+        with pytest.raises(MetricError):
+            counter.inc(True)
+
+
+class TestGauge:
+    def test_merge_keeps_highest_version(self):
+        a, b = Gauge(), Gauge()
+        a.set(10.0)
+        b.set(1.0)
+        b.set(2.0)  # version 2 beats version 1 regardless of value
+        a.merge_from(b)
+        assert (a.version, a.value) == (2, 2.0)
+
+    def test_equal_versions_tiebreak_on_value(self):
+        a, b = Gauge(), Gauge()
+        a.set(1.0)
+        b.set(5.0)
+        a.merge_from(b)
+        assert a.value == 5.0
+
+
+class TestHistogram:
+    def test_bucketing_and_fixed_point_sum(self):
+        h = Histogram(bounds=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(1.0)  # inclusive upper edge
+        h.observe(7.0)
+        h.observe(99.0)  # overflow bucket
+        assert h.bucket_counts == [2, 1, 1]
+        assert h.count == 4
+        assert h.sum_scaled == round(107.5 * SUM_SCALE)
+        assert h.min == 0.5 and h.max == 99.0
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(MetricError):
+            Histogram(bounds=(1.0, 1.0))
+
+    def test_merge_requires_equal_bounds(self):
+        a, b = Histogram((1.0,)), Histogram((2.0,))
+        with pytest.raises(MetricError):
+            a.merge_from(b)
+
+
+class TestRegistry:
+    def test_declaration_fixed_at_first_use(self):
+        registry = MetricsRegistry()
+        registry.inc("rsp.envelopes.accepted")
+        with pytest.raises(MetricError, match="is a counter"):
+            registry.observe("rsp.envelopes.accepted", 1.0)
+        with pytest.raises(MetricError, match="aggregate-scope"):
+            registry.inc("rsp.envelopes.accepted", scope=DEPLOYMENT)
+
+    def test_total_sums_across_label_sets(self):
+        registry = MetricsRegistry()
+        registry.inc("rsp.envelopes.rejected", reason="token")
+        registry.inc("rsp.envelopes.rejected", 2, reason="malformed")
+        assert registry.total("rsp.envelopes.rejected") == 3
+        assert registry.total("never.used") == 0
+        registry.set_gauge("mix.queue_depth", 4)
+        with pytest.raises(MetricError):
+            registry.total("mix.queue_depth")
+
+    def test_labels_validated_at_recording_time(self):
+        registry = MetricsRegistry()
+        with pytest.raises(LabelPolicyError):
+            registry.inc("mix.submissions", entity_kind="chan-8e602d290266cd06")
+
+    def test_export_is_canonical_and_scope_filtered(self):
+        registry = MetricsRegistry()
+        registry.inc("b.metric")
+        registry.inc("a.metric", shard=1, scope=DEPLOYMENT)
+        rows = registry.snapshot()
+        assert [r["name"] for r in rows] == ["a.metric", "b.metric"]
+        assert [r["name"] for r in registry.snapshot(scope=AGGREGATE)] == ["b.metric"]
+        assert registry.export_json(scope=AGGREGATE) == (
+            registry.merged(MetricsRegistry()).export_json(scope=AGGREGATE)
+        )
+
+
+class TestSpans:
+    def test_record_validates_and_sorts(self):
+        timeline = SpanTimeline()
+        timeline.record("epoch", 10.0, 20.0, epoch=2)
+        timeline.record("epoch", 0.0, 10.0, epoch=1)
+        assert [s.start for s in timeline.spans()] == [0.0, 10.0]
+        assert timeline.spans("epoch")[0].duration == 10.0
+        with pytest.raises(MetricError):
+            timeline.record("epoch", 5.0, 1.0)
+
+    def test_snapshot_scope_filter(self):
+        timeline = SpanTimeline()
+        timeline.record("maintenance", 0.0, 0.0)
+        timeline.record("shard.maintenance", 0.0, 0.0, scope=DEPLOYMENT, shard=1)
+        assert len(timeline.snapshot()) == 2
+        assert len(timeline.snapshot(scope=AGGREGATE)) == 1
+
+
+class TestNullTelemetry:
+    def test_all_recording_is_a_noop(self):
+        # NULL silently accepts even policy-violating labels: the policy
+        # guards what gets *exported*, and NULL exports nothing.
+        NULL.inc("anything", user="8e602d290266cd065079349721b76145")
+        NULL.observe("anything.else", 1.0)
+        NULL.set_gauge("g", 2.0)
+        assert NULL.span("s", 0.0, 1.0) is None
+        assert not NULL.enabled
+        assert NULL.export() == {"metrics": [], "spans": []}
+
+    def test_null_cannot_accumulate(self):
+        with pytest.raises(TypeError):
+            NULL.merge_from(Telemetry())
+
+
+class TestDashboard:
+    def test_renders_all_instrument_kinds(self):
+        telemetry = Telemetry()
+        telemetry.inc("rsp.envelopes.accepted", 5, record="interaction")
+        telemetry.set_gauge("mix.queue_depth", 7)
+        telemetry.observe("rsp.intake.batch", 3.0, buckets=(1.0, 5.0))
+        telemetry.span("epoch", 0.0, 86400.0, epoch=1)
+        text = render_dashboard(telemetry)
+        assert "rsp.envelopes.accepted" in text
+        assert "mix.queue_depth" in text
+        assert "rsp.intake.batch" in text
+        assert "epoch" in text
+
+    def test_empty_dashboard(self):
+        assert "no telemetry" in render_dashboard(Telemetry())

@@ -12,7 +12,8 @@ class TestParser:
 
     def test_all_commands_registered(self):
         parser = build_parser()
-        for command in ("measure", "pipeline", "search", "figure3", "audit", "redteam", "epochs"):
+        for command in ("measure", "pipeline", "search", "figure3", "audit", "redteam",
+                        "epochs", "telemetry"):
             args = parser.parse_args(
                 [command] if command in ("measure", "figure3") else [command, "--users", "5"]
             )
@@ -64,6 +65,21 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "epoch" in out
         assert "histories" in out
+
+    def test_telemetry_small(self, capsys):
+        assert main(["telemetry", "--users", "20", "--days", "40", "--seed", "6",
+                     "--epochs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "aggregate digest" in out
+        assert "rsp.envelopes.accepted" in out
+        assert "== counters ==" in out
+
+    def test_telemetry_json(self, capsys):
+        assert main(["telemetry", "--users", "20", "--days", "40", "--seed", "6",
+                     "--epochs", "2", "--json", "--aggregate-only"]) == 0
+        out = capsys.readouterr().out
+        assert '"metrics"' in out and '"spans"' in out
+        assert '"scope": "deployment"' not in out
 
     def test_redteam_small(self, capsys):
         assert main(["redteam", "--users", "40", "--days", "120", "--seed", "5"]) == 0
