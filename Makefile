@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check lint ruff test bench chaos scale bench-shards telemetry bench-telemetry
+.PHONY: check lint ruff test bench chaos scale bench-shards telemetry bench-telemetry incremental bench-incremental
 
 check:
 	bash scripts/check.sh
@@ -47,3 +47,15 @@ telemetry:
 # Instrumentation overhead benchmark; emits BENCH_4.json at the repo root.
 bench-telemetry:
 	$(PYTHON) -m pytest benchmarks/test_bench_telemetry.py --benchmark-only -q -s
+
+# Incremental-maintenance suite: incremental vs full-recompute byte
+# identity across the deployment matrix, the dirty-iteration lint rule,
+# and the line-coverage floor on repro.service (dirty-tracking code).
+incremental:
+	$(PYTHON) -m repro.lint src/repro --select det-dirty-iteration
+	$(PYTHON) -m pytest tests/scale/test_incremental.py tests/service -q
+	$(PYTHON) scripts/coverage_gate.py --target service --fail-under 85
+
+# Dirty-delta maintenance benchmark; emits BENCH_5.json at the repo root.
+bench-incremental:
+	$(PYTHON) -m pytest benchmarks/test_bench_incremental.py --benchmark-only -q -s

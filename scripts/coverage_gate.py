@@ -32,6 +32,10 @@ SRC = ROOT / "src"
 TARGETS = {
     "scale": (SRC / "repro" / "scale", ["tests/scale"]),
     "telemetry": (SRC / "repro" / "telemetry", ["tests/telemetry"]),
+    "service": (
+        SRC / "repro" / "service",
+        ["tests/service", "tests/scale/test_incremental.py"],
+    ),
 }
 
 

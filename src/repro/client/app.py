@@ -147,6 +147,11 @@ class RSPClient:
         #: Last staged opinion per entity, so a re-inferred unchanged
         #: opinion is not re-uploaded every epoch.
         self._staged_opinions: dict[str, float] = {}
+        #: Per-entity upload version for the opinion slot: bumped on each
+        #: re-staged (changed) inference, carried as ``OpinionUpload.seq``
+        #: so the server can order re-uploads without trusting arrival
+        #: order (see docs/RELIABILITY.md).
+        self._opinion_seqs: dict[str, int] = {}
         self._inferred_home: Point | None = None
 
     def attach_telemetry(self, telemetry: Telemetry) -> None:
@@ -219,12 +224,15 @@ class RSPClient:
             rating = entry.effective_rating if entry is not None else None
             if rating is not None and self._staged_opinions.get(entity_id) != rating:
                 self._staged_opinions[entity_id] = rating
+                seq = self._opinion_seqs.get(entity_id, -1) + 1
+                self._opinion_seqs[entity_id] = seq
                 last = max(i.time + i.duration for i in own)
                 self._stage(
                     OpinionUpload(
                         history_id=self.identity.history_id(entity_id),
                         entity_id=entity_id,
                         rating=rating,
+                        seq=seq,
                     ),
                     last,
                 )
@@ -394,6 +402,7 @@ class RSPClient:
             ],
             "staged_interactions": sorted(self._staged_interactions),
             "staged_opinions": dict(self._staged_opinions),
+            "opinion_seqs": dict(self._opinion_seqs),
             "overrides": [
                 {
                     "entity_id": entry.entity_id,
@@ -471,6 +480,10 @@ class RSPClient:
             (entity_id, time) for entity_id, time in state["staged_interactions"]
         }
         client._staged_opinions = dict(state["staged_opinions"])
+        # Older checkpoints predate per-slot versioning; seq resumes at 0,
+        # which is safe because the server tie-breaks toward the record it
+        # already holds and only a *changed* rating is ever re-staged.
+        client._opinion_seqs = dict(state.get("opinion_seqs", {}))
         for item in state["overrides"]:
             # A non-ACTIVE entry carries the user's decision; the model
             # opinion is refreshed by the next observe_trace.

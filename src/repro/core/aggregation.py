@@ -35,15 +35,27 @@ from repro.privacy.history_store import InteractionHistory
 
 @dataclass(frozen=True)
 class OpinionUpload:
-    """An anonymously uploaded inferred opinion for one entity."""
+    """An anonymously uploaded inferred opinion for one entity.
+
+    ``seq`` is a per-history upload version: the client bumps it every
+    time it re-uploads a changed inference for the same ``history_id``.
+    The server keeps the highest ``seq`` per slot (ties keep the existing
+    record), so a delayed or reordered stale re-upload can never clobber
+    a newer inference — arrival order carries no meaning on an anonymous,
+    at-least-once channel.  It counts uploads, not wall-clock time, so it
+    leaks nothing beyond what the upload itself already reveals.
+    """
 
     history_id: str
     entity_id: str
     rating: float
+    seq: int = 0
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.rating <= 5.0:
             raise ValueError("rating must lie in [0, 5]")
+        if self.seq < 0:
+            raise ValueError("seq must be >= 0")
 
 
 #: Star-bucket edges for rating histograms (5 buckets: [0,1), ..., [4,5]).

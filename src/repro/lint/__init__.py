@@ -7,8 +7,9 @@ The paper's guarantees are structural, so the linter checks structure:
   sinks only through ``hash(Ru, e)`` / blind-signature sanitizers, never
   surface in service-layer APIs, and never appear in telemetry labels;
 * **determinism** (``det-random-module``, ``det-wall-clock``,
-  ``det-numpy-random``) — all entropy flows through ``repro.util.rng``
-  and all time through ``repro.util.clock``;
+  ``det-numpy-random``, ``det-dirty-iteration``) — all entropy flows
+  through ``repro.util.rng``, all time through ``repro.util.clock``, and
+  service-layer dirty-set iteration is explicitly ordered;
 * **layering** (``layer-client-service``, ``layer-service-client``) —
   device-side and service-side code only meet in ``repro.orchestration``;
 * **fault containment** (``faults-only-in-harness``) — only the
@@ -37,6 +38,7 @@ from repro.lint.reporters import render_json, render_text
 def default_rules() -> list[Rule]:
     """Fresh instances of every built-in rule, in reporting order."""
     from repro.lint.rules_determinism import (
+        DirtyIterationRule,
         NumpyRandomRule,
         RandomModuleRule,
         WallClockRule,
@@ -59,6 +61,7 @@ def default_rules() -> list[Rule]:
         RandomModuleRule(),
         WallClockRule(),
         NumpyRandomRule(),
+        DirtyIterationRule(),
         ClientImportsServiceRule(),
         ServiceImportsClientRule(),
         FaultsOnlyInHarnessRule(),

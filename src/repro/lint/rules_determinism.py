@@ -16,6 +16,10 @@ these rules forbid the ambient sources outside the two sanctioned modules:
 * ``det-numpy-random`` — any direct ``numpy.random`` call, including
   ``default_rng``: generators must be built by ``repro.util.rng`` so that
   streams are derived by *label*, not call order.
+* ``det-dirty-iteration`` — service-layer loops over dirty-entity sets
+  must go through ``sorted()``: the incremental-maintenance caches feed
+  float reductions, and Python sets iterate in hash order, so a bare
+  iteration would make results depend on insertion history.
 """
 
 from __future__ import annotations
@@ -219,3 +223,52 @@ class NumpyRandomRule(_ImportScanningRule):
                     f"call to `{path}`; route all randomness through "
                     "repro.util.rng (make_rng/derive_seed/children)",
                 )
+
+
+def _terminal_name(expression: ast.expr) -> str | None:
+    """The last identifier of a bare name or attribute chain, else None."""
+    if isinstance(expression, ast.Name):
+        return expression.id
+    if isinstance(expression, ast.Attribute):
+        return expression.attr
+    return None
+
+
+class DirtyIterationRule(Rule):
+    """Service-layer iteration over a dirty set must be ``sorted()``."""
+
+    rule_id = "det-dirty-iteration"
+    description = "dirty-entity set iterated in hash order in service code"
+    rationale = (
+        "incremental maintenance drains dirty sets into float reductions; "
+        "Python sets iterate in hash order, so an unsorted loop would make "
+        "summaries depend on intake interleaving and break the byte-identity "
+        "contract between incremental and full recompute"
+    )
+
+    def check(self, module: ParsedModule, config: LintConfig) -> Iterator[Violation]:
+        if not module.in_package(config.service_packages):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.For):
+                yield from self._check_iterable(module, node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                for generator in node.generators:
+                    yield from self._check_iterable(module, generator.iter)
+
+    def _check_iterable(
+        self, module: ParsedModule, iterable: ast.expr
+    ) -> Iterator[Violation]:
+        # A call wrapping the set (``sorted(...)`` in well-behaved code)
+        # establishes an explicit order; a bare name or attribute whose
+        # identifier says "dirty" iterates the raw set in hash order.
+        name = _terminal_name(iterable)
+        if name is not None and "dirty" in name.lower():
+            yield self.violation(
+                module,
+                iterable,
+                f"iteration over `{name}` follows set hash order; wrap it in "
+                "sorted() before any order-sensitive work",
+            )

@@ -101,6 +101,7 @@ def run_epochs(
     fault_plan: FaultPlan | None = None,
     n_shards: int = 1,
     workers: int = 0,
+    incremental: bool = True,
 ) -> EpochsOutcome:
     """Operate the service over ``n_epochs`` equal slices of the horizon.
 
@@ -110,7 +111,10 @@ def run_epochs(
     partitions and maintenance worker processes.  The sharded deployment
     is contractually bit-identical in every report this driver emits
     (``tests/scale/test_differential.py``), so the flags are pure
-    performance knobs.
+    performance knobs.  ``incremental`` likewise only moves work:
+    ``False`` forces every maintenance cycle to recompute from scratch,
+    the baseline the default dirty-entity path must match byte for byte
+    (``tests/scale/test_incremental.py``).
 
     With a :class:`FaultPlan`, the run is executed under deterministic
     fault injection: the plan's seeded injector is installed as the
@@ -147,6 +151,7 @@ def run_epochs(
             quota_per_day=config.quota_per_day,
             key_seed=config.seed,
             key_bits=config.key_bits,
+            incremental=incremental,
         )
     else:
         server = ShardedRSPServer(
@@ -156,6 +161,7 @@ def run_epochs(
             key_bits=config.key_bits,
             n_shards=n_shards,
             workers=workers,
+            incremental=incremental,
         )
     network: AnonymityNetwork = batching_network(
         batch_interval=config.batch_interval, seed=config.seed

@@ -545,3 +545,24 @@ def summarize_partition_frame(
             )
         )
     return summaries
+
+def kept_counts(
+    gather: GatherFrame, rejected_ids: frozenset[str]
+) -> dict[str, int]:
+    """Surviving opinion slots per *owner* entity, from the gathered columns.
+
+    ``op_hist_ids`` only lists slots whose history is stored (the
+    existence check in :func:`build_gather`), so a slot survives iff its
+    history was not rejected; the owner is the entity the history is
+    bound to, read off ``hist_entcode``.  This refreshes the incremental
+    engine's per-owner kept cache after a kernel (full) cycle, so a later
+    incremental cycle flips from the right baseline.
+    """
+    owner_code = dict(zip(gather.hist_ids, gather.hist_entcode.tolist()))
+    counts: dict[str, int] = {}
+    for hist_id in gather.op_hist_ids:
+        if hist_id in rejected_ids:
+            continue
+        entity_id = gather.entity_order[owner_code[hist_id]]
+        counts[entity_id] = counts.get(entity_id, 0) + 1
+    return counts

@@ -30,11 +30,7 @@ from typing import TYPE_CHECKING, Any, Callable
 from repro.core.aggregation import EntityOpinionSummary
 from repro.fraud.detector import DetectorConfig, HistoryVerdict
 from repro.fraud.profiles import ProfilePools, TypicalProfile
-from repro.scale.kernel import (
-    collect_pools,
-    judge_frame,
-    summarize_partition_frame,
-)
+from repro.scale.kernel import judge_frame, summarize_partition_frame
 from repro.telemetry import DEPLOYMENT
 from repro.telemetry.catalog import POOL_CHUNK_BUCKETS
 
@@ -140,10 +136,15 @@ def _run_chunk(fn: Callable[..., Any], chunk: list[tuple]) -> list[Any]:
 
 
 def collect_shard_pools(shard_index: int) -> ProfilePools:
-    """Phase A: pool one shard's per-kind fraud-profile feature values."""
+    """Phase A: pool one shard's per-kind fraud-profile feature values.
+
+    The pools are cached on the shard by store version, so the facade
+    now runs this phase in the parent (where the cache persists across
+    cycles); the task function remains for serial callers and tests.
+    """
     server = _ACTIVE
     shard = server.shards[shard_index]
-    return collect_pools(shard.frame(server.entity_kinds))
+    return shard.pools(server.entity_kinds)
 
 
 @dataclass

@@ -33,11 +33,16 @@ from repro.privacy.anonymity import Delivery
 from repro.privacy.history_store import InteractionHistory, InteractionUpload
 from repro.privacy.tokens import TokenIssuer, UploadToken
 from repro.scale import parallel
-from repro.scale.kernel import GatherFrame, build_gather
-from repro.scale.merge import merge_pools
+from repro.scale.kernel import GatherFrame, build_gather, kept_counts
+from repro.scale.merge import group_verdicts_by_entity, merge_pools
 from repro.scale.router import ShardRouter
 from repro.scale.shard import ShardState
-from repro.service.server import ExplicitReview, MaintenanceReport
+from repro.service.incremental import MaintenanceEngine
+from repro.service.server import (
+    ExplicitReview,
+    MaintenanceReport,
+    emit_maintenance_telemetry,
+)
 from repro.telemetry import DEPLOYMENT, NULL, Telemetry
 from repro.telemetry.catalog import (
     INGEST_LAG_BUCKETS,
@@ -74,6 +79,47 @@ class ShardedTokenRedeemer:
         return sum(len(bucket) for bucket in self._spent)
 
 
+class ShardedStoreView:
+    """:class:`~repro.service.incremental.StoreView` over the shards.
+
+    Histories are concatenated in shard-index order — the engine sorts
+    every per-entity list by history id before judging or summarizing,
+    so the concatenation order is unobservable.
+    """
+
+    def __init__(self, server: "ShardedRSPServer") -> None:
+        self._server = server
+
+    def histories_for_entity(self, entity_id: str) -> list[InteractionHistory]:
+        histories: list[InteractionHistory] = []
+        for shard in self._server.shards:
+            histories.extend(shard.store.histories_for_entity(entity_id))
+        return histories
+
+    def opinion(self, history_id: str):
+        shard = self._server.shards[self._server.router.shard_of(history_id)]
+        return shard.opinions.get(history_id)
+
+    def has_opinion(self, history_id: str) -> bool:
+        return self.opinion(history_id) is not None
+
+    def explicit_ratings(self, entity_id: str) -> list[float]:
+        shard = self._server.shards[self._server.router.shard_of(entity_id)]
+        return [float(review.rating) for review in shard.reviews.get(entity_id, [])]
+
+    def review_entities(self) -> set[str]:
+        entities: set[str] = set()
+        for shard in self._server.shards:
+            entities.update(shard.reviews)
+        return entities
+
+    def entities_with_histories(self) -> set[str]:
+        entities: set[str] = set()
+        for shard in self._server.shards:
+            entities.update(shard.store.entity_ids())
+        return entities
+
+
 class ShardedRSPServer:
     """The re-architected service, partitioned for horizontal scale."""
 
@@ -88,6 +134,7 @@ class ShardedRSPServer:
         attestation: AttestationVerifier | None = None,
         n_shards: int = 8,
         workers: int = 0,
+        incremental: bool = True,
     ) -> None:
         if not catalog:
             raise ValueError("catalog must be non-empty")
@@ -109,14 +156,32 @@ class ShardedRSPServer:
         self._nonce_buckets: list[set[bytes]] = [set() for _ in range(n_shards)]
         self._discovery = DiscoveryService(catalog)
         self._detector_config = detector_config
-        self._summaries: dict[str, EntityOpinionSummary] = {}
-        self._accepted_histories: dict[str, list[InteractionHistory]] = {}
+        #: ``False`` forces full kernel recompute every cycle; ``True``
+        #: re-filters/re-summarizes only dirty entities serially when the
+        #: dirty set is small, falling back to the pooled kernel when
+        #: most of the deployment is dirty anyway (the hybrid keeps both
+        #: paths byte-identical — ``tests/scale/test_incremental.py``).
+        self.incremental = incremental
+        self._engine = MaintenanceEngine(
+            ShardedStoreView(self), self.entity_kinds, detector_config
+        )
+        # Aliases into the engine's caches (mutated in place only).
+        self._summaries: dict[str, EntityOpinionSummary] = self._engine.summaries
+        self._accepted_histories: dict[str, list[InteractionHistory]] = (
+            self._engine.accepted
+        )
         self._gather: GatherFrame | None = None
         self._gather_versions: tuple[int, ...] | None = None
         self.rejected_envelopes = 0
         self.duplicates_suppressed = 0
         self.accepted_envelopes = 0
         self.dropped_by_outage = 0
+        #: Stale opinion re-uploads dropped by ``seq`` ordering (mirrors
+        #: :class:`~repro.service.server.RSPServer`).
+        self.opinions_stale = 0
+        #: Interaction uploads whose identifier is bound to another
+        #: entity (split from generic ``unstored`` storage failures).
+        self.history_mismatches = 0
         #: Times the worker pool died and maintenance re-ran serially.
         self.pool_fallbacks = 0
         #: Optional harness hook with ``server_down(now) -> bool``.
@@ -174,6 +239,7 @@ class ShardedRSPServer:
                 user_id=user_id, entity_id=entity_id, rating=rating, time=time
             )
         )
+        shard.dirty_entities.add(entity_id)
         self.telemetry.inc("rsp.reviews.posted")
 
     def receive(self, delivery: Delivery[Envelope], now: float | None = None) -> bool:
@@ -270,11 +336,23 @@ class ShardedRSPServer:
                     self.telemetry.inc("rsp.envelopes.rejected", reason="unknown-entity")
                     return False
                 shard = self.shards[self.router.shard_of(record.history_id)]
+                bound = shard.store.bound_entity(record.history_id)
+                if bound is not None and bound != record.entity_id:
+                    # Same split as the monolith: an identifier bound to
+                    # another entity is not a storage failure.
+                    self.history_mismatches += 1
+                    self.rejected_envelopes += 1
+                    self.telemetry.inc(
+                        "rsp.envelopes.rejected", reason="history-mismatch"
+                    )
+                    return False
                 stored = shard.store.append(
                     record, arrival_time=delivery.arrival_time
                 )
                 if stored:
+                    shard.store_version += 1
                     shard.version += 1
+                    shard.dirty_entities.add(record.entity_id)
                 record_kind = "interaction"
             elif isinstance(record, OpinionUpload):
                 if record.entity_id not in self.catalog:
@@ -282,8 +360,20 @@ class ShardedRSPServer:
                     self.telemetry.inc("rsp.envelopes.rejected", reason="unknown-entity")
                     return False
                 shard = self.shards[self.router.shard_of(record.history_id)]
-                shard.opinions[record.history_id] = record
-                shard.version += 1
+                existing = shard.opinions.get(record.history_id)
+                if existing is None or record.seq > existing.seq:
+                    shard.opinions[record.history_id] = record
+                    shard.version += 1
+                    self._engine.note_opinion(
+                        existing,
+                        record,
+                        owner=shard.store.bound_entity(record.history_id),
+                    )
+                else:
+                    # Stale re-upload (delayed/reordered): accept the
+                    # envelope, skip the slot write — mirrors RSPServer.
+                    self.opinions_stale += 1
+                    self.telemetry.inc("rsp.opinions.stale")
                 stored = True
                 record_kind = "opinion"
             else:
@@ -331,13 +421,20 @@ class ShardedRSPServer:
     def run_maintenance(self, now: float | None = None) -> MaintenanceReport:
         """Shard-parallel maintenance with a deterministic global merge.
 
-        Three phases, each fanned across the shards (serially when
+        The cycle plans with the shared incremental engine (per-shard
+        dirty sets drained in, pooled profiles passed in) and then picks
+        one of two byte-identical executions: when few entities are
+        tracked, the engine re-judges and re-summarizes just those
+        serially in the parent; when at least half the deployment is
+        tracked — or ``incremental=False`` — the pooled kernel recompute
+        is cheaper, fanned across the shards (serially when
         ``workers == 0``): **A** pools per-kind feature values per shard
-        and merges them into the global typical profiles; **B** judges
-        every shard's histories against those global profiles; **C**
-        rebuilds entity summaries per entity partition.  All merges are
-        order-independent (sums, sorted concatenations), so the report is
-        bit-identical to the monolithic cycle for any shard/worker count.
+        (cached by store version, merged in the parent so the caches
+        survive the fork); **B** judges every shard's histories against
+        the global profiles; **C** rebuilds entity summaries per entity
+        partition.  All merges are order-independent (sums, sorted
+        concatenations), so the report is bit-identical to the monolithic
+        cycle for any shard and worker count, in either mode.
 
         Telemetry is recorded in the parent process only — increments in
         forked pool workers would die with the worker, and parent-side
@@ -349,57 +446,81 @@ class ShardedRSPServer:
             n_opinions_received=self.n_opinions,
         )
         shard_indices = range(self.router.n_shards)
-        # Warm the per-shard frames and the cross-shard gather view in the
-        # parent, *before* the pool forks: workers then inherit read-only
-        # columnar caches and never walk the store object graphs, which
-        # keeps fork-time copy-on-write from duplicating the stores.
+        # Drain the per-shard dirty sets into the engine (sorted — dirty
+        # sets iterate in hash order, and `repro lint` holds the line).
+        for shard in self.shards:
+            for entity_id in sorted(shard.dirty_entities):
+                self._engine.mark_dirty(entity_id)
+            shard.dirty_entities.clear()
+        # Warm the per-shard frames in the parent, *before* any pool
+        # forks: workers then inherit read-only columnar caches and never
+        # walk the store object graphs, which keeps fork-time
+        # copy-on-write from duplicating the stores.
         for shard in self.shards:
             shard.frame(self.entity_kinds)
-        self.gather_frame()
-        with parallel.MaintenancePool(self, self.workers) as pool:
-            pools = pool.map(
-                parallel.collect_shard_pools, [(index,) for index in shard_indices]
-            )
-            profiles = profiles_from_pools(merge_pools(pools))
-            judgements = pool.map(
-                parallel.judge_shard,
-                [(index, profiles, self._detector_config) for index in shard_indices],
-            )
-            rejected = sorted(
-                (verdict for result in judgements for verdict in result.verdicts),
-                key=lambda verdict: verdict.history_id,
-            )
-            rejected_ids = frozenset(verdict.history_id for verdict in rejected)
-            report.n_rejected_histories = len(rejected)
-            report.rejected = rejected
-            report.n_opinions_kept = sum(
-                result.n_kept_opinions for result in judgements
-            )
-            partitions = pool.map(
-                parallel.summarize_partition,
-                [(index, rejected_ids) for index in shard_indices],
-            )
-        self._summaries = {
-            summary.entity_id: summary
-            for partition in partitions
-            for summary in partition
-        }
-        accepted_histories: dict[str, list[InteractionHistory]] = {}
-        for shard in self.shards:
-            for history in shard.store.all_histories():
-                if history.history_id in rejected_ids:
-                    continue
-                accepted_histories.setdefault(history.entity_id, []).append(history)
-        for histories in accepted_histories.values():
-            histories.sort(key=lambda history: history.history_id)
-        self._accepted_histories = accepted_histories
-        self.telemetry.inc("rsp.maintenance.cycles")
-        self.telemetry.set_gauge("rsp.maintenance.histories", report.n_histories)
-        self.telemetry.set_gauge(
-            "rsp.maintenance.rejected_histories", report.n_rejected_histories
+        # Phase A runs in the parent so the per-shard pool caches persist
+        # across cycles; a worker-side cache write would die with the fork.
+        profiles = profiles_from_pools(
+            merge_pools([shard.pools(self.entity_kinds) for shard in self.shards])
         )
-        self.telemetry.set_gauge(
-            "rsp.maintenance.opinions_kept", report.n_opinions_kept
+        full = not self.incremental
+        plan = self._engine.plan(profiles=profiles, full=full)
+        # Hybrid execution: the serial engine wins while the tracked set
+        # is small; once half the deployment must recompute anyway, the
+        # pooled kernel is cheaper.  Both sides are byte-identical, so
+        # the threshold only moves work, never results.
+        use_kernel = full or 2 * len(plan.judge_tracked) >= max(1, plan.n_entities)
+        if use_kernel:
+            self.gather_frame()
+            with parallel.MaintenancePool(self, self.workers) as pool:
+                judgements = pool.map(
+                    parallel.judge_shard,
+                    [
+                        (index, plan.profiles, self._detector_config)
+                        for index in shard_indices
+                    ],
+                )
+                rejected = sorted(
+                    (
+                        verdict
+                        for result in judgements
+                        for verdict in result.verdicts
+                    ),
+                    key=lambda verdict: verdict.history_id,
+                )
+                rejected_ids = frozenset(verdict.history_id for verdict in rejected)
+                partitions = pool.map(
+                    parallel.summarize_partition,
+                    [(index, rejected_ids) for index in shard_indices],
+                )
+            accepted_histories: dict[str, list[InteractionHistory]] = {}
+            for shard in self.shards:
+                for history in shard.store.all_histories():
+                    if history.history_id in rejected_ids:
+                        continue
+                    accepted_histories.setdefault(history.entity_id, []).append(
+                        history
+                    )
+            for histories in accepted_histories.values():
+                histories.sort(key=lambda history: history.history_id)
+            stats = self._engine.adopt_full(
+                plan,
+                accepted_histories,
+                group_verdicts_by_entity(rejected),
+                kept_counts(self.gather_frame(), rejected_ids),
+                [summary for partition in partitions for summary in partition],
+            )
+        else:
+            stats = self._engine.execute(plan)
+        report.rejected = self._engine.rejected_verdicts()
+        report.n_rejected_histories = len(report.rejected)
+        report.n_opinions_kept = self._engine.n_opinions_kept
+        emit_maintenance_telemetry(
+            self.telemetry,
+            report,
+            stats,
+            now,
+            mode="incremental" if self.incremental else "full",
         )
         for shard in self.shards:
             self.telemetry.set_gauge(
@@ -409,7 +530,6 @@ class ShardedRSPServer:
                 shard=shard.index,
             )
         if now is not None:
-            self.telemetry.span("maintenance", now, now)
             for shard in self.shards:
                 self.telemetry.span(
                     "shard.maintenance", now, now, scope=DEPLOYMENT, shard=shard.index

@@ -15,18 +15,22 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.aggregation import EntityOpinionSummary, OpinionUpload, summarize_entity
+from repro.core.aggregation import EntityOpinionSummary, OpinionUpload
 from repro.core.discovery import DiscoveryService, Query, SearchResponse
 from repro.core.visualization import ComparativeVisualization, compare_entities
 from repro.fraud.attestation import AttestationQuote, AttestationVerifier
-from repro.fraud.detector import DetectorConfig, FraudDetector, HistoryVerdict
-from repro.fraud.profiles import build_profiles
+from repro.fraud.detector import DetectorConfig, HistoryVerdict
 from repro.privacy.anonymity import Delivery
 from repro.privacy.history_store import HistoryStore, InteractionHistory, InteractionUpload
 from repro.privacy.tokens import TokenIssuer, TokenRedeemer
 from repro.core.protocol import Envelope
-from repro.telemetry import NULL, Telemetry
-from repro.telemetry.catalog import INGEST_LAG_BUCKETS, INTAKE_BATCH_BUCKETS
+from repro.service.incremental import CycleStats, MaintenanceEngine, MonolithStoreView
+from repro.telemetry import DEPLOYMENT, NULL, Telemetry
+from repro.telemetry.catalog import (
+    DIRTY_SET_BUCKETS,
+    INGEST_LAG_BUCKETS,
+    INTAKE_BATCH_BUCKETS,
+)
 from repro.world.entities import Entity
 
 
@@ -57,6 +61,46 @@ class MaintenanceReport:
     rejected: list[HistoryVerdict] = field(default_factory=list)
 
 
+def emit_maintenance_telemetry(
+    telemetry: Telemetry,
+    report: MaintenanceReport,
+    stats: CycleStats,
+    now: float | None,
+    mode: str,
+) -> None:
+    """Record one maintenance cycle — shared by both deployments.
+
+    Every aggregate value here derives from the report and the *tracked*
+    cycle stats, which are identical across incremental and full modes
+    and across shard/worker counts — so the AGGREGATE export stays
+    byte-identical whatever actually executed.  The mode-dependent span
+    lives under DEPLOYMENT scope, outside the invariant digest.
+    """
+    telemetry.inc("rsp.maintenance.cycles")
+    telemetry.set_gauge("rsp.maintenance.histories", report.n_histories)
+    telemetry.set_gauge(
+        "rsp.maintenance.rejected_histories", report.n_rejected_histories
+    )
+    telemetry.set_gauge("rsp.maintenance.opinions_kept", report.n_opinions_kept)
+    telemetry.set_gauge("rsp.maintenance.dirty_entities", stats.n_dirty)
+    telemetry.set_gauge("rsp.maintenance.cached_entities", stats.n_judge_cached)
+    telemetry.inc("rsp.maintenance.cache_hits", stats.n_judge_cached, phase="judge")
+    telemetry.inc("rsp.maintenance.cache_skips", stats.n_judge_tracked, phase="judge")
+    telemetry.inc(
+        "rsp.maintenance.cache_hits", stats.n_summarize_cached, phase="summarize"
+    )
+    telemetry.inc(
+        "rsp.maintenance.cache_skips", stats.n_summarize_tracked, phase="summarize"
+    )
+    telemetry.inc("rsp.maintenance.redirtied", stats.n_redirtied)
+    telemetry.observe(
+        "rsp.maintenance.dirty_set", stats.n_judge_tracked, buckets=DIRTY_SET_BUCKETS
+    )
+    if now is not None:
+        telemetry.span("maintenance", now, now)
+        telemetry.span("maintenance.incremental", now, now, scope=DEPLOYMENT, mode=mode)
+
+
 class RSPServer:
     """The re-architected recommendation service."""
 
@@ -69,6 +113,7 @@ class RSPServer:
         require_tokens: bool = True,
         detector_config: DetectorConfig | None = None,
         attestation: AttestationVerifier | None = None,
+        incremental: bool = True,
     ) -> None:
         if not catalog:
             raise ValueError("catalog must be non-empty")
@@ -88,9 +133,30 @@ class RSPServer:
         self._reviews: dict[str, list[ExplicitReview]] = {}
         self._discovery = DiscoveryService(catalog)
         self._detector_config = detector_config
-        self._summaries: dict[str, EntityOpinionSummary] = {}
-        self._accepted_histories: dict[str, list[InteractionHistory]] = {}
+        #: ``False`` forces every maintenance cycle to recompute from
+        #: scratch — the contractual baseline the incremental path must
+        #: match byte for byte (``tests/scale/test_incremental.py``).
+        self.incremental = incremental
+        self._engine = MaintenanceEngine(
+            MonolithStoreView(self.history_store, self._opinions, self._reviews),
+            self.entity_kinds,
+            detector_config,
+        )
+        # Aliases into the engine's caches: the engine mutates these in
+        # place only, so search/summary always see the latest cycle.
+        self._summaries: dict[str, EntityOpinionSummary] = self._engine.summaries
+        self._accepted_histories: dict[str, list[InteractionHistory]] = (
+            self._engine.accepted
+        )
         self.rejected_envelopes = 0
+        #: Stale opinion re-uploads dropped by ``seq`` ordering (the
+        #: envelope still counts as accepted; only the slot write is
+        #: skipped — see docs/RELIABILITY.md).
+        self.opinions_stale = 0
+        #: Interaction uploads bounced because their history identifier
+        #: is bound to a different entity (client bug or corruption
+        #: attempt; split from generic ``unstored`` storage failures).
+        self.history_mismatches = 0
         #: Nonces of accepted envelopes — the idempotent-dedup table that
         #: makes client retransmission over the ack-free channel safe.
         #: Keyed on the envelope's random nonce, never on a payload or
@@ -153,6 +219,7 @@ class RSPServer:
         self._reviews.setdefault(entity_id, []).append(
             ExplicitReview(user_id=user_id, entity_id=entity_id, rating=rating, time=time)
         )
+        self._engine.mark_dirty(entity_id)
         self.telemetry.inc("rsp.reviews.posted")
 
     def receive(self, delivery: Delivery[Envelope], now: float | None = None) -> bool:
@@ -217,16 +284,43 @@ class RSPServer:
                     self.rejected_envelopes += 1
                     self.telemetry.inc("rsp.envelopes.rejected", reason="unknown-entity")
                     return False
+                bound = self.history_store.bound_entity(record.history_id)
+                if bound is not None and bound != record.entity_id:
+                    # The identifier is bound to another entity: a client
+                    # bug or a corruption attempt, not a storage failure —
+                    # keep it out of the generic "unstored" bucket so
+                    # fraud-facing dashboards see it.
+                    self.history_mismatches += 1
+                    self.rejected_envelopes += 1
+                    self.telemetry.inc(
+                        "rsp.envelopes.rejected", reason="history-mismatch"
+                    )
+                    return False
                 stored = self.history_store.append(
                     record, arrival_time=delivery.arrival_time
                 )
+                if stored:
+                    self._engine.mark_dirty(record.entity_id)
                 record_kind = "interaction"
             elif isinstance(record, OpinionUpload):
                 if record.entity_id not in self.catalog:
                     self.rejected_envelopes += 1
                     self.telemetry.inc("rsp.envelopes.rejected", reason="unknown-entity")
                     return False
-                self._opinions[record.history_id] = record
+                existing = self._opinions.get(record.history_id)
+                if existing is None or record.seq > existing.seq:
+                    self._opinions[record.history_id] = record
+                    self._engine.note_opinion(
+                        existing,
+                        record,
+                        owner=self.history_store.bound_entity(record.history_id),
+                    )
+                else:
+                    # A delayed/reordered re-upload older than (or tying)
+                    # the slot: drop the write, but accept the envelope —
+                    # the sender behaved correctly and must not retransmit.
+                    self.opinions_stale += 1
+                    self.telemetry.inc("rsp.opinions.stale")
                 stored = True
                 record_kind = "opinion"
             else:
@@ -282,60 +376,31 @@ class RSPServer:
         rather than arrival interleaving — and what lets the sharded
         maintenance path of :mod:`repro.scale` reproduce it bit for bit
         from any partitioning (see docs/SCALING.md).
+
+        That same purity makes the cycle incremental: by default only
+        entities dirtied since the last cycle (plus the profile-digest
+        and verdict-flip cascades) are re-filtered and re-summarized;
+        with ``incremental=False`` everything recomputes from scratch.
+        The two modes are byte-identical in every report, summary, and
+        aggregate telemetry value (``tests/scale/test_incremental.py``).
         """
         report = MaintenanceReport(
             n_histories=self.history_store.n_histories,
             n_opinions_received=len(self._opinions),
         )
-        profiles = build_profiles(self.history_store, self.entity_kinds)
-        detector = FraudDetector(profiles, self.entity_kinds, self._detector_config)
-        accepted, rejected = detector.filter_store(self.history_store)
-        rejected = sorted(rejected, key=lambda verdict: verdict.history_id)
-        report.n_rejected_histories = len(rejected)
-        report.rejected = rejected
-
-        self._accepted_histories = {}
-        for history in accepted:
-            self._accepted_histories.setdefault(history.entity_id, []).append(history)
-        for histories in self._accepted_histories.values():
-            histories.sort(key=lambda history: history.history_id)
-
-        surviving_ids = {history.history_id for history in accepted}
-        kept_opinions = sorted(
-            (o for o in self._opinions.values() if o.history_id in surviving_ids),
-            key=lambda opinion: opinion.history_id,
+        full = not self.incremental
+        plan = self._engine.plan(full=full)
+        stats = self._engine.execute(plan, full=full)
+        report.rejected = self._engine.rejected_verdicts()
+        report.n_rejected_histories = len(report.rejected)
+        report.n_opinions_kept = self._engine.n_opinions_kept
+        emit_maintenance_telemetry(
+            self.telemetry,
+            report,
+            stats,
+            now,
+            mode="incremental" if self.incremental else "full",
         )
-        report.n_opinions_kept = len(kept_opinions)
-
-        opinions_by_entity: dict[str, list[OpinionUpload]] = {}
-        for opinion in kept_opinions:
-            opinions_by_entity.setdefault(opinion.entity_id, []).append(opinion)
-
-        self._summaries = {}
-        entity_ids = (
-            set(self._accepted_histories)
-            | set(opinions_by_entity)
-            | set(self._reviews)
-        )
-        for entity_id in sorted(entity_ids):
-            self._summaries[entity_id] = summarize_entity(
-                entity_id=entity_id,
-                histories=self._accepted_histories.get(entity_id, []),
-                inferred=opinions_by_entity.get(entity_id, []),
-                explicit_ratings=[
-                    float(r.rating) for r in self._reviews.get(entity_id, [])
-                ],
-            )
-        self.telemetry.inc("rsp.maintenance.cycles")
-        self.telemetry.set_gauge("rsp.maintenance.histories", report.n_histories)
-        self.telemetry.set_gauge(
-            "rsp.maintenance.rejected_histories", report.n_rejected_histories
-        )
-        self.telemetry.set_gauge(
-            "rsp.maintenance.opinions_kept", report.n_opinions_kept
-        )
-        if now is not None:
-            self.telemetry.span("maintenance", now, now)
         return report
 
     # -------------------------------------------------------------- query

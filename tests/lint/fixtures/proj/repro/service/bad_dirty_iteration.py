@@ -1,0 +1,16 @@
+"""Fixture: dirty sets iterated in hash order (det-dirty-iteration)."""
+
+
+class Engine:
+    def __init__(self):
+        self.dirty_entities = set()
+        self._dirty = set()
+
+    def drain(self):
+        total = 0.0
+        for entity_id in self.dirty_entities:
+            total += float(len(entity_id))
+        return total
+
+    def snapshot(self, dirty):
+        return [entity_id for entity_id in dirty]

@@ -1,0 +1,15 @@
+"""Fixture: dirty sets drained through sorted() (det-dirty-iteration)."""
+
+
+class Engine:
+    def __init__(self):
+        self.dirty_entities = set()
+
+    def drain(self):
+        total = 0.0
+        for entity_id in sorted(self.dirty_entities):
+            total += float(len(entity_id))
+        return total
+
+    def snapshot(self, dirty):
+        return [entity_id for entity_id in sorted(dirty)]

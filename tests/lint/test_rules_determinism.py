@@ -60,3 +60,26 @@ class TestNumpyRandom:
         # isinstance checks; neither may trip the rule.
         result = lint_paths("world/good_rng.py")
         assert "det-numpy-random" not in rule_ids(result)
+
+
+class TestDirtyIteration:
+    def test_flags_bare_loop_and_comprehension(self, lint_paths):
+        result = lint_paths("service/bad_dirty_iteration.py")
+        ids = rule_ids(result)
+        assert ids.count("det-dirty-iteration") == 2
+        messages = " ".join(v.message for v in result.violations)
+        assert "dirty_entities" in messages
+        assert "sorted()" in messages
+
+    def test_sorted_iteration_passes(self, lint_paths):
+        result = lint_paths("service/good_dirty_iteration.py")
+        assert "det-dirty-iteration" not in rule_ids(result)
+
+    def test_rule_only_applies_to_service_packages(self, fixture_root, tmp_path):
+        # The same hash-order loop is legal outside repro.service/repro.scale
+        # (e.g. in the harness, where nothing float-sensitive consumes it).
+        source = (fixture_root / "service" / "bad_dirty_iteration.py").read_text()
+        outside = tmp_path / "harness.py"
+        outside.write_text(source)
+        result = Analyzer(default_rules()).run([outside])
+        assert "det-dirty-iteration" not in rule_ids(result)

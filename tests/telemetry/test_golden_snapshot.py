@@ -26,11 +26,16 @@ from repro.world.population import TownConfig, build_town
 HORIZON_DAYS = 28.0
 HORIZON = HORIZON_DAYS * DAY
 
+# Re-derived when incremental maintenance landed: the aggregate export
+# gained the dirty-set/cache-hit metric family (rsp.maintenance.dirty_*,
+# cache_hits/cache_skips, redirtied, dirty_set histogram), all computed
+# from tracked sets so the digest stays invariant across deployments,
+# worker counts, and incremental vs full recompute.
 GOLDEN_TELEMETRY_CLEAN = (
-    "5ae5aac56797950484e8db32ba1dba90fe0f3e3a4515a3bcd8f13c5836630fa4"
+    "9c7ad644656c302f0c53a880e3d97e1e45ff38130f73197eac313d77a1ac3240"
 )
 GOLDEN_TELEMETRY_CHAOS = (
-    "bcdb3683794971a59dff9cab5d4a87fd80912aa1973bc1ae1ed0949fe5d41847"
+    "c6892df196efb1c5f58f7af8dfa49dcdd867647161785fc844afb0949430470e"
 )
 
 CHAOS_PLAN = FaultPlan(
