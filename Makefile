@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check lint ruff test bench chaos scale bench-shards telemetry bench-telemetry incremental bench-incremental
+.PHONY: check lint ruff test bench chaos scale bench-shards telemetry bench-telemetry incremental bench-incremental analyze bench-analyze
 
 check:
 	bash scripts/check.sh
@@ -59,3 +59,16 @@ incremental:
 # Dirty-delta maintenance benchmark; emits BENCH_5.json at the repo root.
 bench-incremental:
 	$(PYTHON) -m pytest benchmarks/test_bench_incremental.py --benchmark-only -q -s
+
+# Whole-program analysis suite: the analyzer over src/repro against the
+# committed findings baseline (stale or new findings fail), the
+# fixture-driven checker/call-graph/dataflow tests, and the line-coverage
+# floor on repro.analysis.
+analyze:
+	$(PYTHON) -m repro.analysis src/repro --baseline analysis_baseline.json
+	$(PYTHON) -m pytest tests/analysis -q
+	$(PYTHON) scripts/coverage_gate.py --target analysis --fail-under 85
+
+# Cold vs warm analyzer benchmark; emits BENCH_6.json at the repo root.
+bench-analyze:
+	$(PYTHON) -m pytest benchmarks/test_bench_analysis.py --benchmark-only -q -s

@@ -1,0 +1,76 @@
+"""B6 — whole-program analyzer: cold extraction vs warm incremental cache.
+
+The tentpole claim of PR 6: per-file fact extraction (parse + local
+dataflow) dominates a cold analysis run, so the digest-keyed cache must
+make a warm re-analysis of the unchanged tree cheap — under 25% of the
+cold wall time — while producing byte-identical findings.  Emits
+``BENCH_6.json`` (consumed by ``make bench-analyze`` and EXPERIMENTS.md).
+"""
+
+import json
+import pathlib
+import time
+
+from _harness import comparison_table, emit
+
+from repro.analysis import Baseline, WholeProgramAnalyzer
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+MAX_WARM_FRACTION = 0.25
+
+
+def test_warm_cache_analysis(benchmark, tmp_path, monkeypatch):
+    # Baseline fingerprints embed repo-relative paths: run from the root.
+    monkeypatch.chdir(ROOT)
+    cache = tmp_path / "analysis-cache.json"
+    baseline = Baseline.load(ROOT / "analysis_baseline.json")
+    src = "src/repro"
+
+    start = time.perf_counter()
+    cold = WholeProgramAnalyzer(cache_path=cache).run([src], baseline=baseline)
+    cold_s = time.perf_counter() - start
+    assert cold.n_cached == 0 and cold.n_files > 100
+    assert cold.ok, [f.message for f in cold.findings]
+
+    def warm_run():
+        return WholeProgramAnalyzer(cache_path=cache).run([src], baseline=baseline)
+
+    start = time.perf_counter()
+    warm = benchmark.pedantic(warm_run, rounds=1, iterations=1)
+    warm_s = time.perf_counter() - start
+
+    # Equivalence first: a cache that changes the answer is a bug.
+    assert warm.n_cached == warm.n_files == cold.n_files
+    assert [f.to_dict() for f in warm.all_produced()] == [
+        f.to_dict() for f in cold.all_produced()
+    ]
+
+    fraction = warm_s / cold_s
+    emit(comparison_table(
+        f"B6: whole-program analysis over {cold.n_files} files",
+        ["configuration", "wall time", "vs cold"],
+        [
+            ["cold (parse + extract)", f"{cold_s:.3f}s", "100.0%"],
+            ["warm (fact cache)", f"{warm_s:.3f}s", f"{100.0 * fraction:.1f}%"],
+        ],
+    ))
+
+    out = ROOT / "BENCH_6.json"
+    out.write_text(json.dumps(
+        {
+            "bench": "analysis-incremental-cache",
+            "n_files": cold.n_files,
+            "n_findings_baselined": len(cold.baselined),
+            "cold_s": round(cold_s, 4),
+            "warm_s": round(warm_s, 4),
+            "warm_fraction": round(fraction, 4),
+            "max_warm_fraction": MAX_WARM_FRACTION,
+        },
+        indent=2,
+    ) + "\n")
+
+    assert fraction <= MAX_WARM_FRACTION, (
+        f"warm analysis {100 * fraction:.1f}% of cold exceeds the "
+        f"{100 * MAX_WARM_FRACTION:.0f}% budget "
+        f"(cold {cold_s:.3f}s vs warm {warm_s:.3f}s)"
+    )

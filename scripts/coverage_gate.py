@@ -36,6 +36,7 @@ TARGETS = {
         SRC / "repro" / "service",
         ["tests/service", "tests/scale/test_incremental.py"],
     ),
+    "analysis": (SRC / "repro" / "analysis", ["tests/analysis"]),
 }
 
 

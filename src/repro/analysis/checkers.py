@@ -1,0 +1,396 @@
+"""The four whole-program checkers.
+
+==============================  =================================================
+checker id                      what it proves the absence of
+==============================  =================================================
+``interproc-privacy-taint``     identity-tainted values reaching a sink
+                                (upload constructor, telemetry label,
+                                service-side log, export/digest payload)
+                                through *any* call chain
+``pool-shared-mutation``        functions reachable from a worker entry
+                                point mutating parent-owned module state
+                                (fork shares it copy-on-write; writes are
+                                silently lost or racy)
+``merge-purity``                merge-registry functions mutating their
+                                inputs, writing module state, or reading
+                                mutable globals — each breaks commutative
+                                replay
+``determinism-reachability``    wall clock, unseeded RNG, or unordered-set
+                                iteration transitively reachable from a
+                                digest/export/report entry point
+==============================  =================================================
+
+Findings carry a witness call chain and a line-independent fingerprint
+(checker, file, function, salient detail — never the line number), which
+is what the baseline keys on: moving code around does not churn the
+baseline, changing behaviour does.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.dataflow import MutationSummaries, ReturnSummaries, TaintPropagator
+from repro.analysis.facts import FunctionFacts, SinkFact
+from repro.analysis.project import ProjectIndex
+
+
+@dataclass(frozen=True)
+class Finding:
+    checker_id: str
+    path: str
+    line: int
+    col: int
+    function: str  # qualname the finding is attributed to
+    message: str
+    chain: tuple[str, ...] = ()
+    #: short detail string the fingerprint is built from
+    detail: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        payload = "|".join([self.checker_id, self.path, self.function, self.detail])
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> dict:
+        return {
+            "checker_id": self.checker_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "function": self.function,
+            "message": self.message,
+            "chain": list(self.chain),
+            "detail": self.detail,
+            "fingerprint": self.fingerprint,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "Finding":
+        return cls(
+            checker_id=raw["checker_id"],
+            path=raw["path"],
+            line=raw["line"],
+            col=raw["col"],
+            function=raw["function"],
+            message=raw["message"],
+            chain=tuple(raw.get("chain", ())),
+            detail=raw.get("detail", ""),
+        )
+
+
+@dataclass
+class CheckContext:
+    """Everything a checker may consult, computed once per run."""
+
+    config: AnalysisConfig
+    index: ProjectIndex
+    returns: ReturnSummaries
+    mutations: MutationSummaries
+
+
+class Checker:
+    checker_id = ""
+    description = ""
+
+    @property
+    def rule_id(self) -> str:
+        """Alias so the lint CLI's selection helper applies unchanged."""
+        return self.checker_id
+
+    def run(self, context: CheckContext) -> list[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+
+def _chain_text(chain: tuple[str, ...]) -> str:
+    return " -> ".join(chain)
+
+
+_SINK_KIND_TEXT = {
+    "sink": "upload payload",
+    "telemetry-label": "telemetry label",
+    "log": "log statement",
+    "export": "export/digest payload",
+}
+
+
+class InterprocPrivacyTaintChecker(Checker):
+    """Identity taint crossing call edges into a publishing position."""
+
+    checker_id = "interproc-privacy-taint"
+    description = (
+        "identity-bearing values must not reach uploads, telemetry labels, "
+        "service logs, or export digests through any call chain"
+    )
+
+    def run(self, context: CheckContext) -> list[Finding]:
+        findings: dict[tuple, Finding] = {}
+        service_packages = context.config.lint.service_packages
+
+        def on_hit(
+            facts: FunctionFacts,
+            sink: SinkFact,
+            sources: frozenset[str],
+            chain: tuple[str, ...],
+        ) -> None:
+            if sink.kind == "log" and not facts.module.startswith(service_packages):
+                # Client-side prints are the device talking to its owner.
+                return
+            key = (facts.path, sink.line, sink.col, sink.kind, sources)
+            if key in findings:  # first (BFS-shortest) chain wins
+                return
+            names = ", ".join(f"`{name}`" for name in sorted(sources))
+            where = _SINK_KIND_TEXT.get(sink.kind, sink.kind)
+            label = f" (label `{sink.label}`)" if sink.kind == "telemetry-label" else ""
+            message = (
+                f"identity {names} reaches {where} `{sink.name}`{label} "
+                f"in `{facts.qualname}` via {_chain_text(chain)}"
+            )
+            findings[key] = Finding(
+                checker_id=self.checker_id,
+                path=facts.path,
+                line=sink.line,
+                col=sink.col,
+                function=facts.qualname,
+                message=message,
+                chain=chain,
+                detail=f"{sink.kind}:{sink.name}:{sink.label}:{','.join(sorted(sources))}",
+            )
+
+        TaintPropagator(context.index, context.returns).run(on_hit)
+        return list(findings.values())
+
+
+class PoolSharedMutationChecker(Checker):
+    """Worker-reachable code mutating state the parent process owns."""
+
+    checker_id = "pool-shared-mutation"
+    description = (
+        "functions reachable from a process-pool entry point must not "
+        "mutate parent-owned module globals (fork shares them COW; the "
+        "write is lost or racy)"
+    )
+
+    def run(self, context: CheckContext) -> list[Finding]:
+        index = context.index
+        entries = index.worker_entries()
+        if not entries:
+            return []
+        reached = index.reachable(entries)
+        findings: list[Finding] = []
+        for qualname, chain in sorted(reached.items()):
+            summary = context.mutations.summaries.get(qualname)
+            facts = index.functions.get(qualname)
+            if summary is None or facts is None:
+                continue
+            for dotted, (line, via) in sorted(summary.globals.items()):
+                witness = f" (through `{via}`)" if via in index.functions else ""
+                findings.append(
+                    Finding(
+                        checker_id=self.checker_id,
+                        path=facts.path,
+                        line=line,
+                        col=0,
+                        function=qualname,
+                        message=(
+                            f"`{qualname}` is reachable from worker entry "
+                            f"`{chain[0]}` and mutates parent-owned "
+                            f"`{dotted}`{witness}; worker chain: "
+                            f"{_chain_text(chain)}"
+                        ),
+                        chain=chain,
+                        detail=f"{dotted}:{via}",
+                    )
+                )
+        return findings
+
+
+class MergePurityChecker(Checker):
+    """The commutative merge registry must be side-effect-free."""
+
+    checker_id = "merge-purity"
+    description = (
+        "merge-registry functions must not mutate their inputs, write "
+        "module state, or read mutable globals — replay and shard-order "
+        "independence depend on it"
+    )
+
+    def run(self, context: CheckContext) -> list[Finding]:
+        index = context.index
+        findings: list[Finding] = []
+        for qualname in sorted(index.functions):
+            facts = index.functions[qualname]
+            if not self._in_merge_registry(context.config, qualname, facts):
+                continue
+            summary = context.mutations.summaries[qualname]
+            for param_index, (line, via) in sorted(summary.params.items()):
+                param = (
+                    facts.params[param_index]
+                    if param_index < len(facts.params)
+                    else f"#{param_index}"
+                )
+                findings.append(
+                    Finding(
+                        checker_id=self.checker_id,
+                        path=facts.path,
+                        line=line,
+                        col=0,
+                        function=qualname,
+                        message=(
+                            f"merge function `{qualname}` may mutate its "
+                            f"input `{param}` ({via})"
+                        ),
+                        chain=(qualname,),
+                        detail=f"param:{param}:{via}",
+                    )
+                )
+            for dotted, (line, via) in sorted(summary.globals.items()):
+                findings.append(
+                    Finding(
+                        checker_id=self.checker_id,
+                        path=facts.path,
+                        line=line,
+                        col=0,
+                        function=qualname,
+                        message=(
+                            f"merge function `{qualname}` may write module "
+                            f"state `{dotted}` ({via})"
+                        ),
+                        chain=(qualname,),
+                        detail=f"global:{dotted}:{via}",
+                    )
+                )
+            findings.extend(self._mutable_reads(context, qualname))
+        return findings
+
+    @staticmethod
+    def _in_merge_registry(
+        config: AnalysisConfig, qualname: str, facts: FunctionFacts
+    ) -> bool:
+        if qualname.endswith(".<module>"):
+            return False  # registry construction itself runs at import
+        return any(
+            facts.module == module or facts.module.startswith(module + ".")
+            for module in config.merge_modules
+        )
+
+    def _mutable_reads(self, context: CheckContext, root: str) -> list[Finding]:
+        """Mutable-global reads anywhere in the merge function's cone."""
+        index = context.index
+        findings: list[Finding] = []
+        for qualname, chain in sorted(index.reachable([root]).items()):
+            facts = index.functions[qualname]
+            for dotted, line, col in facts.global_reads:
+                info = index.globals.get(dotted)
+                if not info or not (info.get("mutable") or info.get("rebound")):
+                    continue
+                at = "" if qualname == root else f" (in `{qualname}`)"
+                findings.append(
+                    Finding(
+                        checker_id=self.checker_id,
+                        path=facts.path,
+                        line=line,
+                        col=col,
+                        function=root,
+                        message=(
+                            f"merge function `{root}` may read mutable "
+                            f"global `{dotted}`{at}; chain: {_chain_text(chain)}"
+                        ),
+                        chain=chain,
+                        detail=f"read:{dotted}:{qualname}",
+                    )
+                )
+        return findings
+
+
+class DeterminismReachabilityChecker(Checker):
+    """No entropy or iteration-order dependence below report entries."""
+
+    checker_id = "determinism-reachability"
+    description = (
+        "wall clock, unseeded RNG, and unordered-set iteration must not "
+        "be reachable from digest/export/report entry points"
+    )
+
+    def run(self, context: CheckContext) -> list[Finding]:
+        index = context.index
+        config = context.config
+        roots = sorted(
+            qualname
+            for qualname in index.functions
+            if qualname.rsplit(".", 1)[-1] in config.report_entry_names
+            and "<locals>" not in qualname
+        )
+        if not roots:
+            return []
+        reached = index.reachable(roots)
+        allowed = config.allowed_nondet_modules
+        findings: list[Finding] = []
+        seen: set[tuple] = set()
+        for qualname, chain in sorted(reached.items()):
+            facts = index.functions[qualname]
+            if facts.module in allowed:
+                continue  # the sanctioned entropy/clock plumbing itself
+            for resolved in index.resolved_calls(qualname):
+                external = resolved.external
+                if external is None or not self._is_nondet(config, external):
+                    continue
+                key = (qualname, external)
+                if key in seen:
+                    continue
+                seen.add(key)
+                findings.append(
+                    Finding(
+                        checker_id=self.checker_id,
+                        path=facts.path,
+                        line=resolved.site.line,
+                        col=resolved.site.col,
+                        function=qualname,
+                        message=(
+                            f"nondeterministic `{external}` is reachable "
+                            f"from report entry `{chain[0]}`; chain: "
+                            f"{_chain_text(chain)}"
+                        ),
+                        chain=chain,
+                        detail=f"call:{external}",
+                    )
+                )
+            for name, line, col in facts.unordered:
+                key = (qualname, "iter", name, line)
+                if key in seen:
+                    continue
+                seen.add(key)
+                findings.append(
+                    Finding(
+                        checker_id=self.checker_id,
+                        path=facts.path,
+                        line=line,
+                        col=col,
+                        function=qualname,
+                        message=(
+                            f"iteration over unordered set `{name}` in "
+                            f"`{qualname}` is reachable from report entry "
+                            f"`{chain[0]}`; chain: {_chain_text(chain)}"
+                        ),
+                        chain=chain,
+                        detail=f"iter:{name}",
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _is_nondet(config: AnalysisConfig, dotted: str) -> bool:
+        if dotted in config.nondet_calls:
+            return True
+        return any(dotted.startswith(prefix) for prefix in config.nondet_prefixes)
+
+
+def default_checkers() -> list[Checker]:
+    return [
+        InterprocPrivacyTaintChecker(),
+        PoolSharedMutationChecker(),
+        MergePurityChecker(),
+        DeterminismReachabilityChecker(),
+    ]

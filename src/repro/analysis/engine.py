@@ -1,0 +1,170 @@
+"""Run orchestration for the whole-program analyzer.
+
+Pipeline::
+
+    files ──(FactLoader: cache or parse+extract)──▶ ModuleFacts*
+          ──(ProjectIndex.build)────────────────▶ symbols + call graph
+          ──(ReturnSummaries / MutationSummaries)▶ interproc summaries
+          ──(checkers)───────────────────────────▶ raw findings
+          ──(inline suppressions, baseline)──────▶ AnalysisResult
+
+Only the first stage is per-file and cacheable; everything after runs on
+the in-memory facts and is fast enough to repeat on every invocation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.cache import FactLoader, file_digest
+from repro.analysis.checkers import CheckContext, Checker, Finding, default_checkers
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.dataflow import MutationSummaries, ReturnSummaries
+from repro.analysis.facts import ModuleFacts
+from repro.analysis.project import ProjectIndex
+from repro.lint.engine import Violation, iter_python_files
+
+
+@dataclass
+class AnalysisResult:
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    stale_baseline: list[dict] = field(default_factory=list)
+    parse_errors: list[Violation] = field(default_factory=list)
+    n_files: int = 0
+    n_cached: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.stale_baseline and not self.parse_errors
+
+    def all_produced(self) -> list[Finding]:
+        """Every finding the checkers emitted, however it was disposed."""
+        merged = self.findings + self.suppressed + self.baselined
+        merged.sort(key=lambda f: (f.path, f.line, f.col, f.checker_id, f.message))
+        return merged
+
+
+@dataclass
+class WholeProgramAnalyzer:
+    """Front door: load facts, build the program view, run the checkers."""
+
+    config: AnalysisConfig = field(default_factory=AnalysisConfig)
+    checkers: Sequence[Checker] | None = None
+    cache_path: Path | str | None = None
+
+    def run(
+        self, paths: Sequence[Path | str], baseline: Baseline | None = None
+    ) -> AnalysisResult:
+        result = AnalysisResult()
+        loader = FactLoader(
+            self.config,
+            cache_path=None if self.cache_path is None else Path(self.cache_path),
+        )
+        files = [Path(path) for path in iter_python_files(paths)]
+        result.n_files = len(files)
+
+        # Program-level short circuit: checker output is a pure function
+        # of (config, file bytes), so an unchanged file set replays the
+        # cached findings without building the index or the summaries.
+        # The baseline is applied fresh — it can change independently.
+        digests: dict[Path, str] = {}
+        program_key: str | None = None
+        for path in files:
+            try:
+                digests[path] = file_digest(path)
+            except OSError:
+                break
+        else:
+            active = self.checkers if self.checkers is not None else default_checkers()
+            program_key = hashlib.sha256(
+                "\n".join(
+                    [",".join(sorted(c.checker_id for c in active))]
+                    + [f"{path}\0{digests[path]}" for path in files]
+                ).encode("utf-8")
+            ).hexdigest()
+            replay = loader.cached_program(program_key)
+            if replay is not None:
+                result.n_cached = len(files)
+                result.suppressed = [
+                    Finding.from_dict(raw) for raw in replay.get("suppressed", [])
+                ]
+                unsuppressed = [
+                    Finding.from_dict(raw) for raw in replay.get("findings", [])
+                ]
+                return self._finish(result, unsuppressed, baseline)
+
+        facts: list[ModuleFacts] = []
+        for path in files:
+            loaded = loader.load(path, digest=digests.get(path))
+            if isinstance(loaded, Violation):
+                result.parse_errors.append(loaded)
+            else:
+                facts.append(loaded)
+        result.n_cached = loader.hits
+
+        context = self.build_context(facts)
+        produced: list[Finding] = []
+        seen: set[tuple] = set()
+        for checker in self.checkers if self.checkers is not None else default_checkers():
+            for finding in checker.run(context):
+                key = (
+                    finding.checker_id,
+                    finding.path,
+                    finding.line,
+                    finding.col,
+                    finding.message,
+                )
+                if key not in seen:
+                    seen.add(key)
+                    produced.append(finding)
+
+        modules_by_path = {facts.path: facts for facts in context.index.modules.values()}
+        unsuppressed: list[Finding] = []
+        for finding in produced:
+            module = modules_by_path.get(finding.path)
+            if module is not None and module.suppressed(finding.checker_id, finding.line):
+                result.suppressed.append(finding)
+            else:
+                unsuppressed.append(finding)
+
+        if program_key is not None and not result.parse_errors:
+            loader.store_program(
+                program_key,
+                {
+                    "findings": [f.to_dict() for f in unsuppressed],
+                    "suppressed": [f.to_dict() for f in result.suppressed],
+                },
+            )
+        loader.save()
+        return self._finish(result, unsuppressed, baseline)
+
+    def _finish(
+        self,
+        result: AnalysisResult,
+        unsuppressed: list[Finding],
+        baseline: Baseline | None,
+    ) -> AnalysisResult:
+        baseline = baseline or Baseline()
+        result.findings, result.baselined, result.stale_baseline = baseline.split(
+            unsuppressed
+        )
+        order = lambda f: (f.path, f.line, f.col, f.checker_id, f.message)  # noqa: E731
+        result.findings.sort(key=order)
+        result.suppressed.sort(key=order)
+        result.baselined.sort(key=order)
+        result.parse_errors.sort(key=lambda v: (v.path, v.line, v.col))
+        return result
+
+    def build_context(self, facts: Sequence[ModuleFacts]) -> CheckContext:
+        index = ProjectIndex.build(self.config, facts)
+        returns = ReturnSummaries(index)
+        mutations = MutationSummaries(index, returns)
+        return CheckContext(
+            config=self.config, index=index, returns=returns, mutations=mutations
+        )

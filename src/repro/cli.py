@@ -11,6 +11,7 @@ benchmarks exercise:
 * ``audit``    — de-anonymization attacks against naive vs hardened clients
 * ``redteam``  — the fraud attacker zoo vs the typical-user detector
 * ``lint``     — the AST invariant analyzer (privacy, determinism, layering)
+* ``analyze``  — the whole-program analyzer (call graph, interprocedural taint)
 * ``telemetry`` — run the service and render its observability dashboard
 """
 
@@ -361,6 +362,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run_lint(args)
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import run_analyze
+
+    return run_analyze(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -480,6 +487,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_lint_arguments(lint)
     lint.set_defaults(func=_cmd_lint)
+
+    from repro.analysis.cli import add_analyze_arguments
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="whole-program analysis: interprocedural taint, pool/merge/"
+        "determinism checkers",
+    )
+    add_analyze_arguments(analyze)
+    analyze.set_defaults(func=_cmd_analyze)
 
     return parser
 

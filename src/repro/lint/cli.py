@@ -58,6 +58,43 @@ def _csv(raw: str | None) -> set[str] | None:
     return {part.strip() for part in raw.split(",") if part.strip()}
 
 
+class SelectionError(ValueError):
+    """A ``--select``/``--ignore`` spelling that cannot mean anything."""
+
+
+def resolve_selection(rules, select: str | None, ignore: str | None) -> list:
+    """Filter ``rules`` by comma-separated id lists, loudly.
+
+    Raises :class:`SelectionError` for an unknown rule id (a typo would
+    otherwise select nothing and turn the CI gate vacuously green), for a
+    ``--select``/``--ignore`` value that parses to zero ids (e.g. ``""``
+    or ``" , "``), and for a combination that leaves nothing to run.
+    Shared by ``repro lint`` and ``repro analyze``.
+    """
+    selected = _csv(select)
+    ignored = _csv(ignore)
+    known = {rule.rule_id for rule in rules}
+    for flag, requested in (("--select", selected), ("--ignore", ignored)):
+        if requested is None:
+            continue
+        if not requested:
+            raise SelectionError(f"{flag} given but no rule ids parsed from it")
+        for rule_id in sorted(requested):
+            if rule_id not in known:
+                raise SelectionError(
+                    f"unknown rule id {rule_id!r} (see --list-rules)"
+                )
+    remaining = [
+        rule
+        for rule in rules
+        if (selected is None or rule.rule_id in selected)
+        and rule.rule_id not in (ignored or set())
+    ]
+    if not remaining:
+        raise SelectionError("selection leaves no rules to run")
+    return remaining
+
+
 def list_rules_text() -> str:
     lines = []
     for rule in default_rules():
@@ -71,20 +108,11 @@ def run_lint(args: argparse.Namespace, config: LintConfig | None = None) -> int:
     if args.list_rules:
         print(list_rules_text())
         return 0
-    rules = default_rules()
-    selected = _csv(args.select)
-    ignored = _csv(args.ignore) or set()
-    known = {rule.rule_id for rule in rules}
-    for requested in (selected or set()) | ignored:
-        if requested not in known:
-            print(f"error: unknown rule id {requested!r} (see --list-rules)")
-            return 2
-    rules = [
-        rule
-        for rule in rules
-        if (selected is None or rule.rule_id in selected)
-        and rule.rule_id not in ignored
-    ]
+    try:
+        rules = resolve_selection(default_rules(), args.select, args.ignore)
+    except SelectionError as exc:
+        print(f"error: {exc}")
+        return 2
     analyzer = Analyzer(rules, config=config)
     result: LintResult = analyzer.run(args.paths)
     if args.format == "json":

@@ -294,11 +294,29 @@ class Analyzer:
 
     def run(self, paths: Sequence[Path | str]) -> LintResult:
         result = LintResult()
+        # Two rules (or one rule reached through two traversal branches)
+        # may report the identical finding; report each exactly once, in
+        # a deterministic order, so diffs of analyzer output are stable.
+        seen: set[tuple] = set()
+
+        def admit(violation: Violation, into: list[Violation]) -> None:
+            key = (
+                violation.rule_id,
+                violation.path,
+                violation.line,
+                violation.col,
+                violation.message,
+                violation.suppressed,
+            )
+            if key not in seen:
+                seen.add(key)
+                into.append(violation)
+
         for path in iter_python_files(paths):
             result.n_files += 1
             parsed = parse_module(Path(path))
             if isinstance(parsed, Violation):
-                result.violations.append(parsed)
+                admit(parsed, result.violations)
                 continue
             for rule in self.rules:
                 for violation in rule.check(parsed, self.config):
@@ -306,9 +324,12 @@ class Analyzer:
                         violation.rule_id
                         in parsed.line_suppressions.get(violation.line, frozenset())
                     ):
-                        result.suppressed.append(
-                            Violation(**{**violation.to_dict(), "suppressed": True})
+                        admit(
+                            Violation(**{**violation.to_dict(), "suppressed": True}),
+                            result.suppressed,
                         )
                     else:
-                        result.violations.append(violation)
+                        admit(violation, result.violations)
+        result.violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+        result.suppressed.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
         return result

@@ -41,13 +41,19 @@ def _last_segment(func: ast.expr) -> str | None:
     return None
 
 
-def _iter_tainted(config: LintConfig, node: ast.expr) -> Iterator[tuple[ast.expr, str]]:
+def _iter_tainted(config: LintConfig, node: ast.AST) -> Iterator[tuple[ast.expr, str]]:
     """Identity-bearing names reachable in ``node``, sanitizers excepted.
 
     Descends through nested calls (a taint wrapped only in formatting is
     still a taint) but stops at sanctioned sanitizer calls, whose output
     is unlinkable by construction.  Each finding stops its own branch, so
     ``record.device_id`` reports once, not per attribute segment.
+
+    The descent covers *every* child node, not just ``ast.expr`` children:
+    comprehension generators (``ast.comprehension``), lambda defaults
+    (``ast.arguments``), f-string format specs, and subscripted callees
+    all hide expressions inside non-expression wrapper nodes, and each of
+    those was a taint blind spot before the generic walk.
     """
     if isinstance(node, ast.Call):
         callee = _last_segment(node.func)
@@ -55,8 +61,7 @@ def _iter_tainted(config: LintConfig, node: ast.expr) -> Iterator[tuple[ast.expr
             return  # sanctioned: the call's output is unlinkable
         for child in list(node.args) + [kw.value for kw in node.keywords]:
             yield from _iter_tainted(config, child)
-        if isinstance(node.func, ast.Attribute):
-            yield from _iter_tainted(config, node.func.value)
+        yield from _iter_tainted(config, node.func)
         return
     tainted: str | None = None
     if isinstance(node, ast.Name) and node.id in config.identity_names:
@@ -64,11 +69,10 @@ def _iter_tainted(config: LintConfig, node: ast.expr) -> Iterator[tuple[ast.expr
     elif isinstance(node, ast.Attribute) and node.attr in config.identity_names:
         tainted = node.attr
     if tainted is not None:
-        yield node, tainted
+        yield node, tainted  # type: ignore[misc]  # Name/Attribute are exprs
         return
     for child in ast.iter_child_nodes(node):
-        if isinstance(child, ast.expr):
-            yield from _iter_tainted(config, child)
+        yield from _iter_tainted(config, child)
 
 
 class SinkTaintRule(Rule):

@@ -1,0 +1,25 @@
+"""Broken fixture: identity crosses two call edges into an upload ctor.
+
+The per-file lint rules cannot see this — the sink and the identity read
+live in different functions — which is exactly what
+``interproc-privacy-taint`` exists for.
+"""
+
+from repro.client.models import Envelope, OpinionUpload
+
+
+def _token_for(record):
+    return record.user_id
+
+
+def _wrap(token):
+    return Envelope(token)
+
+
+def publish(record):
+    token = _token_for(record)
+    return OpinionUpload(token)
+
+
+def publish_wrapped(record):
+    return _wrap(_token_for(record))

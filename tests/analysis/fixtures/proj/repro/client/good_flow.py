@@ -1,0 +1,13 @@
+"""Clean fixture: identity is sanitized before it crosses the call edge."""
+
+from repro.client.models import OpinionUpload
+from repro.privacy.blind import history_id
+
+
+def _token_for(record):
+    return history_id(record.user_id)
+
+
+def publish(record):
+    token = _token_for(record)
+    return OpinionUpload(token)

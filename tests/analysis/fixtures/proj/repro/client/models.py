@@ -1,0 +1,11 @@
+"""Minimal upload payload types for the analysis fixtures."""
+
+
+class OpinionUpload:
+    def __init__(self, token):
+        self.token = token
+
+
+class Envelope:
+    def __init__(self, payload):
+        self.payload = payload

@@ -1,0 +1,21 @@
+"""Broken fixture: a pool worker mutates parent-owned module state.
+
+``run`` submits ``work_one`` to a process pool; ``work_one`` reaches
+``_remember``, which writes the module-level ``_CACHE``.  Under fork
+that write lands in the child's copy-on-write page and is silently lost.
+"""
+
+_CACHE = {}
+
+
+def _remember(key, value):
+    _CACHE[key] = value
+
+
+def work_one(item):
+    _remember(item.key, item)
+    return item.key
+
+
+def run(pool, items):
+    return list(pool.map(work_one, items))

@@ -1,0 +1,25 @@
+"""Broken fixture: impure functions in the commutative merge registry.
+
+The module name matters: ``AnalysisConfig.merge_modules`` defaults to
+``repro.scale.merge``, so everything here is held to the purity rules.
+``merge_counts`` mutates an input, ``merge_with_defaults`` reads a
+mutable module global, ``merge_max`` is pure and must stay unflagged.
+"""
+
+_DEFAULTS = {"gap": 0}
+
+
+def merge_counts(left, right):
+    left.update(right)
+    return left
+
+
+def merge_with_defaults(left, right):
+    out = dict(_DEFAULTS)
+    out.update(left)
+    out.update(right)
+    return out
+
+
+def merge_max(left, right):
+    return left if left >= right else right

@@ -1,0 +1,16 @@
+"""Broken fixture: a report entry point reaches wall clock and
+unordered-set iteration."""
+
+import time
+
+
+def _stamp():
+    return time.time()
+
+
+def digest(frame):
+    names = {row.name for row in frame}
+    total = 0
+    for name in names:
+        total += len(name)
+    return total, _stamp()

@@ -1,0 +1,10 @@
+"""Clean fixture: the report entry sorts before iterating and takes the
+timestamp as an argument instead of reading the clock."""
+
+
+def digest(frame, as_of):
+    names = {row.name for row in frame}
+    total = 0
+    for name in sorted(names):
+        total += len(name)
+    return total, as_of

@@ -1,0 +1,11 @@
+"""Fixture: a nondeterminism finding waived with an inline suppression."""
+
+import time
+
+
+def export(frame):
+    return len(frame), _now()
+
+
+def _now():
+    return time.time()  # repro: allow[determinism-reachability]

@@ -1,0 +1,44 @@
+"""Dogfood: the analyzer over ``src/repro`` is clean against the
+committed baseline — the same invariant CI enforces via ``make analyze``."""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Baseline, WholeProgramAnalyzer
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BASELINE = REPO_ROOT / "analysis_baseline.json"
+
+
+@pytest.fixture(scope="module")
+def self_result():
+    # Fingerprints embed repo-relative paths, so run from the repo root
+    # exactly as CI does.
+    previous = Path.cwd()
+    os.chdir(REPO_ROOT)
+    try:
+        yield WholeProgramAnalyzer().run(
+            ["src/repro"], baseline=Baseline.load(BASELINE)
+        )
+    finally:
+        os.chdir(previous)
+
+
+def test_source_tree_is_clean_against_committed_baseline(self_result):
+    assert not self_result.parse_errors, self_result.parse_errors
+    assert not self_result.stale_baseline, self_result.stale_baseline
+    assert not self_result.findings, [f.message for f in self_result.findings]
+
+
+def test_baseline_entries_all_have_real_justifications(self_result):
+    baseline = Baseline.load(BASELINE)
+    assert baseline.entries, "committed baseline should not be empty"
+    for entry in baseline.entries.values():
+        justification = entry.get("justification", "")
+        assert justification and "TODO" not in justification, entry
+
+
+def test_the_whole_tree_is_actually_analyzed(self_result):
+    assert self_result.n_files > 100

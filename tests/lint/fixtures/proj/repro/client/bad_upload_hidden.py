@@ -1,0 +1,42 @@
+"""Fixture: taints hidden inside wrapper nodes the old walk skipped.
+
+Comprehension generators (``ast.comprehension``), lambda defaults
+(``ast.arguments``), and subscripted callees are not ``ast.expr`` children
+of their parents, so the pre-fix ``_iter_tainted`` never descended into
+them; f-string values and ternary branches are pinned here too so the
+covered cases cannot silently regress.
+"""
+
+from repro.core.protocol import Envelope
+
+
+def leak_comprehension_iterable(user_id, fetch):
+    return Envelope(record=[r for r in fetch(user_id)], token=None, nonce=b"n")
+
+
+def leak_comprehension_condition(user_id, rows):
+    return Envelope(
+        record=[r for r in rows if r.owner == user_id], token=None, nonce=b"n"
+    )
+
+
+def leak_lambda_default(device_id):
+    return Envelope(record=(lambda d=device_id: d), token=None, nonce=b"n")
+
+
+def leak_subscripted_callee(handlers, user_id):
+    return Envelope(record=handlers[user_id](), token=None, nonce=b"n")
+
+
+def leak_fstring_value(device_id):
+    return Envelope(record=f"dev-{device_id}", token=None, nonce=b"n")
+
+
+def leak_fstring_format_spec(width, user_id):
+    return Envelope(record=f"{width:{user_id}}", token=None, nonce=b"n")
+
+
+def leak_ternary_branch(user_id, fallback, attributed):
+    return Envelope(
+        record=user_id if attributed else fallback, token=None, nonce=b"n"
+    )

@@ -47,7 +47,7 @@ class TestJsonReporter:
         result = Analyzer(default_rules()).run([FIXTURE_ROOT / "client"])
         document = json.loads(render_json(result))
         assert document["ok"] is False
-        assert document["files_checked"] == 8  # 7 modules + __init__
+        assert document["files_checked"] == 9  # 8 modules + __init__
         assert document["violation_count"] == len(document["violations"])
         for violation in document["violations"]:
             assert set(violation) == {
@@ -118,6 +118,33 @@ class TestCliBehaviour:
     def test_unknown_rule_id_is_a_usage_error(self, capsys):
         assert lint_main(["--select", "no-such-rule"]) == 2
         assert "unknown rule id" in capsys.readouterr().out
+
+    def test_unknown_ignore_id_is_a_usage_error(self, capsys):
+        assert lint_main(["--ignore", "privtaint-sink"]) == 2
+        assert "unknown rule id" in capsys.readouterr().out
+
+    def test_empty_selection_is_a_usage_error(self, capsys):
+        # `--select ""` used to silently select *nothing* and exit green —
+        # a vacuous pass for any gate built on `--select <rule>`.
+        assert lint_main(["--select", " , "]) == 2
+        assert "no rule ids parsed" in capsys.readouterr().out
+
+    def test_select_ignore_cancelling_out_is_a_usage_error(self, capsys):
+        exit_code = lint_main(
+            ["--select", "priv-taint-sink", "--ignore", "priv-taint-sink"]
+        )
+        assert exit_code == 2
+        assert "leaves no rules" in capsys.readouterr().out
+
+    def test_duplicate_findings_are_reported_once(self):
+        # Running the same rule twice must not double-report: the engine
+        # de-duplicates identical findings and sorts deterministically.
+        from repro.lint.rules_privacy import SinkTaintRule
+
+        result = Analyzer([SinkTaintRule(), SinkTaintRule()]).run(
+            [FIXTURE_ROOT / "client" / "bad_upload.py"]
+        )
+        assert len(result.violations) == 1
 
     def test_list_rules_names_every_rule(self, capsys):
         assert lint_main(["--list-rules"]) == 0

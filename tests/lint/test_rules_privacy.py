@@ -20,6 +20,26 @@ class TestSinkTaint:
         result = lint_paths("client/good_client.py")
         assert result.ok
 
+    def test_taints_hidden_in_wrapper_nodes_are_flagged(self, lint_paths):
+        # Regressions for the `_iter_tainted` blind spots: comprehension
+        # generators, lambda defaults, and subscripted callees hide their
+        # expressions inside non-expr wrapper nodes; f-strings and
+        # ternaries are pinned alongside so they cannot regress either.
+        result = lint_paths("client/bad_upload_hidden.py")
+        assert rule_ids(result) == ["priv-taint-sink"] * 7
+        tainted = [
+            v.message.split("`")[1] for v in result.sorted_violations()
+        ]
+        assert tainted == [
+            "user_id",  # comprehension iterable
+            "user_id",  # comprehension condition
+            "device_id",  # lambda default
+            "user_id",  # subscripted callee
+            "device_id",  # f-string value
+            "user_id",  # f-string format spec
+            "user_id",  # ternary branch
+        ]
+
 
 class TestServerIdentity:
     def test_identity_parameter_and_field_in_service_layer(self, lint_paths):

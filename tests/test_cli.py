@@ -85,3 +85,16 @@ class TestCommands:
         assert main(["redteam", "--users", "40", "--days", "120", "--seed", "5"]) == 0
         out = capsys.readouterr().out
         assert "call-spam" in out and "employee" in out
+
+    def test_analyze_lists_checkers(self, capsys):
+        assert main(["analyze", "--list-checkers"]) == 0
+        out = capsys.readouterr().out
+        assert "interproc-privacy-taint" in out
+        assert "pool-shared-mutation" in out
+
+    def test_analyze_clean_against_committed_baseline(self, capsys, monkeypatch):
+        import pathlib
+
+        monkeypatch.chdir(pathlib.Path(__file__).resolve().parent.parent)
+        assert main(["analyze", "src/repro", "--baseline", "analysis_baseline.json"]) == 0
+        assert "OK:" in capsys.readouterr().out
