@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check lint ruff test bench chaos scale bench-shards telemetry bench-telemetry incremental bench-incremental analyze bench-analyze
+.PHONY: check lint ruff test bench chaos scale bench-shards telemetry bench-telemetry incremental bench-incremental analyze bench-analyze durable bench-durable
 
 check:
 	bash scripts/check.sh
@@ -72,3 +72,18 @@ analyze:
 # Cold vs warm analyzer benchmark; emits BENCH_6.json at the repo root.
 bench-analyze:
 	$(PYTHON) -m pytest benchmarks/test_bench_analysis.py --benchmark-only -q -s
+
+# Durability suite (the CI crash-matrix job): WAL format + torn-write
+# properties, the crash-at-every-frame-boundary differential, recovery
+# idempotency, replication/failover, the replica-outage chaos plans, the
+# fsync-before-ack lint rule, and the line-coverage floor on
+# repro.durability.
+durable:
+	$(PYTHON) -m repro.lint src/repro --select durability-fsync-before-ack
+	$(PYTHON) -m pytest tests/durability tests/faults/test_replica_outages.py -q
+	$(PYTHON) scripts/coverage_gate.py --target durability --fail-under 85
+
+# Durable intake overhead + cold-replay benchmark; emits BENCH_7.json at
+# the repo root.
+bench-durable:
+	$(PYTHON) -m pytest benchmarks/test_bench_durability.py --benchmark-only -q -s

@@ -1,0 +1,152 @@
+"""B7 — the price of durability: WAL-on intake overhead and replay speed.
+
+The tentpole acceptance gate of PR 7: journaling every accepted mutation
+(write + flush per record, group-commit ``fsync`` per batch) must cost at
+most 1.5x the in-memory intake path.  The comparison runs the *production*
+intake configuration — ``require_tokens=True`` with the default 512-bit
+blind-signature keys — because that is the path a deployment actually
+pays for: every envelope's token is verified and its spent-token burn
+journaled, exactly as in service.  The crash side measures a full cold
+replay of the WAL into a fresh server, normalized to seconds per 100k
+records.  Emits ``BENCH_7.json`` (consumed by ``make bench-durable`` and
+EXPERIMENTS.md).
+"""
+
+import json
+import pathlib
+import time
+
+from _harness import comparison_table, emit
+
+from repro.core.aggregation import OpinionUpload
+from repro.core.protocol import Envelope
+from repro.durability.journal import DurableJournal, attach_journal
+from repro.durability.recovery import recover_server
+from repro.privacy.anonymity import Delivery
+from repro.privacy.history_store import InteractionUpload
+from repro.privacy.tokens import TokenWallet
+from repro.service.server import RSPServer
+from repro.world.population import TownConfig, build_town
+
+from conftest import BENCH_SEED
+
+N_ENVELOPES = 3_000
+MAX_OVERHEAD = 1.5
+
+
+def make_server(town):
+    """The production intake configuration (tokens on, default keys)."""
+    return RSPServer(catalog=town.entities, key_seed=BENCH_SEED, quota_per_day=10**9)
+
+
+def build_deliveries(town, issuer):
+    """``N_ENVELOPES`` tokened uploads: interactions plus opinions."""
+    wallet = TokenWallet(device_id="bench-device")
+    tokens = []
+    for lo in range(0, N_ENVELOPES, 500):
+        count = min(500, N_ENVELOPES - lo)
+        blinded = wallet.mint(issuer.public_key, count)
+        signatures = issuer.issue("bench-device", blinded, now=100.0)
+        wallet.accept_signatures(issuer.public_key, signatures)
+    for _ in range(N_ENVELOPES):
+        tokens.append(wallet.spend())
+
+    ids = sorted(entity.entity_id for entity in town.entities)
+    deliveries = []
+    for i, token in enumerate(tokens):
+        entity_id = ids[i % len(ids)]
+        if i % 4 == 3:
+            record = OpinionUpload(
+                history_id=f"hist-{i - 3:06d}",
+                entity_id=ids[(i - 3) % len(ids)],
+                rating=float(1 + i % 5),
+            )
+        else:
+            record = InteractionUpload(
+                history_id=f"hist-{i:06d}",
+                entity_id=entity_id,
+                interaction_type="visit" if i % 2 else "call",
+                event_time=600.0 * i,
+                duration=300.0 + i % 1800,
+                travel_km=0.5 * (i % 7),
+            )
+        deliveries.append(
+            Delivery(
+                payload=Envelope(
+                    record=record, token=token, nonce=i.to_bytes(16, "big")
+                ),
+                arrival_time=600.0 * i + 120.0,
+                channel_tag="c",
+            )
+        )
+    return deliveries
+
+
+def test_bench_durable_intake_and_recovery(benchmark, tmp_path):
+    town = build_town(TownConfig(n_users=10), seed=BENCH_SEED)
+    bare = make_server(town)
+    deliveries = build_deliveries(town, bare.issuer)
+
+    start = time.perf_counter()
+    assert bare.receive_all(deliveries) == len(deliveries)
+    bare_s = time.perf_counter() - start
+
+    # The journaled twin redeems the same tokens against the same key.
+    durable = make_server(town)
+    directory = tmp_path / "primary"
+    attach_journal(durable, DurableJournal(directory))
+
+    def journaled_intake():
+        assert durable.receive_all(deliveries) == len(deliveries)
+
+    start = time.perf_counter()
+    benchmark.pedantic(journaled_intake, rounds=1, iterations=1)
+    wal_s = time.perf_counter() - start
+    durable.journal.close()
+    overhead = wal_s / bare_s
+
+    # Crash-side: cold-replay the whole WAL into a fresh server.
+    recovered = make_server(town)
+    start = time.perf_counter()
+    report = recover_server(recovered, directory)
+    recovery_s = time.perf_counter() - start
+    assert report.n_replayed == len(deliveries)
+    per_100k = recovery_s * (100_000 / len(deliveries))
+
+    # Equivalence first: durability bought with drift is worthless.
+    assert repr(recovered.run_maintenance()) == repr(bare.run_maintenance())
+
+    per_envelope_us = (wal_s - bare_s) / len(deliveries) * 1e6
+    emit(comparison_table(
+        f"B7: durable intake, {len(deliveries)} tokened envelopes "
+        f"(production path, 512-bit keys)",
+        ["configuration", "wall time", "relative"],
+        [
+            ["in-memory intake", f"{bare_s:.3f}s", "1.00x"],
+            ["WAL-on intake (group commit)", f"{wal_s:.3f}s",
+             f"{overhead:.2f}x (+{per_envelope_us:.0f}us/envelope)"],
+            ["cold recovery (full replay)", f"{recovery_s:.3f}s",
+             f"{per_100k:.2f}s per 100k records"],
+        ],
+    ))
+
+    out = pathlib.Path(__file__).resolve().parent.parent / "BENCH_7.json"
+    out.write_text(json.dumps(
+        {
+            "bench": "durable-wal",
+            "n_envelopes": len(deliveries),
+            "bare_s": round(bare_s, 4),
+            "wal_s": round(wal_s, 4),
+            "overhead": round(overhead, 3),
+            "max_overhead": MAX_OVERHEAD,
+            "recovery_s": round(recovery_s, 4),
+            "recovery_s_per_100k": round(per_100k, 4),
+            "records_replayed": report.n_replayed,
+        },
+        indent=2,
+    ) + "\n")
+
+    assert overhead <= MAX_OVERHEAD, (
+        f"WAL-on intake {overhead:.2f}x > allowed {MAX_OVERHEAD}x "
+        f"(bare {bare_s:.3f}s vs journaled {wal_s:.3f}s)"
+    )

@@ -37,6 +37,7 @@ TARGETS = {
         ["tests/service", "tests/scale/test_incremental.py"],
     ),
     "analysis": (SRC / "repro" / "analysis", ["tests/analysis"]),
+    "durability": (SRC / "repro" / "durability", ["tests/durability"]),
 }
 
 

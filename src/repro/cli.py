@@ -10,6 +10,7 @@ benchmarks exercise:
 * ``figure3``  — the three-dentist comparative-visualization scenario
 * ``audit``    — de-anonymization attacks against naive vs hardened clients
 * ``redteam``  — the fraud attacker zoo vs the typical-user detector
+* ``recover``  — rebuild a crashed service from its durable WAL + snapshots
 * ``lint``     — the AST invariant analyzer (privacy, determinism, layering)
 * ``analyze``  — the whole-program analyzer (call graph, interprocedural taint)
 * ``telemetry`` — run the service and render its observability dashboard
@@ -111,6 +112,8 @@ def _build_fault_plan(args: argparse.Namespace, horizon: float, epoch_length: fl
         DropFault,
         FaultPlan,
         IssuerOutage,
+        PrimaryCrash,
+        ReplicaOutage,
         ServerOutage,
         Window,
     )
@@ -132,12 +135,29 @@ def _build_fault_plan(args: argparse.Namespace, horizon: float, epoch_length: fl
     crashes = ()
     if args.crash_epoch is not None:
         crashes = (ClientCrash(time=(args.crash_epoch - 0.5) * epoch_length),)
+    primary_crashes = ()
+    primary_epoch = getattr(args, "primary_crash_epoch", None)
+    if primary_epoch is not None:
+        primary_crashes = (
+            PrimaryCrash(time=(primary_epoch - 0.5) * epoch_length, torn_bytes=7),
+        )
+    replica_outages = ()
+    replica_epoch = getattr(args, "replica_outage_epoch", None)
+    if replica_epoch is not None:
+        e = replica_epoch
+        # Cover the epoch's ingestion point (epoch end + 2 days), where the
+        # driver ships the log, so the shipment is actually deferred.
+        replica_outages = (
+            ReplicaOutage(Window((e - 1) * epoch_length, e * epoch_length + 3 * 24 * 3600.0)),
+        )
     plan = FaultPlan(
         seed=args.fault_seed,
         drops=drops,
         server_outages=server_outages,
         issuer_outages=issuer_outages,
         crashes=crashes,
+        primary_crashes=primary_crashes,
+        replica_outages=replica_outages,
     )
     return None if plan.is_empty else plan
 
@@ -159,9 +179,15 @@ def _cmd_epochs(args: argparse.Namespace) -> int:
         fault_plan=plan,
         n_shards=args.shards,
         workers=args.workers,
+        durable_dir=args.durable_dir,
+        replicate=args.replicate,
+        snapshot_every=args.snapshot_every,
     )
     if plan is not None:
         print(f"fault injection: {plan.describe()}")
+    if args.durable_dir is not None:
+        mode = "primary/replica" if args.replicate else "WAL + snapshots"
+        print(f"durability: {mode} under {args.durable_dir}")
     if args.shards > 1 or args.workers > 0:
         print(
             f"deployment: {args.shards} shards, "
@@ -182,6 +208,13 @@ def _cmd_epochs(args: argparse.Namespace) -> int:
             f"{rejected_histories} "
             f"{report.dropped_messages:>8} {report.rejected_envelopes:>8} "
             f"{report.duplicates_suppressed:>8} {report.retransmissions:>7}"
+        )
+    pair = outcome.replication
+    if pair is not None:
+        status = "PROMOTED (replica is now serving)" if pair.promoted else "standing by"
+        print(
+            f"replica: {status} — lag {pair.lag} record(s), "
+            f"peak {pair.max_lag}, {pair.deferred_batches} shipment(s) deferred"
         )
     return 0
 
@@ -356,6 +389,58 @@ def _cmd_redteam(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_recover(args: argparse.Namespace) -> int:
+    import hashlib
+    from pathlib import Path
+
+    from repro.durability.recovery import recover_server
+    from repro.orchestration.pipeline import PipelineConfig
+    from repro.scale.server import ShardedRSPServer
+    from repro.service.server import RSPServer
+    from repro.util.clock import DAY
+    from repro.world.population import TownConfig, build_town
+
+    town = build_town(TownConfig(n_users=args.users), seed=args.seed)
+    config = PipelineConfig(horizon_days=float(args.days), seed=args.seed)
+    if args.shards > 1:
+        server = ShardedRSPServer(
+            catalog=town.entities,
+            quota_per_day=config.quota_per_day,
+            key_seed=config.seed,
+            key_bits=config.key_bits,
+            n_shards=args.shards,
+        )
+    else:
+        server = RSPServer(
+            catalog=town.entities,
+            quota_per_day=config.quota_per_day,
+            key_seed=config.seed,
+            key_bits=config.key_bits,
+        )
+    # ``repro epochs --durable-dir D`` journals under D/primary (and a
+    # promoted replica under D/promoted); accept either D or the lane
+    # directory itself.
+    base = Path(args.durable_dir)
+    directory = base / "primary" if (base / "primary").is_dir() else base
+    report = recover_server(server, directory)
+    print(f"recovered from: {directory}")
+    print(f"snapshot seq:   {report.snapshot_seq}")
+    print(f"replayed:       {report.n_replayed} WAL record(s)")
+    print(f"torn tail:      {'yes (discarded)' if report.torn_tail else 'no'}")
+    print(f"next seq:       {report.next_seq}")
+    print(
+        f"state: {server.n_records} records, {server.n_histories} histories, "
+        f"{server.accepted_envelopes} accepted envelopes"
+    )
+    maintenance = server.run_maintenance(now=args.days * DAY + 2 * DAY)
+    digest = hashlib.sha256(repr(maintenance).encode("utf-8")).hexdigest()
+    print(
+        f"post-recovery maintenance: {server.n_opinions} opinions, "
+        f"report digest {digest[:16]}…"
+    )
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint.cli import run_lint
 
@@ -428,6 +513,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=0,
         help="maintenance worker processes (0 = serial in-process)",
     )
+    epochs.add_argument(
+        "--durable-dir", default=None,
+        help="WAL + snapshot directory (enables durable journaling)",
+    )
+    epochs.add_argument(
+        "--replicate", action="store_true",
+        help="run a log-shipped warm standby (requires --durable-dir)",
+    )
+    epochs.add_argument(
+        "--snapshot-every", type=int, default=1,
+        help="take a snapshot every N epochs (with --durable-dir)",
+    )
+    epochs.add_argument(
+        "--primary-crash-epoch", type=int, default=None,
+        help="epoch (1-based) mid-way through which the primary RSP dies "
+        "with a torn WAL tail (requires --replicate)",
+    )
+    epochs.add_argument(
+        "--replica-outage-epoch", type=int, default=None,
+        help="epoch (1-based) during which log shipping is down",
+    )
     epochs.set_defaults(func=_cmd_epochs)
 
     telemetry = sub.add_parser(
@@ -479,6 +585,20 @@ def build_parser() -> argparse.ArgumentParser:
     redteam = sub.add_parser("redteam", help="fraud attacker zoo vs the detector")
     add_world_args(redteam)
     redteam.set_defaults(func=_cmd_redteam)
+
+    recover = sub.add_parser(
+        "recover", help="rebuild a crashed service from its WAL + snapshots"
+    )
+    add_world_args(recover)
+    recover.add_argument(
+        "--durable-dir", required=True,
+        help="the --durable-dir a previous `repro epochs` run journaled into",
+    )
+    recover.add_argument(
+        "--shards", type=int, default=1,
+        help="deployment shape of the crashed run (must match)",
+    )
+    recover.set_defaults(func=_cmd_recover)
 
     from repro.lint.cli import add_lint_arguments
 

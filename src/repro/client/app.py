@@ -25,6 +25,7 @@ from repro.core.features import extract_all_features
 from repro.core.personalization import PersonalizationWeights, PersonalizedResult, personalize
 from repro.client.snapshot import LocalSnapshot
 from repro.client.transparency import InferenceEntry, InferenceStatus, TransparencyLog
+from repro.durability import seal, unseal
 from repro.privacy.anonymity import AnonymityNetwork
 from repro.privacy.blindsig import BlindingResult
 from repro.privacy.history_store import InteractionUpload
@@ -51,6 +52,9 @@ from repro.util.clock import DAY
 from repro.util.rng import make_rng
 from repro.world.entities import Entity
 from repro.world.geography import Point
+
+#: Sealed-checkpoint format tag (see docs/DURABILITY.md).
+CHECKPOINT_FORMAT = "rsp-checkpoint/1"
 
 
 def infer_home(trace: DeviceTrace) -> Point:
@@ -362,7 +366,15 @@ class RSPClient:
         resolved interactions, the local snapshot, and model inferences —
         those are rederived from the next ``observe_trace``, and the staged
         sets guarantee rederivation never re-uploads anything.
+
+        The result is sealed through the same canonical serializer the
+        server's snapshots use (:func:`repro.durability.seal`), so a
+        checkpoint that rots on flash storage is *rejected* at restore
+        with a digest mismatch instead of silently restoring garbage.
         """
+        return seal(self._checkpoint_state(), CHECKPOINT_FORMAT)
+
+    def _checkpoint_state(self) -> dict:
         return {
             "device_id": self.identity.device_id,
             "seed": self._seed,
@@ -433,8 +445,14 @@ class RSPClient:
 
         Catalog, classifier, and policies are code/configuration, not
         state — the restored install supplies them exactly as a reinstalled
-        app ships its own binaries.
+        app ships its own binaries.  Sealed checkpoints are verified first:
+        a corrupted blob raises
+        :class:`~repro.durability.CorruptStateError` naming the digest
+        mismatch rather than failing mid-restore on a decode error.
+        Pre-sealing (flat-dict) checkpoints restore unchanged.
         """
+        if "digest" in state and "state" in state:
+            state = unseal(state, CHECKPOINT_FORMAT)
         client = cls(
             device_id=state["device_id"],
             catalog=catalog,

@@ -1,0 +1,54 @@
+"""``repro.durability`` — WAL + snapshot persistence for the RSP.
+
+The paper's premise is a *long-lived* repository of anonymous histories
+and opinions, yet every store in :mod:`repro.service` and
+:mod:`repro.scale` lives in process memory.  This package makes the
+repository survive its process:
+
+* :mod:`repro.durability.wal` — an append-only, checksummed,
+  length-prefixed write-ahead log of every accepted intake mutation;
+* :mod:`repro.durability.snapshot` — periodic canonical (byte-stable)
+  snapshots of the four stores, digest-stamped and fsync'd-then-renamed,
+  after which the WAL is truncated;
+* :mod:`repro.durability.journal` — the ``journal`` hook the servers
+  call at their intake commit points (duck-typed, like ``fault_hook``,
+  so production code never imports infrastructure it shouldn't);
+* :mod:`repro.durability.recovery` — load the latest valid snapshot,
+  replay the WAL tail (tolerating a torn final record), and restore the
+  dedup nonce table and per-history ``seq`` ordering exactly;
+* :mod:`repro.durability.replication` — a primary/replica pair with
+  deterministic log shipping and failover promotion.
+
+This ``__init__`` deliberately re-exports only the dependency-free
+pieces (:mod:`codec` and :mod:`wal`): the client imports the canonical
+codec for its checkpoints, and must not transitively pull the service
+layer through a package import.  Service-facing modules are imported by
+their full paths (``repro.durability.journal`` etc.) from the
+orchestration layer, the CLI, and tests.
+
+See ``docs/DURABILITY.md`` for the on-disk formats and the recovery and
+failover protocols.
+"""
+
+from __future__ import annotations
+
+from repro.durability.codec import (
+    CorruptStateError,
+    canonical_json_bytes,
+    digest_hex,
+    seal,
+    unseal,
+)
+from repro.durability.wal import WalCorruptionError, WalReadResult, WriteAheadLog, read_wal
+
+__all__ = [
+    "CorruptStateError",
+    "WalCorruptionError",
+    "WalReadResult",
+    "WriteAheadLog",
+    "canonical_json_bytes",
+    "digest_hex",
+    "read_wal",
+    "seal",
+    "unseal",
+]

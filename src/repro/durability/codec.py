@@ -1,0 +1,78 @@
+"""Canonical byte-stable serialization shared by snapshots and checkpoints.
+
+Everything durable in this repository — server snapshots, WAL payloads,
+client checkpoints — serializes through one codec, so "the same logical
+state" always means "the same bytes" and a digest over those bytes is a
+meaningful integrity seal.  Canonical form is JSON with sorted keys,
+no whitespace, and ``allow_nan=False`` (a NaN would break canonicality:
+``nan != nan`` undermines any equality argument built on bytes).
+
+The module is dependency-free on purpose: the device-side client imports
+it for checkpoint sealing, and must not drag the service layer in
+through this path (the ``layer-client-service`` lint rule watches the
+direct imports; this keeps the transitive closure clean too).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+
+class CorruptStateError(ValueError):
+    """A sealed state blob failed its integrity check.
+
+    Raised instead of whatever decode exception the damaged payload
+    would eventually trigger, so callers can distinguish "this durable
+    state is corrupt — refuse to load it" from a programming error.
+    """
+
+
+def canonical_json_bytes(obj: Any) -> bytes:
+    """The unique canonical encoding of a JSON-compatible object."""
+    return json.dumps(
+        obj,
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
+        allow_nan=False,
+    ).encode("utf-8")
+
+
+def digest_hex(data: bytes) -> str:
+    """Hex SHA-256 of ``data`` — the integrity seal used everywhere here."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def seal(state: dict, kind: str) -> dict:
+    """Wrap ``state`` with its format tag and canonical digest."""
+    return {
+        "format": kind,
+        "digest": digest_hex(canonical_json_bytes(state)),
+        "state": state,
+    }
+
+
+def unseal(blob: dict, kind: str) -> dict:
+    """Verify a sealed blob and return its inner state.
+
+    Raises :class:`CorruptStateError` when the blob is not a sealed
+    mapping of the expected ``kind`` or its digest does not match the
+    canonical bytes of the payload — before any caller decodes fields
+    out of a damaged payload.
+    """
+    if not isinstance(blob, dict) or "state" not in blob or "digest" not in blob:
+        raise CorruptStateError(f"not a sealed {kind!r} blob")
+    if blob.get("format") != kind:
+        raise CorruptStateError(
+            f"sealed blob has format {blob.get('format')!r}, expected {kind!r}"
+        )
+    state = blob["state"]
+    actual = digest_hex(canonical_json_bytes(state))
+    if actual != blob["digest"]:
+        raise CorruptStateError(
+            f"{kind} digest mismatch: payload hashes to {actual[:16]}…, "
+            f"seal says {str(blob['digest'])[:16]}… — refusing to load"
+        )
+    return state

@@ -1,0 +1,249 @@
+"""Crash recovery: snapshot load + WAL replay into a fresh server.
+
+The recovery invariant (tested by the crash-matrix suite): for any
+prefix of the durable directory a crash can leave behind — any snapshot
+boundary, any WAL record boundary, any torn final frame —
+
+    recover(fresh_server, directory) + redeliver(everything)
+
+produces byte-identical maintenance reports and summaries to a server
+that never crashed.  The two halves of that equation:
+
+* replay reconstructs exactly the accepted mutations the WAL covers,
+  including the dedup nonce table, the spent-token table, and per-slot
+  opinion ``seq`` — so re-delivered duplicates and stale re-uploads are
+  suppressed after recovery exactly as before;
+* whatever the torn tail lost was, by the commit protocol, never
+  acknowledged (the WAL is written *before* the acceptance commit), so
+  the existing client retransmission machinery re-sends it.
+
+Replay applies mutations directly to the stores — not through
+``receive()`` — because a WAL record *is* an acceptance decision already
+made; re-running validation would need the original envelope (token
+signature and all), which the log deliberately does not retain.
+:func:`apply_mutation` is shared with log shipping: a replica applying a
+shipped batch is replaying the primary's WAL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.aggregation import OpinionUpload
+from repro.durability.journal import list_segments
+from repro.durability.snapshot import load_latest_snapshot, restore_state
+from repro.durability.wal import read_wal
+from repro.privacy.history_store import InteractionUpload
+from repro.telemetry import NULL, Telemetry
+from repro.util.clock import DAY
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What one recovery pass found and did."""
+
+    #: WAL seq the loaded snapshot covered (0 = no snapshot, cold replay).
+    snapshot_seq: int
+    #: WAL records replayed on top of the snapshot.
+    n_replayed: int
+    #: Whether any lane's final segment ended in a torn frame.
+    torn_tail: bool
+    #: First unused sequence number (a new journal resumes from here).
+    next_seq: int
+
+
+def read_mutations(directory: Path, after_seq: int) -> tuple[list[dict], bool]:
+    """All replayable mutations with ``seq > after_seq``, in seq order.
+
+    Non-final segments of a lane must read clean — a later segment only
+    exists because rotation closed them, so a torn tail there is real
+    corruption and raises.  Only each lane's *last* segment may be torn.
+    Lanes are merged by the global sequence number, which restores the
+    exact total intake order across per-shard WAL files.
+    """
+    mutations: list[dict] = []
+    torn = False
+    for _lane, segments in sorted(list_segments(directory).items()):
+        for index, (_start, path) in enumerate(segments):
+            final = index == len(segments) - 1
+            result = read_wal(path, tolerate_torn_tail=final)
+            torn = torn or result.torn
+            mutations.extend(
+                record for record in result.records if record["seq"] > after_seq
+            )
+    mutations.sort(key=lambda record: record["seq"])
+    return mutations, torn
+
+
+# ----------------------------------------------------------------- apply
+
+
+def _commit(server, mutation: dict) -> None:
+    """The acceptance commit replay: counter, nonce burn, token spend."""
+    server.accepted_envelopes += 1
+    nonce_hex = mutation.get("nonce")
+    if nonce_hex is not None:
+        nonce = bytes.fromhex(nonce_hex)
+        if getattr(server, "shards", None) is None:
+            server._seen_nonces.add(nonce)
+        else:
+            server._nonce_buckets[server.router.shard_of_bytes(nonce)].add(nonce)
+    token_hex = mutation.get("token_id")
+    if token_hex is not None:
+        token_id = bytes.fromhex(token_hex)
+        if getattr(server, "shards", None) is None:
+            server._redeemer._spent.add(token_id)
+        else:
+            server._redeemer._spent[server.router.shard_of_bytes(token_id)].add(
+                token_id
+            )
+
+
+def apply_mutation(server, mutation: dict) -> None:
+    """Apply one WAL record to a server's stores.
+
+    Mirrors the accepted branch of ``receive()`` / ``post_review()`` /
+    ``issue()`` without re-validating: the record's presence in the WAL
+    *is* the acceptance decision.  The opinion branch re-runs the ``seq``
+    rule so a logged stale re-upload (accepted envelope, skipped slot
+    write) lands in the same end state — and bumps the same counter.
+    Callers owe a :func:`finalize_recovery` before the next maintenance
+    cycle; this function deliberately skips the engine's incremental
+    bookkeeping.
+    """
+    kind = mutation["kind"]
+    shards = getattr(server, "shards", None)
+    if kind == "interaction":
+        upload = InteractionUpload(
+            history_id=mutation["history_id"],
+            entity_id=mutation["entity_id"],
+            interaction_type=mutation["interaction_type"],
+            event_time=mutation["event_time"],
+            duration=mutation["duration"],
+            travel_km=mutation["travel_km"],
+        )
+        if shards is None:
+            stored = server.history_store.append(
+                upload, arrival_time=mutation["arrival_time"]
+            )
+        else:
+            shard = shards[server.router.shard_of(upload.history_id)]
+            stored = shard.store.append(upload, arrival_time=mutation["arrival_time"])
+            if stored:
+                shard.store_version += 1
+                shard.version += 1
+                shard.dirty_entities.add(upload.entity_id)
+        if not stored:
+            raise RuntimeError(
+                f"WAL interaction seq={mutation['seq']} for history "
+                f"{upload.history_id!r} was rejected by the store on replay — "
+                "the journal and the stores have diverged"
+            )
+        _commit(server, mutation)
+    elif kind == "opinion":
+        record = OpinionUpload(
+            history_id=mutation["history_id"],
+            entity_id=mutation["entity_id"],
+            rating=mutation["rating"],
+            seq=mutation["opinion_seq"],
+        )
+        if shards is None:
+            slot = server._opinions
+        else:
+            shard = shards[server.router.shard_of(record.history_id)]
+            slot = shard.opinions
+        existing = slot.get(record.history_id)
+        if existing is None or record.seq > existing.seq:
+            slot[record.history_id] = record
+            if shards is not None:
+                shard.version += 1
+        else:
+            server.opinions_stale += 1
+        _commit(server, mutation)
+    elif kind == "review":
+        from repro.service.server import ExplicitReview
+
+        review = ExplicitReview(
+            user_id=mutation["user_id"],
+            entity_id=mutation["entity_id"],
+            rating=mutation["rating"],
+            time=mutation["time"],
+        )
+        if shards is None:
+            server._reviews.setdefault(review.entity_id, []).append(review)
+        else:
+            shard = shards[server.router.shard_of(review.entity_id)]
+            shard.reviews.setdefault(review.entity_id, []).append(review)
+    elif kind == "issue":
+        issuer = server.issuer
+        device_id, now = mutation["device_id"], mutation["now"]
+        window = issuer._window_start.get(device_id)
+        if window is None or now - window >= DAY:
+            issuer._window_start[device_id] = now
+            issuer._issued_today[device_id] = 0
+        issuer._issued_today[device_id] = (
+            issuer._issued_today[device_id] + mutation["count"]
+        )
+    else:
+        raise ValueError(f"unknown WAL mutation kind {kind!r}")
+
+
+def finalize_recovery(server) -> None:
+    """Rebuild the maintenance engine's derived state after a bulk load.
+
+    Snapshot restore and WAL replay write the stores directly and skip
+    the engine's incremental bookkeeping (claims, dirty sets) — rebuild
+    the claim index from the opinion slots and mark every entity dirty,
+    so the first post-recovery cycle recomputes everything from store
+    content.  By the purity contract of
+    :mod:`repro.service.incremental`, that recompute is byte-identical
+    to where an uninterrupted incremental run would be.
+    """
+    engine = server._engine
+    engine._claims.clear()
+    shards = getattr(server, "shards", None)
+    opinion_maps = (
+        [server._opinions] if shards is None else [s.opinions for s in shards]
+    )
+    for opinions in opinion_maps:
+        for history_id, opinion in opinions.items():
+            engine._claims.setdefault(opinion.entity_id, set()).add(history_id)
+    for entity_id in sorted(server.catalog):
+        engine.mark_dirty(entity_id)
+
+
+# --------------------------------------------------------------- recover
+
+
+def recover_server(
+    server, directory: Path, telemetry: Telemetry = NULL
+) -> RecoveryReport:
+    """Restore a freshly constructed server from a durable directory.
+
+    Loads the newest snapshot that passes its integrity seal (older ones
+    are fallbacks; none at all means a cold replay from the full WAL),
+    replays every WAL record past it in global sequence order, tolerates
+    a torn final frame per lane, and rebuilds the engine's derived state.
+    The server is then exactly where the crashed process was at its last
+    acceptance commit — ready for re-deliveries and maintenance.
+    """
+    loaded = load_latest_snapshot(directory)
+    snapshot_seq = 0
+    if loaded is not None:
+        snapshot_seq, state = loaded
+        restore_state(server, state)
+    mutations, torn = read_mutations(directory, after_seq=snapshot_seq)
+    for mutation in mutations:
+        apply_mutation(server, mutation)
+    finalize_recovery(server)
+    telemetry.inc("recovery.replayed", len(mutations))
+    if torn:
+        telemetry.inc("recovery.torn_tails")
+    last_seq = mutations[-1]["seq"] if mutations else snapshot_seq
+    return RecoveryReport(
+        snapshot_seq=snapshot_seq,
+        n_replayed=len(mutations),
+        torn_tail=torn,
+        next_seq=last_seq + 1,
+    )

@@ -1,0 +1,311 @@
+"""Canonical snapshots of the RSP's stores, atomically persisted.
+
+A snapshot captures the *logical* repository — histories, opinion slots,
+explicit reviews, the dedup nonce table, the spent-token table, issuer
+quota windows, and the intake counters — as one JSON-compatible dict in
+canonical order (everything sorted by its key), independent of how the
+deployment partitions that state.  The same snapshot taken from a
+monolithic server and from any sharding of it is byte-identical, and the
+same snapshot restores into either deployment: :func:`restore_state`
+re-routes every piece through the target server's own router.
+
+Atomicity protocol (the classic one):
+
+1. serialize the sealed state (digest-stamped via the canonical codec);
+2. write it to ``<name>.tmp`` in the snapshot directory;
+3. flush + ``fsync`` the tmp file — bytes are on stable storage;
+4. ``os.rename`` onto the final name — atomic on POSIX, so readers see
+   either the whole snapshot or none of it, never a prefix;
+5. ``fsync`` the directory so the rename itself survives power loss.
+
+Recovery trusts no snapshot it cannot verify: :func:`load_latest_snapshot`
+checks each candidate's seal digest and falls back to the next-older
+snapshot on any damage (which is why the journal retains two).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from pathlib import Path
+
+from repro.core.aggregation import OpinionUpload
+from repro.durability.codec import CorruptStateError, seal, unseal
+from repro.privacy.history_store import (
+    FoldedStats,
+    InteractionHistory,
+    InteractionUpload,
+    StoredRecord,
+)
+
+SNAPSHOT_FORMAT = "rsp-snapshot/1"
+_SNAPSHOT_RE = re.compile(r"^snapshot-(\d{12})\.json$")
+
+#: Intake counters that must survive a restart byte-for-byte.  Shared by
+#: both deployments; ``pool_fallbacks`` exists only on the sharded facade
+#: and is handled with ``getattr``/``hasattr`` guards.
+_COUNTERS = (
+    "accepted_envelopes",
+    "rejected_envelopes",
+    "duplicates_suppressed",
+    "opinions_stale",
+    "history_mismatches",
+    "dropped_by_outage",
+    "rejected_attestations",
+)
+
+
+def snapshot_name(seq: int) -> str:
+    return f"snapshot-{seq:012d}.json"
+
+
+# --------------------------------------------------------------- capture
+
+
+def _encode_history(history: InteractionHistory) -> dict:
+    folded = history.folded
+    return {
+        "history_id": history.history_id,
+        "entity_id": history.entity_id,
+        "records": [
+            [
+                r.upload.interaction_type,
+                r.upload.event_time,
+                r.upload.duration,
+                r.upload.travel_km,
+                r.arrival_time,
+            ]
+            for r in history.records
+        ],
+        "folded": None
+        if folded is None
+        else [
+            folded.n,
+            folded.earliest_event_time,
+            folded.latest_event_time,
+            folded.duration_sum,
+            folded.travel_sum,
+        ],
+    }
+
+
+def _decode_history(blob: dict) -> InteractionHistory:
+    folded = blob["folded"]
+    return InteractionHistory(
+        history_id=blob["history_id"],
+        entity_id=blob["entity_id"],
+        records=[
+            StoredRecord(
+                upload=InteractionUpload(
+                    history_id=blob["history_id"],
+                    entity_id=blob["entity_id"],
+                    interaction_type=kind,
+                    event_time=event_time,
+                    duration=duration,
+                    travel_km=travel_km,
+                ),
+                arrival_time=arrival_time,
+            )
+            for kind, event_time, duration, travel_km, arrival_time in blob["records"]
+        ],
+        folded=None
+        if folded is None
+        else FoldedStats(
+            n=folded[0],
+            earliest_event_time=folded[1],
+            latest_event_time=folded[2],
+            duration_sum=folded[3],
+            travel_sum=folded[4],
+        ),
+    )
+
+
+def _stores_of(server):
+    """Normalize both deployments to iterables of their partitioned state.
+
+    Yields ``(history_stores, opinion_maps, review_maps, nonce_sets,
+    spent_sets)`` — one element per partition (one for the monolith).
+    """
+    shards = getattr(server, "shards", None)
+    if shards is None:
+        return (
+            [server.history_store],
+            [server._opinions],
+            [server._reviews],
+            [server._seen_nonces],
+            [server._redeemer._spent],
+        )
+    return (
+        [shard.store for shard in shards],
+        [shard.opinions for shard in shards],
+        [shard.reviews for shard in shards],
+        list(server._nonce_buckets),
+        list(server._redeemer._spent),
+    )
+
+
+def capture_state(server, wal_seq: int = 0) -> dict:
+    """The server's logical state as one canonical JSON-compatible dict.
+
+    Partition-independent: every collection is flattened across shards
+    and emitted in sorted key order, so a monolith and any sharding of
+    the same content produce identical bytes.  ``wal_seq`` records the
+    last journaled mutation this snapshot covers; recovery replays only
+    WAL records with a greater sequence number.
+    """
+    stores, opinion_maps, review_maps, nonce_sets, spent_sets = _stores_of(server)
+    histories = sorted(
+        (h for store in stores for h in store.all_histories()),
+        key=lambda h: h.history_id,
+    )
+    opinions = {
+        history_id: [op.entity_id, op.rating, op.seq]
+        for opinions in opinion_maps
+        for history_id, op in opinions.items()
+    }
+    reviews: dict[str, list] = {}
+    for review_map in review_maps:
+        for entity_id, posted in review_map.items():
+            reviews[entity_id] = [
+                [review.user_id, review.rating, review.time] for review in posted
+            ]
+    issuer = server.issuer
+    counters = {name: getattr(server, name) for name in _COUNTERS}
+    # Always present so monolith and sharded captures stay byte-identical;
+    # the monolith simply has no pool to fall back from.
+    counters["pool_fallbacks"] = getattr(server, "pool_fallbacks", 0)
+    return {
+        "wal_seq": wal_seq,
+        "histories": [_encode_history(h) for h in histories],
+        "opinions": {k: opinions[k] for k in sorted(opinions)},
+        "reviews": {k: reviews[k] for k in sorted(reviews)},
+        "nonces": sorted(n.hex() for nonces in nonce_sets for n in nonces),
+        "spent_tokens": sorted(t.hex() for spent in spent_sets for t in spent),
+        "issuer": {
+            "window_start": {k: issuer._window_start[k] for k in sorted(issuer._window_start)},
+            "issued_today": {k: issuer._issued_today[k] for k in sorted(issuer._issued_today)},
+        },
+        "counters": counters,
+    }
+
+
+# --------------------------------------------------------------- restore
+
+
+def restore_state(server, state: dict) -> None:
+    """Load a captured state into a freshly constructed server.
+
+    Routing goes through the *target's* own router, so a snapshot taken
+    from a monolith restores into a 16-shard deployment (and vice versa)
+    with every nonce, token, history, and opinion in the bucket its key
+    routes to there.  The caller still owes a :func:`finalize_recovery`
+    pass (see :mod:`repro.durability.recovery`) to rebuild the
+    maintenance engine's derived dirty/claim state.
+    """
+    from repro.service.server import ExplicitReview
+
+    shards = getattr(server, "shards", None)
+    for blob in state["histories"]:
+        history = _decode_history(blob)
+        if shards is None:
+            server.history_store.adopt(history)
+        else:
+            shards[server.router.shard_of(history.history_id)].store.adopt(history)
+    for history_id, (entity_id, rating, seq) in state["opinions"].items():
+        opinion = OpinionUpload(
+            history_id=history_id, entity_id=entity_id, rating=rating, seq=seq
+        )
+        if shards is None:
+            server._opinions[history_id] = opinion
+        else:
+            shards[server.router.shard_of(history_id)].opinions[history_id] = opinion
+    for entity_id, posted in state["reviews"].items():
+        reviews = [
+            ExplicitReview(
+                user_id=user_id, entity_id=entity_id, rating=rating, time=time
+            )
+            for user_id, rating, time in posted
+        ]
+        if shards is None:
+            server._reviews.setdefault(entity_id, []).extend(reviews)
+        else:
+            shard = shards[server.router.shard_of(entity_id)]
+            shard.reviews.setdefault(entity_id, []).extend(reviews)
+    for nonce_hex in state["nonces"]:
+        nonce = bytes.fromhex(nonce_hex)
+        if shards is None:
+            server._seen_nonces.add(nonce)
+        else:
+            server._nonce_buckets[server.router.shard_of_bytes(nonce)].add(nonce)
+    for token_hex in state["spent_tokens"]:
+        token_id = bytes.fromhex(token_hex)
+        if shards is None:
+            server._redeemer._spent.add(token_id)
+        else:
+            server._redeemer._spent[server.router.shard_of_bytes(token_id)].add(
+                token_id
+            )
+    issuer = server.issuer
+    issuer._window_start.update(state["issuer"]["window_start"])
+    issuer._issued_today.update(state["issuer"]["issued_today"])
+    for name, value in state["counters"].items():
+        if hasattr(server, name):
+            setattr(server, name, value)
+
+
+# ----------------------------------------------------------------- files
+
+
+def write_snapshot(directory: Path, seq: int, state: dict) -> Path:
+    """Durably persist ``state`` as the snapshot covering WAL seq ``seq``.
+
+    Follows the fsync-then-rename protocol from the module docstring; the
+    returned path exists and is durable (or an exception was raised).
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    final = directory / snapshot_name(seq)
+    tmp = directory / (snapshot_name(seq) + ".tmp")
+    payload = json.dumps(seal(state, SNAPSHOT_FORMAT), sort_keys=True).encode()
+    with open(tmp, "wb") as handle:
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.rename(tmp, final)
+    dir_fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+    return final
+
+
+def list_snapshots(directory: Path) -> list[tuple[int, Path]]:
+    """All snapshot files present, as ``(seq, path)`` sorted ascending."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    found = []
+    for path in directory.iterdir():
+        match = _SNAPSHOT_RE.match(path.name)
+        if match:
+            found.append((int(match.group(1)), path))
+    return sorted(found)
+
+
+def load_latest_snapshot(directory: Path) -> tuple[int, dict] | None:
+    """The newest snapshot that passes its integrity seal, or ``None``.
+
+    Damaged candidates (unparseable JSON, wrong format tag, digest
+    mismatch) are skipped in favour of the next-older snapshot — never
+    loaded, never fatal, because the WAL retained since the older
+    snapshot can replay the difference.
+    """
+    for seq, path in reversed(list_snapshots(directory)):
+        try:
+            blob = json.loads(path.read_bytes())
+            return seq, unseal(blob, SNAPSHOT_FORMAT)
+        except (ValueError, CorruptStateError):
+            continue
+    return None

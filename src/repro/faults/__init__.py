@@ -26,7 +26,10 @@ from repro.faults.plan import (
     FaultPlan,
     FaultReport,
     IssuerOutage,
+    PrimaryCrash,
+    ReplicaOutage,
     ServerOutage,
+    WalCrash,
     Window,
     lossy_plan,
     outage_plan,
@@ -42,7 +45,10 @@ __all__ = [
     "FaultPlan",
     "FaultReport",
     "IssuerOutage",
+    "PrimaryCrash",
+    "ReplicaOutage",
     "ServerOutage",
+    "WalCrash",
     "Window",
     "lossy_plan",
     "outage_plan",

@@ -19,7 +19,7 @@ same decisions in the same order.
 
 from __future__ import annotations
 
-from repro.faults.plan import ClientCrash, FaultPlan, FaultReport
+from repro.faults.plan import ClientCrash, FaultPlan, FaultReport, PrimaryCrash
 from repro.telemetry import NULL, Telemetry
 from repro.util.rng import make_rng
 
@@ -36,6 +36,8 @@ class FaultInjector:
         self.envelopes_lost_to_outage = 0
         self.issuance_refusals = 0
         self.crashes_triggered = 0
+        self.shipments_deferred = 0
+        self.primary_crashes_triggered = 0
         #: Aggregate-only sink; counts injected events by kind.
         self.telemetry: Telemetry = NULL
 
@@ -98,6 +100,15 @@ class FaultInjector:
                 return True
         return False
 
+    def replica_down(self, now: float) -> bool:
+        """Is the log-shipping channel down at ``now``?  Counts deferrals."""
+        for outage in self.plan.replica_outages:
+            if outage.window.contains(now):
+                self.shipments_deferred += 1
+                self.telemetry.inc("faults.injected", kind="replica-outage")
+                return True
+        return False
+
     # ----------------------------------------------------- crashes & clocks
 
     def crashes_in(self, start: float, end: float) -> list[ClientCrash]:
@@ -107,6 +118,14 @@ class FaultInjector:
     def note_crash(self) -> None:
         self.crashes_triggered += 1
         self.telemetry.inc("faults.injected", kind="crash")
+
+    def primary_crashes_in(self, start: float, end: float) -> list[PrimaryCrash]:
+        """Primary-crash points scheduled in ``[start, end)``."""
+        return [c for c in self.plan.primary_crashes if start <= c.time < end]
+
+    def note_primary_crash(self) -> None:
+        self.primary_crashes_triggered += 1
+        self.telemetry.inc("faults.injected", kind="primary-crash")
 
     def skew_for(self, device_id: str) -> float:
         """Total clock offset applying to one device."""
@@ -122,4 +141,6 @@ class FaultInjector:
             envelopes_lost_to_outage=self.envelopes_lost_to_outage,
             issuance_refusals=self.issuance_refusals,
             crashes_triggered=self.crashes_triggered,
+            shipments_deferred=self.shipments_deferred,
+            primary_crashes_triggered=self.primary_crashes_triggered,
         )

@@ -124,6 +124,55 @@ class ClientCrash:
 
 
 @dataclass(frozen=True)
+class ReplicaOutage:
+    """The primary→replica log-shipping channel is down during ``window``.
+
+    Shipments attempted inside the window are deferred whole (log
+    shipping is all-or-nothing per batch); replication lag grows until
+    the first shipment after the window drains the backlog.  Bounded
+    staleness, never loss.
+    """
+
+    window: Window
+
+
+@dataclass(frozen=True)
+class PrimaryCrash:
+    """The primary RSP process dies at ``time``; the replica takes over.
+
+    ``torn_bytes`` of garbage land on the primary's WAL tail, modelling
+    a frame whose write the crash cut short.  The epoch driver promotes
+    the replica at the first epoch boundary at or after ``time``, points
+    clients at it, and lets the existing retransmission machinery cover
+    whatever was in flight.
+    """
+
+    time: float
+    torn_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.torn_bytes < 0:
+            raise ValueError("torn_bytes must be non-negative")
+
+
+@dataclass(frozen=True)
+class WalCrash:
+    """A crash after exactly ``at_offset`` bytes of WAL were persisted.
+
+    Interpreted by the crash-matrix harness (``tests/durability``): the
+    durable directory is truncated to this byte offset and recovery must
+    reproduce the uninterrupted run.  Not scheduled by the epoch driver —
+    the driver's crash kind is :class:`PrimaryCrash`.
+    """
+
+    at_offset: int
+
+    def __post_init__(self) -> None:
+        if self.at_offset < 0:
+            raise ValueError("at_offset must be non-negative")
+
+
+@dataclass(frozen=True)
 class ClockSkew:
     """A device's local clock runs ``offset`` seconds from true time.
 
@@ -150,6 +199,9 @@ class FaultPlan:
     issuer_outages: tuple[IssuerOutage, ...] = ()
     crashes: tuple[ClientCrash, ...] = ()
     skews: tuple[ClockSkew, ...] = ()
+    replica_outages: tuple[ReplicaOutage, ...] = ()
+    primary_crashes: tuple[PrimaryCrash, ...] = ()
+    wal_crashes: tuple[WalCrash, ...] = ()
 
     @property
     def is_empty(self) -> bool:
@@ -161,6 +213,9 @@ class FaultPlan:
             or self.issuer_outages
             or self.crashes
             or self.skews
+            or self.replica_outages
+            or self.primary_crashes
+            or self.wal_crashes
         )
 
     def describe(self) -> str:
@@ -180,6 +235,12 @@ class FaultPlan:
             parts.append(f"{len(self.crashes)} client crash(es)")
         if self.skews:
             parts.append(f"{len(self.skews)} clock skew(s)")
+        if self.replica_outages:
+            parts.append(f"{len(self.replica_outages)} replica outage(s)")
+        if self.primary_crashes:
+            parts.append(f"{len(self.primary_crashes)} primary crash(es)")
+        if self.wal_crashes:
+            parts.append(f"{len(self.wal_crashes)} WAL crash offset(s)")
         return "FaultPlan(" + ", ".join(parts) + ")"
 
 
@@ -214,4 +275,6 @@ class FaultReport:
     envelopes_lost_to_outage: int = 0
     issuance_refusals: int = 0
     crashes_triggered: int = 0
+    shipments_deferred: int = 0
+    primary_crashes_triggered: int = 0
     details: tuple[str, ...] = field(default=())

@@ -15,7 +15,10 @@ The paper's guarantees are structural, so the linter checks structure:
 * **fault containment** (``faults-only-in-harness``) — only the
   experiment harness may import :mod:`repro.faults`; production layers
   receive faults through duck-typed ``fault_hook`` attributes and must
-  not be able to observe the fault plan.
+  not be able to observe the fault plan;
+* **durability** (``durability-fsync-before-ack``) — service-layer
+  intake journals accepted mutations before committing the acceptance,
+  and the WAL implementation never leaves a file write unflushed.
 
 Run it with ``python -m repro.lint <paths>`` or ``repro lint``; see
 ``docs/STATIC_ANALYSIS.md`` for rule-by-rule rationale and suppression
@@ -43,6 +46,7 @@ def default_rules() -> list[Rule]:
         RandomModuleRule,
         WallClockRule,
     )
+    from repro.lint.rules_durability import FsyncBeforeAckRule
     from repro.lint.rules_faults import FaultsOnlyInHarnessRule
     from repro.lint.rules_layering import (
         ClientImportsServiceRule,
@@ -65,6 +69,7 @@ def default_rules() -> list[Rule]:
         ClientImportsServiceRule(),
         ServiceImportsClientRule(),
         FaultsOnlyInHarnessRule(),
+        FsyncBeforeAckRule(),
     ]
 
 

@@ -127,6 +127,26 @@ class LintConfig:
     #: Root under which the containment rule applies (tests are outside).
     fault_guarded_packages: tuple[str, ...] = ("repro",)
 
+    # -- durability: the WAL-before-ack commit protocol.
+    #: Journal methods that persist an accepted mutation.
+    wal_append_methods: frozenset[str] = frozenset(
+        {"log_interaction", "log_opinion", "log_review", "log_issue", "append_record"}
+    )
+    #: Attribute/name spellings that hold the journal in service code.
+    wal_receivers: frozenset[str] = frozenset({"journal", "wal", "_wal"})
+    #: Counter spellings whose bump acknowledges an envelope.
+    accept_commit_counters: frozenset[str] = frozenset({"accepted_envelopes"})
+    #: Dedup-set spellings whose ``.add`` burns a nonce (the other half of
+    #: the acceptance commit).
+    accept_commit_sets: frozenset[str] = frozenset({"_seen_nonces", "nonce_bucket"})
+    #: Helper methods that perform the acceptance commit wholesale.
+    accept_commit_calls: frozenset[str] = frozenset({"_mark_accepted"})
+    #: File-handle spellings inside the durability package whose ``write``
+    #: must be paired with a flush/fsync in the same function.
+    wal_file_receivers: frozenset[str] = frozenset({"_file", "_fh"})
+    #: The package implementing WAL/snapshot persistence.
+    durability_packages: tuple[str, ...] = ("repro.durability",)
+
 
 @dataclass(frozen=True)
 class ParsedModule:

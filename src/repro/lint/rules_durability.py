@@ -1,0 +1,158 @@
+"""Durability ordering: journal before you acknowledge.
+
+The WAL's crash guarantee (``docs/DURABILITY.md``) is a *protocol*, not a
+property of the log file: every accepted intake mutation must reach the
+journal before the server commits the acceptance (bumps
+``accepted_envelopes``, burns the nonce).  Invert the order and a crash
+between the two steps acknowledges state that recovery cannot reproduce —
+the precise failure WAL-before-ack exists to rule out.  The same goes for
+the journal's own writes: a buffered ``write`` that is never flushed sits
+in user-space when the process dies, so the "logged" record was never
+durable at all.
+
+* ``durability-fsync-before-ack`` — two checks behind one rule id:
+
+  1. in service-layer code (``repro.service``, ``repro.scale``), any
+     function that both appends to a WAL (``journal.log_*``) and performs
+     an acceptance commit (``accepted_envelopes += 1``, a nonce-set
+     ``.add``, or ``self._mark_accepted(...)``) must append first;
+  2. in ``repro.durability`` itself, any function that calls ``write`` on
+     a WAL file handle (``self._file`` / ``self._fh``) must also call
+     ``flush``/``fsync``/``sync`` before returning.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.engine import LintConfig, ParsedModule, Rule, Violation
+
+
+def _receiver_name(node: ast.expr) -> str | None:
+    """The last attribute/name segment of a call receiver.
+
+    ``self.journal.log_x`` → ``journal``; ``journal.log_x`` → ``journal``;
+    anything without a recognizable base yields ``None``.
+    """
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _target_name(node: ast.expr) -> str | None:
+    """The name an assignment target ultimately binds (``self.x`` → ``x``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _functions(tree: ast.Module) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _position(node: ast.AST) -> tuple[int, int]:
+    return (getattr(node, "lineno", 0), getattr(node, "col_offset", 0))
+
+
+class FsyncBeforeAckRule(Rule):
+    rule_id = "durability-fsync-before-ack"
+    description = "acceptance commit precedes (or lacks) the durable WAL append"
+    rationale = (
+        "crash safety: an envelope acknowledged before its mutation is "
+        "journaled-and-flushed is lost by a crash between the two steps, "
+        "violating the recovery == uninterrupted-run differential"
+    )
+    ordering_message = (
+        "acceptance commit (`{commit}`) precedes the WAL append "
+        "(`{append}` on line {append_line}); journal the mutation first — "
+        "WAL-before-ack is the crash-recovery contract"
+    )
+    flush_message = (
+        "function `{function}` writes to `{receiver}` without a "
+        "flush/fsync/sync call; a buffered WAL write is not durable"
+    )
+
+    def check(self, module: ParsedModule, config: LintConfig) -> Iterator[Violation]:
+        if module.in_package(config.service_packages):
+            yield from self._check_ordering(module, config)
+        if module.in_package(config.durability_packages):
+            yield from self._check_flush(module, config)
+
+    # ------------------------------------------------- WAL-before-ack order
+
+    def _check_ordering(
+        self, module: ParsedModule, config: LintConfig
+    ) -> Iterator[Violation]:
+        for function in _functions(module.tree):
+            appends: list[tuple[tuple[int, int], str, ast.AST]] = []
+            commits: list[tuple[tuple[int, int], str, ast.AST]] = []
+            for node in ast.walk(function):
+                if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                    method = node.func.attr
+                    receiver = _receiver_name(node.func.value)
+                    if (
+                        method in config.wal_append_methods
+                        and receiver in config.wal_receivers
+                    ):
+                        appends.append((_position(node), method, node))
+                    elif method == "add" and receiver in config.accept_commit_sets:
+                        commits.append((_position(node), f"{receiver}.add", node))
+                    elif method in config.accept_commit_calls:
+                        commits.append((_position(node), method, node))
+                elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                    if node.func.id in config.accept_commit_calls:
+                        commits.append((_position(node), node.func.id, node))
+                elif isinstance(node, ast.AugAssign):
+                    name = _target_name(node.target)
+                    if name in config.accept_commit_counters:
+                        commits.append((_position(node), f"{name} += ...", node))
+            if not appends or not commits:
+                continue
+            first_append = min(appends)
+            first_commit = min(commits)
+            if first_commit[0] < first_append[0]:
+                yield self.violation(
+                    module,
+                    first_commit[2],
+                    self.ordering_message.format(
+                        commit=first_commit[1],
+                        append=first_append[1],
+                        append_line=first_append[0][0],
+                    ),
+                )
+
+    # -------------------------------------------------- buffered-write check
+
+    def _check_flush(
+        self, module: ParsedModule, config: LintConfig
+    ) -> Iterator[Violation]:
+        for function in _functions(module.tree):
+            writes: list[tuple[str, ast.AST]] = []
+            flushed = False
+            for node in ast.walk(function):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                ):
+                    continue
+                receiver = _receiver_name(node.func.value)
+                if node.func.attr == "write" and receiver in config.wal_file_receivers:
+                    writes.append((receiver, node))
+                elif node.func.attr in {"flush", "fsync", "sync"}:
+                    flushed = True
+            if writes and not flushed:
+                receiver, node = writes[0]
+                yield self.violation(
+                    module,
+                    node,
+                    self.flush_message.format(
+                        function=function.name, receiver=receiver
+                    ),
+                )

@@ -16,9 +16,12 @@ dashboard: record growth, opinion churn, fraud rejections, coverage.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.client.app import RSPClient
 from repro.core.classifier import OpinionClassifier
+from repro.durability.journal import DurableJournal, attach_journal
+from repro.durability.replication import ReplicatedRSPServer, ReplicationChannel
 from repro.faults import FaultInjector, FaultPlan
 from repro.privacy.anonymity import AnonymityNetwork, batching_network
 from repro.sensing.policy import duty_cycled_policy
@@ -76,6 +79,10 @@ class EpochsOutcome:
     #: the run; the :class:`EpochReport` robustness fields are derived from
     #: its counters (see docs/OBSERVABILITY.md).
     telemetry: Telemetry | None = None
+    #: The primary/replica pair when the run was replicated (``None``
+    #: otherwise); after a scripted failover, ``server`` above already
+    #: points at the promoted replica.
+    replication: ReplicatedRSPServer | None = None
 
     @property
     def n_epochs(self) -> int:
@@ -102,6 +109,9 @@ def run_epochs(
     n_shards: int = 1,
     workers: int = 0,
     incremental: bool = True,
+    durable_dir: str | Path | None = None,
+    replicate: bool = False,
+    snapshot_every: int = 1,
 ) -> EpochsOutcome:
     """Operate the service over ``n_epochs`` equal slices of the horizon.
 
@@ -125,6 +135,18 @@ def run_epochs(
     end falls inside a server outage skips maintenance — the batch job
     holds the mix's released deliveries and replays them at the catch-up
     cycle, so nothing buffered during the outage is ever counted as lost).
+
+    ``durable_dir`` turns on write-ahead journaling: every accepted
+    mutation is WAL-logged under ``<durable_dir>/primary`` (one lane per
+    shard) and a snapshot is taken after maintenance every
+    ``snapshot_every`` epochs — a crashed run is recoverable with
+    ``repro recover``.  ``replicate`` additionally runs a warm-standby
+    twin fed by log shipping at each epoch boundary; a
+    :class:`~repro.faults.plan.PrimaryCrash` in the fault plan then
+    kills the primary (torn WAL tail and all) and promotes the replica
+    at the next epoch start.  Both knobs default off and, like
+    ``n_shards``/``workers``, never change any report the driver emits
+    (see docs/DURABILITY.md).
     """
     if n_epochs < 1:
         raise ValueError("need at least one epoch")
@@ -144,17 +166,16 @@ def run_epochs(
 
     injector = FaultInjector(fault_plan) if fault_plan is not None else None
 
-    server: RSPServer | ShardedRSPServer
-    if n_shards == 1 and workers == 0:
-        server = RSPServer(
-            catalog=town.entities,
-            quota_per_day=config.quota_per_day,
-            key_seed=config.seed,
-            key_bits=config.key_bits,
-            incremental=incremental,
-        )
-    else:
-        server = ShardedRSPServer(
+    def make_server() -> RSPServer | ShardedRSPServer:
+        if n_shards == 1 and workers == 0:
+            return RSPServer(
+                catalog=town.entities,
+                quota_per_day=config.quota_per_day,
+                key_seed=config.seed,
+                key_bits=config.key_bits,
+                incremental=incremental,
+            )
+        return ShardedRSPServer(
             catalog=town.entities,
             quota_per_day=config.quota_per_day,
             key_seed=config.seed,
@@ -163,6 +184,8 @@ def run_epochs(
             workers=workers,
             incremental=incremental,
         )
+
+    server: RSPServer | ShardedRSPServer = make_server()
     network: AnonymityNetwork = batching_network(
         batch_interval=config.batch_interval, seed=config.seed
     )
@@ -177,6 +200,33 @@ def run_epochs(
         network.fault_hook = injector
         server.fault_hook = injector
         server.issuer.fault_hook = injector
+
+    journal: DurableJournal | None = None
+    pair: ReplicatedRSPServer | None = None
+    if durable_dir is not None:
+        base = Path(durable_dir)
+        sharded = getattr(server, "shards", None) is not None
+        journal = DurableJournal(
+            base / "primary",
+            n_lanes=server.router.n_shards if sharded else 1,
+            lane_of=server.router.shard_of if sharded else None,
+            telemetry=telemetry,
+        )
+        attach_journal(server, journal)
+        if replicate:
+            # The replica is an exact twin (same catalog, same key seed,
+            # so the primary's tokens verify after failover), fed only by
+            # log shipping — it emits no telemetry until promoted.
+            pair = ReplicatedRSPServer(
+                server,
+                make_server(),
+                journal,
+                ReplicationChannel(fault_hook=injector),
+                telemetry=telemetry,
+                durable_root=base,
+            )
+    elif replicate:
+        raise ValueError("replicate=True requires durable_dir")
 
     users = town.users if max_users is None else town.users[:max_users]
     clients: dict[str, RSPClient] = {
@@ -199,7 +249,11 @@ def run_epochs(
     }
 
     outcome = EpochsOutcome(
-        server=server, clients=clients, injector=injector, telemetry=telemetry
+        server=server,
+        clients=clients,
+        injector=injector,
+        telemetry=telemetry,
+        replication=pair,
     )
     records_before = 0
     rejected_before = 0
@@ -215,6 +269,21 @@ def run_epochs(
     for epoch in range(1, n_epochs + 1):
         start_time = (epoch - 1) * epoch_length
         end_time = epoch * epoch_length
+
+        if pair is not None and injector is not None and not pair.promoted:
+            for crash in injector.primary_crashes_in(start_time, end_time):
+                # Failover at the epoch boundary: the previous epoch's
+                # shipment already carried every accepted mutation, so
+                # the promoted replica starts byte-identical to where
+                # the primary ended — in-flight envelopes land on it
+                # via the mix and client retransmission.
+                injector.note_primary_crash()
+                server = pair.fail_over(torn_bytes=crash.torn_bytes)
+                server.fault_hook = injector
+                server.issuer.fault_hook = injector
+                journal = server.journal
+                outcome.server = server
+                break
 
         crash_restores = 0
         if injector is not None:
@@ -267,6 +336,10 @@ def run_epochs(
                 held_backlog = []
             server.receive_all(network.deliveries_until(ingest_time))
             maintenance = server.run_maintenance(now=ingest_time)
+            if pair is not None and not pair.promoted:
+                pair.ship(now=ingest_time)
+            if journal is not None and epoch % snapshot_every == 0:
+                journal.take_snapshot(server)
 
         telemetry.span("epoch", start_time, end_time, epoch=epoch)
         # The robustness fields are derived views of the shared telemetry

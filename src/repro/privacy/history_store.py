@@ -190,6 +190,25 @@ class HistoryStore:
             self.folded_records += 1
         return True
 
+    def adopt(self, history: InteractionHistory) -> None:
+        """Register a fully built history during snapshot restore.
+
+        This is the recovery path's bulk-load door, not an upload path:
+        it performs no token check and accepts a complete
+        :class:`InteractionHistory` (records, folded stats and all)
+        exactly as a snapshot serialized it.  The identifier must be
+        fresh — recovery restores into an empty store, so a collision
+        means the snapshot or the restore routing is broken, and loading
+        on top of it would silently merge two users' histories.
+        """
+        if history.history_id in self._histories:
+            raise ValueError(
+                f"history {history.history_id!r} already present; "
+                "adopt() only loads into a fresh store"
+            )
+        self._histories[history.history_id] = history
+        self._by_entity.setdefault(history.entity_id, []).append(history)
+
     # -- server-internal aggregation access ------------------------------
     #
     # There is intentionally NO ``get(history_id)`` method: the service

@@ -66,6 +66,10 @@ class TokenIssuer:
         #: Optional harness hook with ``issuer_down(now) -> bool``; the
         #: issuer never imports the fault harness itself.
         self.fault_hook = None
+        #: Optional durability hook (duck-typed like ``fault_hook``);
+        #: successful issuances journal their quota-window tick so a
+        #: restarted issuer cannot be double-drained by replayed requests.
+        self.journal = None
         self.refused_while_down = 0
         #: Aggregate-only observability sink — issuance volumes and
         #: refusal reasons, never device identities.
@@ -102,6 +106,8 @@ class TokenIssuer:
                 f"with {self.quota_per_day - used} remaining today"
             )
         self._issued_today[device_id] = used + len(blinded_values)
+        if self.journal is not None:
+            self.journal.log_issue(device_id, len(blinded_values), now)
         self.telemetry.inc("issuer.tokens.issued", len(blinded_values))
         return [self._keypair.sign_raw(value) for value in blinded_values]
 

@@ -186,6 +186,12 @@ class ShardedRSPServer:
         self.pool_fallbacks = 0
         #: Optional harness hook with ``server_down(now) -> bool``.
         self.fault_hook = None
+        #: Optional durability hook (duck-typed like ``fault_hook``); the
+        #: driver installs a per-shard-lane
+        #: :class:`repro.durability.journal.DurableJournal` built with
+        #: ``lane_of=self.router.shard_of`` so each shard's mutations
+        #: land in their own WAL file.
+        self.journal = None
         #: Aggregate metrics here are emitted with the *same* names and
         #: values as the monolith's (integer arithmetic makes them
         #: grouping-order independent); per-shard detail is emitted under
@@ -234,11 +240,14 @@ class ShardedRSPServer:
         if entity_id not in self.catalog:
             raise KeyError(f"unknown entity {entity_id!r}")
         shard = self.shards[self.router.shard_of(entity_id)]
-        shard.reviews.setdefault(entity_id, []).append(
-            ExplicitReview(
-                user_id=user_id, entity_id=entity_id, rating=rating, time=time
-            )
+        # Construct-then-journal mirrors the monolith: validation runs
+        # before the WAL sees the review, the WAL before the store does.
+        review = ExplicitReview(
+            user_id=user_id, entity_id=entity_id, rating=rating, time=time
         )
+        if self.journal is not None:
+            self.journal.log_review(user_id, entity_id, rating, time)
+        shard.reviews.setdefault(entity_id, []).append(review)
         shard.dirty_entities.add(entity_id)
         self.telemetry.inc("rsp.reviews.posted")
 
@@ -289,6 +298,9 @@ class ShardedRSPServer:
             for delivery in group:
                 if self._receive_one(delivery, now=now):
                     accepted += 1
+        if self.journal is not None:
+            # Group commit across all lanes (see RSPServer.receive_all).
+            self.journal.sync_to_disk()
         return accepted
 
     def _route(self, delivery: Delivery[Envelope]) -> int:
@@ -327,6 +339,11 @@ class ShardedRSPServer:
             self.duplicates_suppressed += 1
             self.telemetry.inc("rsp.envelopes.duplicate")
             return False
+        token_id = (
+            envelope.token.token_id
+            if self.require_tokens and envelope.token is not None
+            else None
+        )
         record = envelope.record
         record_kind = None
         try:
@@ -387,6 +404,15 @@ class ShardedRSPServer:
             self.telemetry.inc("rsp.envelopes.rejected", reason="store-error")
             return False
         if stored:
+            # WAL-before-ack, mirroring the monolith: journal (and flush)
+            # before the accept counter and the nonce burn commit.
+            if self.journal is not None:
+                if record_kind == "interaction":
+                    self.journal.log_interaction(
+                        record, delivery.arrival_time, nonce, token_id
+                    )
+                else:
+                    self.journal.log_opinion(record, nonce, token_id)
             self.accepted_envelopes += 1
             if nonce_bucket is not None:
                 nonce_bucket.add(nonce)

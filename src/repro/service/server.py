@@ -169,6 +169,12 @@ class RSPServer:
         self.dropped_by_outage = 0
         #: Optional harness hook with ``server_down(now) -> bool``.
         self.fault_hook = None
+        #: Optional durability hook (duck-typed like ``fault_hook``): a
+        #: :class:`repro.durability.journal.DurableJournal` installed by
+        #: the deployment driver.  Accepted mutations are journaled
+        #: *before* the acceptance commit; a journal failure propagates —
+        #: the process must die rather than acknowledge unlogged state.
+        self.journal = None
         #: Aggregate-only observability sink (no-op until a harness
         #: installs a real :class:`~repro.telemetry.Telemetry`).
         self.telemetry: Telemetry = NULL
@@ -216,9 +222,14 @@ class RSPServer:
         """Accept an explicit, attributed review (the legacy path)."""
         if entity_id not in self.catalog:
             raise KeyError(f"unknown entity {entity_id!r}")
-        self._reviews.setdefault(entity_id, []).append(
-            ExplicitReview(user_id=user_id, entity_id=entity_id, rating=rating, time=time)
+        # Constructing first validates the rating, so an invalid review
+        # can never reach the WAL; journaling precedes the store append.
+        review = ExplicitReview(
+            user_id=user_id, entity_id=entity_id, rating=rating, time=time
         )
+        if self.journal is not None:
+            self.journal.log_review(user_id, entity_id, rating, time)
+        self._reviews.setdefault(entity_id, []).append(review)
         self._engine.mark_dirty(entity_id)
         self.telemetry.inc("rsp.reviews.posted")
 
@@ -276,6 +287,11 @@ class RSPServer:
             self.duplicates_suppressed += 1
             self.telemetry.inc("rsp.envelopes.duplicate")
             return False
+        token_id = (
+            envelope.token.token_id
+            if self.require_tokens and envelope.token is not None
+            else None
+        )
         record = envelope.record
         record_kind = None
         try:
@@ -334,6 +350,17 @@ class RSPServer:
             self.telemetry.inc("rsp.envelopes.rejected", reason="store-error")
             return False
         if stored:
+            # WAL-before-ack: the mutation is journaled (and flushed)
+            # before the accept counter and nonce burn commit, so a
+            # crash on either side of this line is recoverable — see
+            # docs/DURABILITY.md.
+            if self.journal is not None:
+                if record_kind == "interaction":
+                    self.journal.log_interaction(
+                        record, delivery.arrival_time, nonce, token_id
+                    )
+                else:
+                    self.journal.log_opinion(record, nonce, token_id)
             self._mark_accepted(nonce)
             self.telemetry.inc("rsp.envelopes.accepted", record=record_kind)
             if record_kind == "interaction":
@@ -358,7 +385,13 @@ class RSPServer:
         self.telemetry.observe(
             "rsp.intake.batch", len(deliveries), buckets=INTAKE_BATCH_BUCKETS
         )
-        return sum(1 for delivery in deliveries if self.receive(delivery, now=now))
+        accepted = sum(1 for delivery in deliveries if self.receive(delivery, now=now))
+        if self.journal is not None:
+            # Group commit: each accepted envelope's WAL frame was already
+            # flushed before its ack; the batch boundary is where the
+            # journal fsyncs for power-loss durability.
+            self.journal.sync_to_disk()
+        return accepted
 
     # -------------------------------------------------------- maintenance
 

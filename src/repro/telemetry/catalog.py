@@ -33,3 +33,6 @@ POOL_CHUNK_BUCKETS: tuple[float, ...] = (1, 2, 4, 8, 16)
 #: ``rsp.maintenance.dirty_set`` — entities re-judged per maintenance
 #: cycle (the tracked dirty set after profile-digest re-dirtying).
 DIRTY_SET_BUCKETS: tuple[float, ...] = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000)
+
+#: ``replica.batch`` — WAL records applied per log-shipping batch.
+REPLICA_BATCH_BUCKETS: tuple[float, ...] = (1, 2, 5, 10, 20, 50, 100, 200, 500)

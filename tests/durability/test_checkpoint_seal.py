@@ -1,0 +1,68 @@
+"""Client checkpoints ride the same canonical sealer as server snapshots.
+
+A checkpoint that rots on flash storage must be *rejected* at restore —
+never silently restored as garbage — and pre-sealing flat-dict
+checkpoints (from installs that predate the durability layer) must keep
+restoring unchanged.
+"""
+
+import json
+
+import pytest
+
+from repro.client.app import CHECKPOINT_FORMAT, RSPClient
+from repro.core.classifier import OpinionClassifier
+from repro.durability.codec import (
+    CorruptStateError,
+    canonical_json_bytes,
+    digest_hex,
+    unseal,
+)
+
+
+@pytest.fixture()
+def client(catalog):
+    return RSPClient(
+        device_id="device-seal-1",
+        catalog=catalog,
+        classifier=OpinionClassifier(),
+        seed=3,
+    )
+
+
+def restore(blob, client):
+    return RSPClient.restore(
+        blob, catalog=list(client.catalog.values()), classifier=client.classifier
+    )
+
+
+class TestSealedFormat:
+    def test_checkpoint_is_a_sealed_blob(self, client):
+        blob = client.checkpoint()
+        assert blob["format"] == CHECKPOINT_FORMAT == "rsp-checkpoint/1"
+        assert blob["digest"] == digest_hex(canonical_json_bytes(blob["state"]))
+        assert unseal(blob, CHECKPOINT_FORMAT) == blob["state"]
+
+    def test_sealed_blob_survives_json_and_restores(self, client):
+        blob = json.loads(json.dumps(client.checkpoint()))
+        restored = restore(blob, client)
+        assert restored.checkpoint() == client.checkpoint()
+
+    def test_tampered_checkpoint_is_rejected_not_restored(self, client):
+        blob = client.checkpoint()
+        blob["state"]["wallet"]["minted"] = 999  # one flipped field
+        with pytest.raises(CorruptStateError, match="digest"):
+            restore(blob, client)
+
+    def test_wrong_format_tag_is_rejected(self, client):
+        blob = client.checkpoint()
+        blob["format"] = "rsp-snapshot/1"
+        with pytest.raises(CorruptStateError):
+            restore(blob, client)
+
+    def test_legacy_flat_checkpoint_still_restores(self, client):
+        # Pre-sealing installs persisted the state dict directly; their
+        # checkpoints carry no digest and restore unverified but intact.
+        flat = json.loads(json.dumps(client._checkpoint_state()))
+        restored = restore(flat, client)
+        assert restored.checkpoint() == client.checkpoint()

@@ -1,0 +1,126 @@
+"""Snapshots: canonical codec, partition independence, atomic persistence."""
+
+import json
+
+import pytest
+
+from repro.durability.codec import (
+    CorruptStateError,
+    canonical_json_bytes,
+    digest_hex,
+    seal,
+    unseal,
+)
+from repro.durability.snapshot import (
+    capture_state,
+    list_snapshots,
+    load_latest_snapshot,
+    restore_state,
+    snapshot_name,
+    write_snapshot,
+)
+
+from tests.durability.conftest import comparable_state, make_server, synth_deliveries
+
+
+class TestCodec:
+    def test_canonical_bytes_sort_keys_and_compact(self):
+        assert canonical_json_bytes({"b": 1, "a": [2, 3]}) == b'{"a":[2,3],"b":1}'
+
+    def test_seal_round_trips(self):
+        state = {"x": [1, 2.5], "y": {"nested": "ü"}}
+        blob = seal(state, "rsp-snapshot/1")
+        assert blob["format"] == "rsp-snapshot/1"
+        assert blob["digest"] == digest_hex(canonical_json_bytes(state))
+        assert unseal(blob, "rsp-snapshot/1") == state
+
+    def test_seal_survives_json_round_trip(self):
+        blob = seal({"k": "v"}, "rsp-snapshot/1")
+        assert unseal(json.loads(json.dumps(blob)), "rsp-snapshot/1") == {"k": "v"}
+
+    def test_tampered_state_is_rejected(self):
+        blob = seal({"count": 7}, "rsp-snapshot/1")
+        blob["state"]["count"] = 8
+        with pytest.raises(CorruptStateError, match="digest"):
+            unseal(blob, "rsp-snapshot/1")
+
+    def test_wrong_kind_is_rejected(self):
+        blob = seal({"count": 7}, "rsp-snapshot/1")
+        with pytest.raises(CorruptStateError):
+            unseal(blob, "rsp-checkpoint/1")
+
+    def test_nan_refused(self):
+        with pytest.raises(ValueError):
+            canonical_json_bytes({"x": float("inf")})
+
+
+class TestPartitionIndependence:
+    def fed(self, catalog, n_shards):
+        server = make_server(catalog, n_shards)
+        server.post_review("user-x", sorted(server.catalog)[0], 4, 100.0)
+        server.receive_all(synth_deliveries(catalog, 0, 60, duplicate_every=9))
+        return server
+
+    def test_monolith_and_sharded_capture_identical_bytes(self, catalog):
+        states = [
+            canonical_json_bytes(capture_state(self.fed(catalog, shards)))
+            for shards in (1, 3, 8)
+        ]
+        assert states[0] == states[1] == states[2]
+
+    @pytest.mark.parametrize("src_shards,dst_shards", [(1, 4), (4, 1), (4, 2)])
+    def test_restore_crosses_deployments(self, catalog, src_shards, dst_shards):
+        source = self.fed(catalog, src_shards)
+        state = capture_state(source)
+        target = make_server(catalog, dst_shards)
+        restore_state(target, state)
+        assert capture_state(target) == state
+        assert comparable_state(target) == comparable_state(source)
+
+    def test_restore_refuses_a_used_store(self, catalog):
+        source = self.fed(catalog, 1)
+        target = self.fed(catalog, 1)
+        with pytest.raises(ValueError, match="fresh"):
+            restore_state(target, capture_state(source))
+
+
+class TestPersistence:
+    STATE = {"histories": [], "counters": {"accepted_envelopes": 3}}
+
+    def test_write_then_load_latest(self, tmp_path):
+        write_snapshot(tmp_path, 17, self.STATE)
+        assert (tmp_path / snapshot_name(17)).exists()
+        seq, state = load_latest_snapshot(tmp_path)
+        assert seq == 17 and state == self.STATE
+
+    def test_no_tmp_files_survive(self, tmp_path):
+        write_snapshot(tmp_path, 17, self.STATE)
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_newest_valid_snapshot_wins(self, tmp_path):
+        write_snapshot(tmp_path, 5, {"v": "old"})
+        write_snapshot(tmp_path, 9, {"v": "new"})
+        assert load_latest_snapshot(tmp_path) == (9, {"v": "new"})
+        assert [seq for seq, _ in list_snapshots(tmp_path)] == [5, 9]
+
+    def test_corrupt_newest_falls_back_to_older(self, tmp_path):
+        write_snapshot(tmp_path, 5, {"v": "old"})
+        path = write_snapshot(tmp_path, 9, {"v": "new"})
+        blob = json.loads(path.read_text())
+        blob["state"]["v"] = "mangled"
+        path.write_text(json.dumps(blob))
+        assert load_latest_snapshot(tmp_path) == (5, {"v": "old"})
+
+    def test_undecodable_newest_falls_back_to_older(self, tmp_path):
+        write_snapshot(tmp_path, 5, {"v": "old"})
+        path = write_snapshot(tmp_path, 9, {"v": "new"})
+        path.write_bytes(b"\x00garbage")
+        assert load_latest_snapshot(tmp_path) == (5, {"v": "old"})
+
+    def test_all_corrupt_means_cold_replay(self, tmp_path):
+        path = write_snapshot(tmp_path, 5, {"v": "only"})
+        path.write_bytes(b"{}")
+        assert load_latest_snapshot(tmp_path) is None
+
+    def test_empty_directory_means_cold_replay(self, tmp_path):
+        assert load_latest_snapshot(tmp_path) is None

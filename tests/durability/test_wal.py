@@ -1,0 +1,138 @@
+"""WAL frame format: round trips, checksums, and the torn-tail policy."""
+
+import struct
+
+import pytest
+
+from repro.durability.wal import (
+    MAX_PAYLOAD_BYTES,
+    WAL_MAGIC,
+    WalCorruptionError,
+    WriteAheadLog,
+    read_wal,
+)
+
+PAYLOADS = [
+    {"seq": 1, "kind": "interaction", "entity_id": "e-1", "duration": 300.5},
+    {"seq": 2, "kind": "opinion", "rating": 4.0, "nonce": "00ff"},
+    {"seq": 3, "kind": "review", "text": "unicode: café"},
+]
+
+
+def build_wal(path, payloads=PAYLOADS):
+    wal = WriteAheadLog(path)
+    for payload in payloads:
+        wal.append_record(payload)
+    wal.close()
+    return path
+
+
+class TestRoundTrip:
+    def test_append_then_read_reproduces_records(self, tmp_path):
+        path = build_wal(tmp_path / "wal.log")
+        result = read_wal(path)
+        assert result.records == PAYLOADS
+        assert not result.torn
+        assert result.valid_bytes == path.stat().st_size
+
+    def test_fresh_file_starts_with_magic(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.close()
+        assert (tmp_path / "wal.log").read_bytes() == WAL_MAGIC
+
+    def test_offsets_locate_each_frame(self, tmp_path):
+        path = build_wal(tmp_path / "wal.log")
+        result = read_wal(path)
+        assert result.offsets[0] == len(WAL_MAGIC)
+        assert result.offsets == sorted(result.offsets)
+        data = path.read_bytes()
+        for offset, record in zip(result.offsets, PAYLOADS):
+            length, _crc = struct.unpack_from(">II", data, offset)
+            assert length > 0
+        assert len(result.offsets) == len(PAYLOADS)
+
+    def test_reopen_appends_without_rewriting_magic(self, tmp_path):
+        path = build_wal(tmp_path / "wal.log", PAYLOADS[:1])
+        wal = WriteAheadLog(path)
+        wal.append_record(PAYLOADS[1])
+        wal.close()
+        assert read_wal(path).records == PAYLOADS[:2]
+
+    def test_append_counts_bytes_and_records(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        n = wal.append_record(PAYLOADS[0])
+        wal.close()
+        assert wal.records_written == 1
+        assert wal.bytes_written == n
+        assert (tmp_path / "wal.log").stat().st_size == len(WAL_MAGIC) + n
+
+    def test_nan_payload_refused(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        with pytest.raises(ValueError):
+            wal.append_record({"seq": 1, "value": float("nan")})
+        wal.close()
+
+
+class TestTornTailPolicy:
+    def test_empty_file_is_an_empty_torn_segment(self, tmp_path):
+        path = tmp_path / "wal.log"
+        path.write_bytes(b"")
+        result = read_wal(path)
+        assert result.records == [] and not result.torn
+
+    def test_partial_magic_is_torn(self, tmp_path):
+        path = tmp_path / "wal.log"
+        path.write_bytes(WAL_MAGIC[:5])
+        result = read_wal(path)
+        assert result.records == [] and result.torn
+
+    def test_bad_magic_raises(self, tmp_path):
+        path = tmp_path / "wal.log"
+        path.write_bytes(b"NOTAWAL0" + b"\x00" * 32)
+        with pytest.raises(WalCorruptionError, match="bad magic"):
+            read_wal(path)
+
+    def test_incomplete_header_is_torn(self, tmp_path):
+        path = build_wal(tmp_path / "wal.log")
+        path.write_bytes(path.read_bytes() + b"\x00\x01")
+        result = read_wal(path)
+        assert result.records == PAYLOADS and result.torn
+
+    def test_frame_past_eof_is_torn(self, tmp_path):
+        # The crash() simulation appends 0x7f bytes: the fake header
+        # claims a length far beyond MAX_PAYLOAD_BYTES.
+        path = build_wal(tmp_path / "wal.log")
+        valid = path.stat().st_size
+        path.write_bytes(path.read_bytes() + b"\x7f" * 11)
+        result = read_wal(path)
+        assert result.records == PAYLOADS and result.torn
+        assert result.valid_bytes == valid
+        assert struct.unpack(">I", b"\x7f" * 4)[0] > MAX_PAYLOAD_BYTES
+
+    def test_final_frame_checksum_mismatch_is_torn(self, tmp_path):
+        path = build_wal(tmp_path / "wal.log")
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0x40
+        path.write_bytes(bytes(data))
+        result = read_wal(path)
+        assert result.records == PAYLOADS[:-1] and result.torn
+
+    def test_mid_file_damage_raises_not_torn(self, tmp_path):
+        path = build_wal(tmp_path / "wal.log")
+        result = read_wal(path)
+        data = bytearray(path.read_bytes())
+        # Flip a payload byte of the *first* frame: valid bytes follow.
+        data[result.offsets[0] + 8] ^= 0x01
+        path.write_bytes(bytes(data))
+        with pytest.raises(WalCorruptionError, match="not a torn tail"):
+            read_wal(path)
+
+    def test_strict_mode_raises_on_any_torn_tail(self, tmp_path):
+        path = build_wal(tmp_path / "wal.log")
+        path.write_bytes(path.read_bytes() + b"\x7f" * 5)
+        with pytest.raises(WalCorruptionError):
+            read_wal(path, tolerate_torn_tail=False)
+
+    def test_strict_mode_accepts_clean_segments(self, tmp_path):
+        path = build_wal(tmp_path / "wal.log")
+        assert read_wal(path, tolerate_torn_tail=False).records == PAYLOADS

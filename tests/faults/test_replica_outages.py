@@ -1,0 +1,160 @@
+"""Replica outages in the chaos matrix: bounded staleness, never loss.
+
+Extends the fault matrix with the replication-specific plans from the
+durability work: a downed log-shipping channel (lag grows, then drains),
+a simultaneous server + replica outage (retransmission covers both), and
+a primary crash landing inside a maintenance-deferral window.  The
+replication contract under all of them: deferral costs staleness only —
+no accepted envelope is ever lost, and a replica-only outage leaves the
+epoch reports byte-identical to an unfaulted run.
+"""
+
+import pytest
+
+from repro.faults import (
+    FaultPlan,
+    PrimaryCrash,
+    ReplicaOutage,
+    ServerOutage,
+    Window,
+)
+from repro.orchestration.epochs import run_epochs
+from repro.orchestration.pipeline import PipelineConfig, train_classifier
+from repro.privacy.uploads import RetransmitPolicy
+from repro.util.clock import DAY
+from repro.world.behavior import BehaviorConfig, BehaviorSimulator
+from repro.world.population import TownConfig, build_town
+
+HORIZON_DAYS = 60.0
+HORIZON = HORIZON_DAYS * DAY
+N_EPOCHS = 3
+EPOCH = HORIZON / N_EPOCHS
+MAX_USERS = 8
+
+
+@pytest.fixture(scope="module")
+def world():
+    town = build_town(TownConfig(n_users=30), seed=29)
+    result = BehaviorSimulator(
+        town.users, town.entities, BehaviorConfig(duration_days=HORIZON_DAYS), seed=29
+    ).run()
+    classifier = train_classifier(town, result, HORIZON, seed=29)
+    return town, result, classifier
+
+
+def run(world, durable_dir, plan=None, retransmit=None):
+    town, result, classifier = world
+    config = PipelineConfig(
+        horizon_days=HORIZON_DAYS, seed=29, retransmit=retransmit
+    )
+    return run_epochs(
+        town,
+        result,
+        config,
+        n_epochs=N_EPOCHS,
+        classifier=classifier,
+        max_users=MAX_USERS,
+        fault_plan=plan,
+        durable_dir=durable_dir,
+        replicate=True,
+    )
+
+
+#: Covers the first two epochs' ingest points (``end + 2 days``); the
+#: third epoch's shipment lands outside and drains the backlog.
+TWO_EPOCH_OUTAGE = Window(EPOCH, 2 * EPOCH + 3 * DAY)
+
+
+class TestReplicaOutage:
+    def test_lag_grows_through_the_outage_and_drains_after(self, world, tmp_path):
+        plan = FaultPlan(seed=21, replica_outages=(ReplicaOutage(TWO_EPOCH_OUTAGE),))
+        outcome = run(world, tmp_path / "d", plan=plan)
+        pair = outcome.replication
+        assert not pair.promoted
+        assert pair.deferred_batches == 2  # epochs 1 and 2 deferred whole
+        assert outcome.injector.shipments_deferred == 2
+        assert pair.max_lag > 0  # staleness was real...
+        assert pair.lag == 0  # ...and the post-outage shipment drained it
+        # The drained replica is the primary again, byte for byte.
+        assert (
+            pair.replica.accepted_envelopes == outcome.server.accepted_envelopes
+        )
+
+    def test_replica_outage_changes_no_report_field(self, world, tmp_path):
+        """The shipping channel is invisible to the service path: a run
+        whose replica link was down is byte-identical, report for report,
+        to one whose link never flickered."""
+        baseline = run(world, tmp_path / "baseline")
+        plan = FaultPlan(seed=22, replica_outages=(ReplicaOutage(TWO_EPOCH_OUTAGE),))
+        faulted = run(world, tmp_path / "faulted", plan=plan)
+        assert [repr(r) for r in faulted.reports] == [
+            repr(r) for r in baseline.reports
+        ]
+        assert faulted.server.accepted_envelopes == baseline.server.accepted_envelopes
+
+
+class TestCompoundOutages:
+    BOTH_DOWN = FaultPlan(
+        seed=23,
+        server_outages=(ServerOutage(Window(EPOCH, 2 * EPOCH + 3 * DAY)),),
+        replica_outages=(ReplicaOutage(Window(EPOCH, 2 * EPOCH + 3 * DAY)),),
+    )
+
+    def test_server_and_replica_down_together_still_converges(self, world, tmp_path):
+        outcome = run(
+            world,
+            tmp_path / "d",
+            plan=self.BOTH_DOWN,
+            retransmit=RetransmitPolicy(max_attempts=2),
+        )
+        server, pair = outcome.server, outcome.replication
+        assert outcome.n_epochs == N_EPOCHS
+        # Retransmission + dedup hold through the compound outage.
+        assert server.accepted_envelopes == server.n_unique_nonces
+        # The catch-up cycle shipped everything the outage deferred.
+        assert pair.lag == 0
+        assert pair.replica.accepted_envelopes == server.accepted_envelopes
+
+    def test_compound_outage_is_deterministic(self, world, tmp_path):
+        first = run(
+            world,
+            tmp_path / "a",
+            plan=self.BOTH_DOWN,
+            retransmit=RetransmitPolicy(max_attempts=2),
+        )
+        second = run(
+            world,
+            tmp_path / "b",
+            plan=self.BOTH_DOWN,
+            retransmit=RetransmitPolicy(max_attempts=2),
+        )
+        assert [repr(r) for r in first.reports] == [repr(r) for r in second.reports]
+        assert first.server.accepted_envelopes == second.server.accepted_envelopes
+
+
+class TestPromoteIntoDeferral:
+    def test_failover_landing_inside_a_maintenance_deferral(self, world, tmp_path):
+        """The primary dies in epoch 2 while a server outage is deferring
+        that epoch's maintenance: promotion happens at the epoch-2
+        boundary, the held backlog replays onto the *promoted* server at
+        the catch-up cycle, and the dedup invariant survives the
+        promotion boundary."""
+        plan = FaultPlan(
+            seed=24,
+            primary_crashes=(PrimaryCrash(time=1.5 * EPOCH, torn_bytes=5),),
+            server_outages=(ServerOutage(Window(2 * EPOCH, 2 * EPOCH + 3 * DAY)),),
+        )
+        outcome = run(
+            world,
+            tmp_path / "d",
+            plan=plan,
+            retransmit=RetransmitPolicy(max_attempts=2),
+        )
+        server, pair = outcome.server, outcome.replication
+        assert pair.promoted
+        assert server is pair.replica
+        assert outcome.injector.primary_crashes_triggered == 1
+        assert outcome.n_epochs == N_EPOCHS
+        assert server.accepted_envelopes == server.n_unique_nonces
+        # Epoch 3 ran a real maintenance cycle after the catch-up replay.
+        assert outcome.reports[-1].maintenance is not None

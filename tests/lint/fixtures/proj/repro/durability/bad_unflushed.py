@@ -1,0 +1,7 @@
+"""Broken: a WAL write that never leaves the user-space buffer."""
+
+
+class Log:
+    def append(self, frame):
+        self._file.write(frame)
+        self.records_written += 1

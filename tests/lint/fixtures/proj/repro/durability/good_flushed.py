@@ -1,0 +1,11 @@
+"""Clean: every WAL write is flushed (and optionally fsynced)."""
+
+import os
+
+
+class Log:
+    def append(self, frame, sync):
+        self._file.write(frame)
+        self._file.flush()
+        if sync:
+            os.fsync(self._file.fileno())

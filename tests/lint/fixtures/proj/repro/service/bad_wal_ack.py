@@ -1,0 +1,9 @@
+"""Broken: commits the acceptance before journaling the mutation."""
+
+
+class Server:
+    def receive_one(self, record, nonce):
+        self.accepted_envelopes += 1
+        self._seen_nonces.add(nonce)
+        if self.journal is not None:
+            self.journal.log_interaction(record, 0.0, nonce, None)

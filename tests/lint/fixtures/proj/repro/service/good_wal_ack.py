@@ -1,0 +1,15 @@
+"""Clean: the mutation reaches the WAL before the acceptance commit."""
+
+
+class Server:
+    def receive_one(self, record, nonce):
+        if self.journal is not None:
+            self.journal.log_interaction(record, 0.0, nonce, None)
+        self.accepted_envelopes += 1
+        self._seen_nonces.add(nonce)
+
+    def rebind_bucket(self, nonce_bucket):
+        # A plain assignment that *mentions* a commit spelling is not a
+        # commit — the rule must not flag shard-bucket routing.
+        nonce_bucket = list(nonce_bucket)
+        return nonce_bucket

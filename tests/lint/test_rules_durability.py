@@ -1,0 +1,141 @@
+"""Durability rule: WAL append before acceptance commit, writes flushed."""
+
+from repro.lint import Analyzer, default_rules
+from repro.lint.engine import LintConfig, parse_module
+from repro.lint.rules_durability import FsyncBeforeAckRule
+
+from tests.lint.conftest import rule_ids
+
+
+class TestWalBeforeAckOrdering:
+    def test_commit_before_append_is_flagged(self, lint_paths):
+        result = lint_paths("service/bad_wal_ack.py")
+        assert rule_ids(result) == ["durability-fsync-before-ack"]
+        [violation] = result.violations
+        assert "accepted_envelopes" in violation.message
+        assert violation.line == 6
+
+    def test_append_before_commit_is_clean(self, lint_paths):
+        result = lint_paths("service/good_wal_ack.py")
+        assert result.ok
+
+    def test_nonce_set_add_counts_as_commit(self, tmp_path):
+        pkg = tmp_path / "repro"
+        (pkg / "service").mkdir(parents=True)
+        (pkg / "__init__.py").write_text("")
+        (pkg / "service" / "__init__.py").write_text("")
+        offender = pkg / "service" / "intake.py"
+        offender.write_text(
+            "class S:\n"
+            "    def take(self, record, nonce):\n"
+            "        self._seen_nonces.add(nonce)\n"
+            "        self.journal.log_opinion(record, nonce, None)\n"
+        )
+        result = Analyzer(default_rules()).run([offender])
+        assert rule_ids(result) == ["durability-fsync-before-ack"]
+
+    def test_mark_accepted_helper_counts_as_commit(self, tmp_path):
+        pkg = tmp_path / "repro"
+        (pkg / "scale").mkdir(parents=True)
+        (pkg / "__init__.py").write_text("")
+        (pkg / "scale" / "__init__.py").write_text("")
+        offender = pkg / "scale" / "intake.py"
+        offender.write_text(
+            "class S:\n"
+            "    def take(self, record, nonce):\n"
+            "        self._mark_accepted(nonce)\n"
+            "        self.journal.log_interaction(record, 0.0, nonce, None)\n"
+        )
+        result = Analyzer(default_rules()).run([offender])
+        assert rule_ids(result) == ["durability-fsync-before-ack"]
+
+    def test_commit_without_any_append_is_clean(self, tmp_path):
+        # The helper that *performs* the commit contains no journal call;
+        # the ordering check needs both markers in one function.
+        pkg = tmp_path / "repro"
+        (pkg / "service").mkdir(parents=True)
+        (pkg / "__init__.py").write_text("")
+        (pkg / "service" / "__init__.py").write_text("")
+        helper = pkg / "service" / "helper.py"
+        helper.write_text(
+            "class S:\n"
+            "    def _mark_accepted(self, nonce):\n"
+            "        self.accepted_envelopes += 1\n"
+            "        self._seen_nonces.add(nonce)\n"
+        )
+        result = Analyzer(default_rules()).run([helper])
+        assert result.ok
+
+    def test_outside_service_packages_is_ignored(self, tmp_path):
+        pkg = tmp_path / "repro"
+        (pkg / "durability").mkdir(parents=True)
+        (pkg / "__init__.py").write_text("")
+        (pkg / "durability" / "__init__.py").write_text("")
+        # Recovery replays legitimately commit without appending anew.
+        replay = pkg / "durability" / "replay.py"
+        replay.write_text(
+            "def commit(server, nonce):\n"
+            "    server.accepted_envelopes += 1\n"
+            "    server._seen_nonces.add(nonce)\n"
+        )
+        result = Analyzer(default_rules()).run([replay])
+        assert result.ok
+
+    def test_one_violation_per_function(self, lint_paths, fixture_root):
+        module = parse_module(fixture_root / "service" / "bad_wal_ack.py")
+        violations = list(FsyncBeforeAckRule().check(module, LintConfig()))
+        assert len(violations) == 1
+
+
+class TestUnflushedWrites:
+    def test_unflushed_write_is_flagged(self, lint_paths):
+        result = lint_paths("durability/bad_unflushed.py")
+        assert rule_ids(result) == ["durability-fsync-before-ack"]
+        [violation] = result.violations
+        assert "_file" in violation.message
+
+    def test_flushed_write_is_clean(self, lint_paths):
+        result = lint_paths("durability/good_flushed.py")
+        assert result.ok
+
+    def test_non_wal_handles_are_ignored(self, tmp_path):
+        pkg = tmp_path / "repro"
+        (pkg / "durability").mkdir(parents=True)
+        (pkg / "__init__.py").write_text("")
+        (pkg / "durability" / "__init__.py").write_text("")
+        other = pkg / "durability" / "report.py"
+        other.write_text(
+            "def dump(handle, text):\n"
+            "    handle.write(text)\n"
+        )
+        result = Analyzer(default_rules()).run([other])
+        assert result.ok
+
+    def test_suppression_comment_waives(self, tmp_path):
+        pkg = tmp_path / "repro"
+        (pkg / "durability").mkdir(parents=True)
+        (pkg / "__init__.py").write_text("")
+        (pkg / "durability" / "__init__.py").write_text("")
+        waived = pkg / "durability" / "waived.py"
+        waived.write_text(
+            "class L:\n"
+            "    def append(self, frame):\n"
+            "        self._file.write(frame)  "
+            "# repro: allow[durability-fsync-before-ack]\n"
+        )
+        result = Analyzer(default_rules()).run([waived])
+        assert result.ok
+        assert [v.rule_id for v in result.sorted_suppressed()] == [
+            "durability-fsync-before-ack"
+        ]
+
+
+class TestSelfClean:
+    def test_production_intake_paths_are_clean(self):
+        from pathlib import Path
+
+        src = Path(__file__).resolve().parents[2] / "src" / "repro"
+        result = Analyzer([FsyncBeforeAckRule()]).run(
+            [src / "service", src / "scale", src / "durability"]
+        )
+        assert result.ok, "\n".join(v.render() for v in result.sorted_violations())

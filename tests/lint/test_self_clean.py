@@ -30,17 +30,22 @@ def test_whole_tree_has_zero_violations():
 
 def test_every_waiver_is_a_known_audited_exception():
     """Suppressions are load-bearing documentation: each one must sit in a
-    server facade's sanctioned identity touchpoints (token issuance and
-    explicit-review posting), nowhere else."""
+    sanctioned touchpoint — the server facades' identity edges (token
+    issuance and explicit-review posting) or the journal's wall-clock
+    snapshot timer (observability-only, never in a report)."""
     result = Analyzer(default_rules()).run([SRC_REPRO])
     by_file = {}
     for violation in result.suppressed:
-        assert violation.rule_id == "priv-server-identity"
-        assert violation.path.endswith(("service/server.py", "scale/server.py"))
+        if violation.rule_id == "priv-server-identity":
+            assert violation.path.endswith(("service/server.py", "scale/server.py"))
+        else:
+            assert violation.rule_id == "det-wall-clock"
+            assert violation.path.endswith("durability/journal.py")
         by_file[violation.path] = by_file.get(violation.path, 0) + 1
-    # The monolith's three touchpoints, mirrored minus the redeemer
-    # internals by the sharded facade.
-    assert sorted(by_file.values()) == [2, 3]
+    # The monolith's three identity touchpoints, mirrored minus the
+    # redeemer internals by the sharded facade, plus the journal's
+    # two perf_counter reads around the snapshot write.
+    assert sorted(by_file.values()) == [2, 2, 3]
 
 
 def test_cli_exits_zero_on_the_tree(capsys):
