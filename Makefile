@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check lint ruff test bench chaos scale bench-shards telemetry bench-telemetry incremental bench-incremental analyze bench-analyze durable bench-durable
+.PHONY: check lint ruff test bench chaos scale bench-shards telemetry bench-telemetry incremental bench-incremental analyze bench-analyze durable bench-durable ingest bench-ingest
 
 check:
 	bash scripts/check.sh
@@ -87,3 +87,16 @@ durable:
 # the repo root.
 bench-durable:
 	$(PYTHON) -m pytest benchmarks/test_bench_durability.py --benchmark-only -q -s
+
+# Intake-path suite (the CI ingest job): batched-vs-per-record byte
+# identity across the deployment matrix, backpressure/shed invariants,
+# the load generator, the soak smoke (including an overload window), the
+# batch-routing regression, and the line-coverage floor on repro.ingest.
+ingest:
+	$(PYTHON) -m pytest tests/ingest tests/scale/test_batch_routing.py -q
+	$(PYTHON) scripts/coverage_gate.py --target ingest --fail-under 85
+
+# Batched-vs-per-record intake throughput + soak benchmark; emits
+# BENCH_8.json at the repo root.
+bench-ingest:
+	$(PYTHON) -m pytest benchmarks/test_bench_ingest.py --benchmark-only -q -s

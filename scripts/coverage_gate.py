@@ -38,6 +38,7 @@ TARGETS = {
     ),
     "analysis": (SRC / "repro" / "analysis", ["tests/analysis"]),
     "durability": (SRC / "repro" / "durability", ["tests/durability"]),
+    "ingest": (SRC / "repro" / "ingest", ["tests/ingest"]),
 }
 
 

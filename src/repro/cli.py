@@ -182,7 +182,17 @@ def _cmd_epochs(args: argparse.Namespace) -> int:
         durable_dir=args.durable_dir,
         replicate=args.replicate,
         snapshot_every=args.snapshot_every,
+        ingest_batch=args.ingest_batch,
+        queue_depth=args.queue_depth,
     )
+    if args.ingest_batch or args.queue_depth is not None:
+        front = "batched" if args.ingest_batch else "per-record"
+        bound = (
+            f"bounded queue depth {args.queue_depth}"
+            if args.queue_depth is not None
+            else "unbounded intake"
+        )
+        print(f"ingest: {front} front end, {bound}")
     if plan is not None:
         print(f"fault injection: {plan.describe()}")
     if args.durable_dir is not None:
@@ -533,6 +543,14 @@ def build_parser() -> argparse.ArgumentParser:
     epochs.add_argument(
         "--replica-outage-epoch", type=int, default=None,
         help="epoch (1-based) during which log shipping is down",
+    )
+    epochs.add_argument(
+        "--ingest-batch", action="store_true",
+        help="route intake through the batched front end (repro.ingest)",
+    )
+    epochs.add_argument(
+        "--queue-depth", type=int, default=None,
+        help="bound intake behind a shedding queue of this capacity",
     )
     epochs.set_defaults(func=_cmd_epochs)
 

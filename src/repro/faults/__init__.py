@@ -25,6 +25,7 @@ from repro.faults.plan import (
     DuplicateFault,
     FaultPlan,
     FaultReport,
+    IngestSurge,
     IssuerOutage,
     PrimaryCrash,
     ReplicaOutage,
@@ -33,6 +34,7 @@ from repro.faults.plan import (
     Window,
     lossy_plan,
     outage_plan,
+    overload_plan,
 )
 
 __all__ = [
@@ -44,6 +46,7 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FaultReport",
+    "IngestSurge",
     "IssuerOutage",
     "PrimaryCrash",
     "ReplicaOutage",
@@ -52,4 +55,5 @@ __all__ = [
     "Window",
     "lossy_plan",
     "outage_plan",
+    "overload_plan",
 ]

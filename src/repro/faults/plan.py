@@ -173,6 +173,25 @@ class WalCrash:
 
 
 @dataclass(frozen=True)
+class IngestSurge:
+    """Offered load multiplies by ``multiplier`` during ``window``.
+
+    Models a flash crowd / retry storm hitting the intake front end: the
+    load generator asks the injector for :meth:`~repro.faults.injector.FaultInjector.surge_factor`
+    each tick and scales its arrivals.  Overlapping surges compound.
+    The bounded intake queue (:mod:`repro.ingest.queue`) is what turns a
+    surge into deterministic load-shedding instead of unbounded memory.
+    """
+
+    window: Window
+    multiplier: float
+
+    def __post_init__(self) -> None:
+        if self.multiplier < 1.0:
+            raise ValueError("surge multiplier must be >= 1")
+
+
+@dataclass(frozen=True)
 class ClockSkew:
     """A device's local clock runs ``offset`` seconds from true time.
 
@@ -202,6 +221,7 @@ class FaultPlan:
     replica_outages: tuple[ReplicaOutage, ...] = ()
     primary_crashes: tuple[PrimaryCrash, ...] = ()
     wal_crashes: tuple[WalCrash, ...] = ()
+    surges: tuple[IngestSurge, ...] = ()
 
     @property
     def is_empty(self) -> bool:
@@ -216,6 +236,7 @@ class FaultPlan:
             or self.replica_outages
             or self.primary_crashes
             or self.wal_crashes
+            or self.surges
         )
 
     def describe(self) -> str:
@@ -241,6 +262,8 @@ class FaultPlan:
             parts.append(f"{len(self.primary_crashes)} primary crash(es)")
         if self.wal_crashes:
             parts.append(f"{len(self.wal_crashes)} WAL crash offset(s)")
+        if self.surges:
+            parts.append(f"{len(self.surges)} ingest surge(s)")
         return "FaultPlan(" + ", ".join(parts) + ")"
 
 
@@ -265,6 +288,11 @@ def outage_plan(
     )
 
 
+def overload_plan(window: Window, multiplier: float = 4.0, seed: int = 0) -> FaultPlan:
+    """A flash crowd: offered load times ``multiplier`` inside ``window``."""
+    return FaultPlan(seed=seed, surges=(IngestSurge(window, multiplier),))
+
+
 @dataclass(frozen=True)
 class FaultReport:
     """What an injector actually did — surfaced in epoch reports and tests."""
@@ -277,4 +305,5 @@ class FaultReport:
     crashes_triggered: int = 0
     shipments_deferred: int = 0
     primary_crashes_triggered: int = 0
+    surges_applied: int = 0
     details: tuple[str, ...] = field(default=())

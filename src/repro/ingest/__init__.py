@@ -1,0 +1,42 @@
+"""``repro.ingest`` — the million-user intake front end.
+
+Three pieces, composable but independent:
+
+* :mod:`repro.ingest.columnar` — :func:`ingest_all`, the batched
+  decode/validate/dedup/dispatch kernel.  Byte-identical to per-record
+  :meth:`RSPServer.receive_all` (reports, counters, telemetry exports,
+  WAL bytes) at a fraction of the per-envelope overhead; works against
+  both the monolith and the sharded deployment.
+* :mod:`repro.ingest.queue` — :class:`BoundedIntakeQueue`, admission
+  control with deterministic shed-before-journal load-shedding and
+  ``rsp.ingest.*`` telemetry.
+* :mod:`repro.ingest.loadgen` / :mod:`repro.ingest.soak` — Zipf-shaped
+  synthetic wire traffic at million-user scale and the sustained-traffic
+  soak harness that measures steady-state events/sec and p99 intake
+  latency over it.
+
+This is harness-facing front-end code: it sits *in front of* the service
+layer (it may import :mod:`repro.service` and :mod:`repro.scale`, never
+the other way around) and it never imports :mod:`repro.faults` — overload
+scenarios come in through the same duck-typed ``fault_hook`` seam the
+servers use.  See ``docs/SCALING.md`` (ingest path) and
+``docs/OBSERVABILITY.md`` (metric catalog).
+"""
+
+from __future__ import annotations
+
+from repro.ingest.columnar import ingest_all
+from repro.ingest.loadgen import SyntheticTraffic, WorkloadConfig, synthetic_catalog
+from repro.ingest.queue import BoundedIntakeQueue
+from repro.ingest.soak import SoakConfig, SoakReport, run_soak
+
+__all__ = [
+    "BoundedIntakeQueue",
+    "SoakConfig",
+    "SoakReport",
+    "SyntheticTraffic",
+    "WorkloadConfig",
+    "ingest_all",
+    "run_soak",
+    "synthetic_catalog",
+]

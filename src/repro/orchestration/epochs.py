@@ -23,6 +23,7 @@ from repro.core.classifier import OpinionClassifier
 from repro.durability.journal import DurableJournal, attach_journal
 from repro.durability.replication import ReplicatedRSPServer, ReplicationChannel
 from repro.faults import FaultInjector, FaultPlan
+from repro.ingest import BoundedIntakeQueue, ingest_all
 from repro.privacy.anonymity import AnonymityNetwork, batching_network
 from repro.sensing.policy import duty_cycled_policy
 from repro.sensing.sensors import generate_trace
@@ -112,6 +113,8 @@ def run_epochs(
     durable_dir: str | Path | None = None,
     replicate: bool = False,
     snapshot_every: int = 1,
+    ingest_batch: bool = False,
+    queue_depth: int | None = None,
 ) -> EpochsOutcome:
     """Operate the service over ``n_epochs`` equal slices of the horizon.
 
@@ -147,6 +150,17 @@ def run_epochs(
     at the next epoch start.  Both knobs default off and, like
     ``n_shards``/``workers``, never change any report the driver emits
     (see docs/DURABILITY.md).
+
+    ``ingest_batch`` routes every intake through the batched front end
+    (:func:`repro.ingest.ingest_all`) instead of per-record
+    ``receive_all`` — contractually byte-identical in every report and
+    telemetry export (``tests/ingest/test_differential.py``), so it is a
+    pure performance knob like ``n_shards``.  ``queue_depth`` bounds
+    intake behind a :class:`~repro.ingest.BoundedIntakeQueue`: arrivals
+    beyond the bound are deterministically shed *before* journaling
+    (counted under ``rsp.ingest.shed``), so unlike every other knob it
+    *can* change reports under overload — it defaults off and exists for
+    the backpressure scenarios in docs/SCALING.md.
     """
     if n_epochs < 1:
         raise ValueError("need at least one epoch")
@@ -165,6 +179,18 @@ def run_epochs(
         raise ValueError("workers must be >= 0 (0 = serial)")
 
     injector = FaultInjector(fault_plan) if fault_plan is not None else None
+
+    def intake(target, deliveries, when: float | None) -> None:
+        # One seam for both intake sites: optional bounded-queue admission
+        # (shed-before-journal), then batched or per-record dispatch.  The
+        # target is passed per call because failover rebinds ``server``.
+        if intake_queue is not None:
+            intake_queue.offer_all(deliveries)
+            deliveries = intake_queue.drain()
+        if ingest_batch:
+            ingest_all(target, deliveries, now=when)
+        else:
+            target.receive_all(deliveries, now=when)
 
     def make_server() -> RSPServer | ShardedRSPServer:
         if n_shards == 1 and workers == 0:
@@ -193,6 +219,11 @@ def run_epochs(
     # issuer), the mix, the injector, and every client record into the
     # same registry, so the epoch reports below are pure derived views.
     telemetry = Telemetry()
+    intake_queue = (
+        BoundedIntakeQueue(queue_depth, telemetry=telemetry)
+        if queue_depth is not None
+        else None
+    )
     server.attach_telemetry(telemetry)
     network.telemetry = telemetry
     if injector is not None:
@@ -332,9 +363,11 @@ def run_epochs(
             held_backlog.extend(network.deliveries_until(ingest_time))
         else:
             if held_backlog:
-                server.receive_all(held_backlog, now=ingest_time)
+                intake(server, held_backlog, ingest_time)
                 held_backlog = []
-            server.receive_all(network.deliveries_until(ingest_time))
+            # ``when=None`` on purpose: outage checks for freshly released
+            # deliveries run against each arrival time, as before.
+            intake(server, network.deliveries_until(ingest_time), None)
             maintenance = server.run_maintenance(now=ingest_time)
             if pair is not None and not pair.promoted:
                 pair.ship(now=ingest_time)

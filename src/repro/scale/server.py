@@ -268,7 +268,7 @@ class ShardedRSPServer:
     def receive_batch(
         self, deliveries: list[Delivery[Envelope]], now: float | None = None
     ) -> int:
-        """Batched intake: group envelopes per shard, then process.
+        """Batched intake: route once per envelope, group per shard, process.
 
         Grouping amortizes per-shard dispatch and keeps each shard's
         writes contiguous.  Relative order *within* a shard follows the
@@ -276,42 +276,75 @@ class ShardedRSPServer:
         its opinion slot, its nonce bucket, its token bucket) is keyed by
         values the envelope itself carries — so regrouping across shards
         cannot change any accept/reject/duplicate outcome.
+
+        Each envelope's route is derived exactly once here and handed to
+        :meth:`_receive_one` as a hint (it used to be re-derived inside
+        the store dispatch, doubling the SHA-256 routing work per record).
+        A ``None`` route marks a record without a string ``history_id``:
+        it sorts into shard 0 like before, but the hint stays unset so the
+        store dispatch re-derives — and classifies — exactly as a direct
+        :meth:`receive` would.  When every envelope routes to the same
+        shard (the common case for a client's sync burst and for replayed
+        backlogs), the fast path skips the per-shard group allocation
+        entirely and walks the batch in place.
         """
         self.telemetry.observe(
             "rsp.intake.batch", len(deliveries), buckets=INTAKE_BATCH_BUCKETS
         )
-        groups: list[list[Delivery[Envelope]]] = [
-            [] for _ in range(self.router.n_shards)
-        ]
+        shard_of = self.router.shard_of
+        routes: list[int | None] = []
+        single: int | None = None
+        mixed = False
         for delivery in deliveries:
-            groups[self._route(delivery)].append(delivery)
+            key = getattr(delivery.payload.record, "history_id", None)
+            route = shard_of(key) if isinstance(key, str) else None
+            routes.append(route)
+            group_index = 0 if route is None else route
+            if single is None:
+                single = group_index
+            elif group_index != single:
+                mixed = True
         accepted = 0
-        for shard_index, group in enumerate(groups):
-            if group:
+        if not mixed:
+            if deliveries:
                 self.telemetry.observe(
                     "rsp.shard.batch",
-                    len(group),
+                    len(deliveries),
                     buckets=SHARD_BATCH_BUCKETS,
                     scope=DEPLOYMENT,
-                    shard=shard_index,
+                    shard=single,
                 )
-            for delivery in group:
-                if self._receive_one(delivery, now=now):
+            for delivery, route in zip(deliveries, routes):
+                if self._receive_one(delivery, now=now, shard_hint=route):
                     accepted += 1
+        else:
+            groups: list[list[tuple[Delivery[Envelope], int | None]]] = [
+                [] for _ in range(self.router.n_shards)
+            ]
+            for delivery, route in zip(deliveries, routes):
+                groups[0 if route is None else route].append((delivery, route))
+            for shard_index, group in enumerate(groups):
+                if group:
+                    self.telemetry.observe(
+                        "rsp.shard.batch",
+                        len(group),
+                        buckets=SHARD_BATCH_BUCKETS,
+                        scope=DEPLOYMENT,
+                        shard=shard_index,
+                    )
+                for delivery, route in group:
+                    if self._receive_one(delivery, now=now, shard_hint=route):
+                        accepted += 1
         if self.journal is not None:
             # Group commit across all lanes (see RSPServer.receive_all).
             self.journal.sync_to_disk()
         return accepted
 
-    def _route(self, delivery: Delivery[Envelope]) -> int:
-        record = delivery.payload.record
-        key = getattr(record, "history_id", None)
-        if isinstance(key, str):
-            return self.router.shard_of(key)
-        return 0
-
     def _receive_one(
-        self, delivery: Delivery[Envelope], now: float | None = None
+        self,
+        delivery: Delivery[Envelope],
+        now: float | None = None,
+        shard_hint: int | None = None,
     ) -> bool:
         envelope = delivery.payload
         if self.fault_hook is not None and self.fault_hook.server_down(
@@ -352,7 +385,11 @@ class ShardedRSPServer:
                     self.rejected_envelopes += 1
                     self.telemetry.inc("rsp.envelopes.rejected", reason="unknown-entity")
                     return False
-                shard = self.shards[self.router.shard_of(record.history_id)]
+                shard = self.shards[
+                    self.router.shard_of(record.history_id)
+                    if shard_hint is None
+                    else shard_hint
+                ]
                 bound = shard.store.bound_entity(record.history_id)
                 if bound is not None and bound != record.entity_id:
                     # Same split as the monolith: an identifier bound to
@@ -376,7 +413,11 @@ class ShardedRSPServer:
                     self.rejected_envelopes += 1
                     self.telemetry.inc("rsp.envelopes.rejected", reason="unknown-entity")
                     return False
-                shard = self.shards[self.router.shard_of(record.history_id)]
+                shard = self.shards[
+                    self.router.shard_of(record.history_id)
+                    if shard_hint is None
+                    else shard_hint
+                ]
                 existing = shard.opinions.get(record.history_id)
                 if existing is None or record.seq > existing.seq:
                     shard.opinions[record.history_id] = record

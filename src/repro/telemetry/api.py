@@ -53,6 +53,19 @@ class Telemetry:
     ) -> None:
         self.metrics.observe(name, value, buckets=buckets, scope=scope, **labels)
 
+    def observe_many(
+        self,
+        name: str,
+        values,
+        buckets: Iterable[float] | None = None,
+        scope: str = AGGREGATE,
+        **labels: object,
+    ) -> None:
+        """Record a whole column against one histogram — export-identical
+        to observing each value in turn (see
+        :meth:`repro.telemetry.registry.MetricsRegistry.observe_many`)."""
+        self.metrics.observe_many(name, values, buckets=buckets, scope=scope, **labels)
+
     def set_gauge(
         self, name: str, value: float, scope: str = AGGREGATE, **labels: object
     ) -> None:
@@ -128,6 +141,16 @@ class NullTelemetry(Telemetry):
         self,
         name: str,
         value: float,
+        buckets: Iterable[float] | None = None,
+        scope: str = AGGREGATE,
+        **labels: object,
+    ) -> None:
+        return None
+
+    def observe_many(
+        self,
+        name: str,
+        values,
         buckets: Iterable[float] | None = None,
         scope: str = AGGREGATE,
         **labels: object,

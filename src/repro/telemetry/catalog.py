@@ -36,3 +36,10 @@ DIRTY_SET_BUCKETS: tuple[float, ...] = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000
 
 #: ``replica.batch`` — WAL records applied per log-shipping batch.
 REPLICA_BATCH_BUCKETS: tuple[float, ...] = (1, 2, 5, 10, 20, 50, 100, 200, 500)
+
+#: ``rsp.ingest.drain`` — envelopes handed to the server per bounded-queue
+#: drain; wider than ``rsp.intake.batch`` because the queue exists exactly
+#: to absorb bursts far larger than one mix flush.
+INGEST_DRAIN_BUCKETS: tuple[float, ...] = (
+    1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000,
+)

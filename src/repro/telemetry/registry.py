@@ -36,6 +36,8 @@ import json
 from bisect import bisect_left
 from collections.abc import Iterable, Mapping
 
+import numpy as np
+
 from repro.telemetry.labels import canonical_labels
 
 #: Fixed-point scale for histogram sums: milli-units.  ``round`` to the
@@ -141,6 +143,33 @@ class Histogram:
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
 
+    def observe_many(self, values) -> None:
+        """Fold a whole column of observations in one call.
+
+        Byte-identical to observing each value in turn: ``searchsorted``
+        with ``side="left"`` lands each value in the same bucket as
+        ``bisect_left``, and ``np.rint`` rounds half-to-even exactly like
+        the builtin ``round`` — so the batched intake path of
+        :mod:`repro.ingest` produces the same export as per-record intake.
+        """
+        column = np.asarray(values, dtype=np.float64)
+        if column.size == 0:
+            return
+        per_bucket = np.bincount(
+            np.searchsorted(np.asarray(self.bounds), column, side="left"),
+            minlength=len(self.bucket_counts),
+        )
+        counts = self.bucket_counts
+        for index, n in enumerate(per_bucket):
+            if n:
+                counts[index] += int(n)
+        self.count += int(column.size)
+        self.sum_scaled += int(np.rint(column * SUM_SCALE).astype(np.int64).sum())
+        low = float(column.min())
+        high = float(column.max())
+        self.min = low if self.min is None else min(self.min, low)
+        self.max = high if self.max is None else max(self.max, high)
+
     @property
     def sum(self) -> float:
         return self.sum_scaled / SUM_SCALE
@@ -227,6 +256,39 @@ class MetricsRegistry:
             instrument = self._instrument(name, "histogram", scope, labels, bounds)
             self._fast[key] = instrument
         instrument.observe(value)
+
+    def observe_many(
+        self,
+        name: str,
+        values,
+        buckets: Iterable[float] | None = None,
+        scope: str = AGGREGATE,
+        **labels: object,
+    ) -> None:
+        """Record a column of observations against one histogram.
+
+        Export-identical to calling :meth:`observe` per value (histogram
+        state is commutative integer arithmetic); the instrument lookup
+        and label canonicalization are paid once per column instead of
+        once per value, which is what the batched intake front end
+        (:mod:`repro.ingest.columnar`) amortizes.
+
+        An empty column is a no-op that declares nothing: per-record
+        intake never touches an instrument it has no value for, so the
+        batched path must not conjure a zero-count histogram row either.
+        """
+        if len(values) == 0:
+            return
+        key = (
+            name, "histogram", scope, tuple(labels.items()),
+            tuple(buckets) if buckets is not None else None,
+        )
+        instrument = self._fast.get(key)
+        if instrument is None:
+            bounds = tuple(float(b) for b in buckets) if buckets is not None else None
+            instrument = self._instrument(name, "histogram", scope, labels, bounds)
+            self._fast[key] = instrument
+        instrument.observe_many(values)
 
     def _instrument(
         self,

@@ -1,0 +1,145 @@
+"""The synthetic traffic stream: deterministic, Zipf-shaped, well-formed."""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregation import OpinionUpload
+from repro.ingest import SyntheticTraffic, WorkloadConfig, synthetic_catalog
+from repro.privacy.history_store import InteractionUpload
+from repro.world.entities import EntityKind
+
+
+class TestCatalog:
+    def test_deterministic_per_seed(self):
+        a = synthetic_catalog(50, seed=4)
+        b = synthetic_catalog(50, seed=4)
+        assert a == b
+        assert synthetic_catalog(50, seed=5) != a
+
+    def test_covers_every_entity_kind(self):
+        kinds = {entity.kind for entity in synthetic_catalog(len(EntityKind))}
+        assert kinds == set(EntityKind)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            synthetic_catalog(0)
+
+
+class TestConfigValidation:
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(opinion_fraction=1.5)
+        with pytest.raises(ValueError):
+            WorkloadConfig(duplicate_fraction=-0.1)
+
+    def test_population_bounds(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(n_users=0)
+
+
+class TestTrafficStream:
+    CFG = WorkloadConfig(
+        n_users=10_000,
+        n_entities=50,
+        opinion_fraction=0.4,
+        duplicate_fraction=0.05,
+        seed=9,
+    )
+
+    def test_same_seed_same_stream(self):
+        a = SyntheticTraffic(self.CFG).batch(500, now=100.0)
+        b = SyntheticTraffic(self.CFG).batch(500, now=100.0)
+        assert [d.payload.nonce for d in a] == [d.payload.nonce for d in b]
+        assert [repr(d.payload.record) for d in a] == [
+            repr(d.payload.record) for d in b
+        ]
+
+    def test_batch_splitting_preserves_the_stream(self):
+        whole = SyntheticTraffic(self.CFG)
+        split = SyntheticTraffic(self.CFG)
+        a = whole.batch(400, now=100.0)
+        b = split.batch(400, now=100.0)
+        assert [d.payload.nonce for d in a] == [d.payload.nonce for d in b]
+
+    def test_nonces_unique_except_deliberate_duplicates(self):
+        traffic = SyntheticTraffic(self.CFG)
+        deliveries = traffic.batch(2000, now=100.0)
+        nonces = [d.payload.nonce for d in deliveries]
+        n_duplicates = len(nonces) - len(set(nonces))
+        assert 0 < n_duplicates < len(nonces) * 0.15
+
+    def test_zipf_popularity_is_heavy_tailed(self):
+        cfg = WorkloadConfig(n_users=50_000, n_entities=100, zipf_exponent=1.1, seed=3)
+        deliveries = SyntheticTraffic(cfg).batch(5000, now=100.0)
+        counts: dict[str, int] = {}
+        for d in deliveries:
+            counts[d.payload.record.entity_id] = (
+                counts.get(d.payload.record.entity_id, 0) + 1
+            )
+        ranked = sorted(counts.values(), reverse=True)
+        top_decile = sum(ranked[: max(1, len(ranked) // 10)])
+        assert top_decile > 0.3 * len(deliveries)
+
+    def test_opinion_seq_advances_per_slot(self):
+        cfg = WorkloadConfig(
+            n_users=5, n_entities=3, opinion_fraction=1.0, seed=2
+        )
+        traffic = SyntheticTraffic(cfg)
+        deliveries = traffic.batch(300, now=100.0)
+        per_slot: dict[str, list[int]] = {}
+        for d in deliveries:
+            record = d.payload.record
+            assert isinstance(record, OpinionUpload)
+            per_slot.setdefault(record.history_id, []).append(record.seq)
+        assert any(len(seqs) > 1 for seqs in per_slot.values())
+        for seqs in per_slot.values():
+            assert seqs == sorted(seqs)
+            assert seqs[0] == 0
+
+    def test_stale_fraction_reuses_current_seq(self):
+        cfg = WorkloadConfig(
+            n_users=3, n_entities=2, opinion_fraction=1.0, stale_fraction=0.5, seed=6
+        )
+        deliveries = SyntheticTraffic(cfg).batch(400, now=100.0)
+        stale = 0
+        highest: dict[str, int] = {}
+        for d in deliveries:
+            record = d.payload.record
+            last = highest.get(record.history_id)
+            if last is not None and record.seq <= last:
+                stale += 1
+            highest[record.history_id] = max(last or 0, record.seq)
+        assert stale > 0
+
+    def test_records_are_wire_valid(self):
+        deliveries = SyntheticTraffic(self.CFG).batch(500, now=7200.0)
+        assert deliveries
+        for d in deliveries:
+            record = d.payload.record
+            assert isinstance(record, (InteractionUpload, OpinionUpload))
+            if isinstance(record, InteractionUpload):
+                assert 0.0 <= record.event_time <= 7200.0
+                assert record.duration > 0
+            assert d.arrival_time == 7200.0
+
+    def test_invalid_fraction_names_unknown_entities(self):
+        cfg = WorkloadConfig(n_users=100, n_entities=10, invalid_fraction=0.3, seed=1)
+        traffic = SyntheticTraffic(cfg)
+        known = {entity.entity_id for entity in traffic.catalog}
+        deliveries = traffic.batch(500, now=100.0)
+        unknown = sum(1 for d in deliveries if d.payload.record.entity_id not in known)
+        assert 0 < unknown < len(deliveries)
+
+    def test_nonce_leading_bytes_are_spread(self):
+        deliveries = SyntheticTraffic(self.CFG).batch(1000, now=100.0)
+        leads = {d.payload.nonce[:8] for d in deliveries}
+        # The multiplicative mix must not collapse shard nonce buckets.
+        assert len(leads) > 900
+
+    def test_generated_counts_every_envelope(self):
+        traffic = SyntheticTraffic(self.CFG)
+        total = len(traffic.batch(300, 0.0)) + len(traffic.batch(200, 50.0))
+        assert traffic.generated == total == 500
+
+    def test_empty_batch(self):
+        assert SyntheticTraffic(self.CFG).batch(0, now=0.0) == []
