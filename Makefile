@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check lint ruff test bench chaos scale bench-shards telemetry bench-telemetry incremental bench-incremental analyze bench-analyze durable bench-durable ingest bench-ingest
+.PHONY: check lint ruff test bench chaos scale bench-shards telemetry bench-telemetry incremental bench-incremental analyze bench-analyze durable bench-durable ingest bench-ingest serve bench-serve
 
 check:
 	bash scripts/check.sh
@@ -100,3 +100,17 @@ ingest:
 # BENCH_8.json at the repo root.
 bench-ingest:
 	$(PYTHON) -m pytest benchmarks/test_bench_ingest.py --benchmark-only -q -s
+
+# Read-path suite (the CI serve job): index coverage-exactness, ranking
+# total-order/monotonicity pins, cache-coherence property schedules, the
+# serving differential matrix, the deterministic-read-path lint rule, and
+# the line-coverage floor on repro.serve.
+serve:
+	$(PYTHON) -m repro.lint src/repro --select det-read-path
+	$(PYTHON) -m pytest tests/serve -q
+	$(PYTHON) scripts/coverage_gate.py --target serve --fail-under 85
+
+# Cached vs uncached read QPS benchmark; emits BENCH_9.json at the repo
+# root (gates: hit rate >= 90%, cached >= 5x uncached at <= 10% dirty).
+bench-serve:
+	$(PYTHON) -m pytest benchmarks/test_bench_serve.py --benchmark-only -q -s

@@ -39,6 +39,7 @@ TARGETS = {
     "analysis": (SRC / "repro" / "analysis", ["tests/analysis"]),
     "durability": (SRC / "repro" / "durability", ["tests/durability"]),
     "ingest": (SRC / "repro" / "ingest", ["tests/ingest"]),
+    "serve": (SRC / "repro" / "serve", ["tests/serve"]),
 }
 
 

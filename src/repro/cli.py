@@ -6,6 +6,7 @@ benchmarks exercise:
 * ``measure``  — regenerate the Section 2 measurement study (Table 1, Figure 1)
 * ``pipeline`` — run the full Figure 2 architecture and report coverage/accuracy
 * ``search``   — run the pipeline, then answer one query like the RSP would
+* ``query``    — run the pipeline, then query the indexed serving layer (cached)
 * ``epochs``   — operate the service over periodic client syncs
 * ``figure3``  — the three-dentist comparative-visualization scenario
 * ``audit``    — de-anonymization attacks against naive vs hardened clients
@@ -102,6 +103,37 @@ def _cmd_search(args: argparse.Namespace) -> int:
     if args.visualize and response.visualization is not None:
         print()
         print(response.visualization.render())
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.serve.engine import ServeQuery
+    from repro.world.geography import Point
+
+    town, _, outcome = _run_pipeline(args)
+    server = outcome.server
+    server.attach_serving(grid=town.grid)
+    near = (
+        Point(args.x, args.y)
+        if args.x is not None and args.y is not None
+        else town.grid.zones[len(town.grid.zones) // 2].center
+    )
+    query = ServeQuery(
+        category=args.category,
+        near=near,
+        radius_km=args.radius,
+        attribute=args.attribute,
+        limit=args.limit,
+    )
+    for _ in range(args.repeat):
+        response = server.query(query)
+    print(response.render())
+    stats = server.serving.stats
+    print(
+        f"\ncache: {stats.hits} hits / {stats.misses} misses "
+        f"({stats.hit_rate():.0%} hit rate), "
+        f"{stats.invalidations} invalidations"
+    )
     return 0
 
 
@@ -491,6 +523,26 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--radius", type=float, default=10.0, help="radius (km)")
     search.add_argument("--visualize", action="store_true", help="print Figure 3 panels")
     search.set_defaults(func=_cmd_search)
+
+    query = sub.add_parser(
+        "query", help="run the pipeline, then query the indexed serving layer"
+    )
+    add_world_args(query)
+    query.add_argument("--category", default="thai")
+    query.add_argument("--radius", type=float, default=8.0)
+    query.add_argument("--x", type=float, default=None)
+    query.add_argument("--y", type=float, default=None)
+    query.add_argument(
+        "--attribute", default=None, help="attribute filter, e.g. price:2"
+    )
+    query.add_argument("--limit", type=int, default=10)
+    query.add_argument(
+        "--repeat",
+        type=int,
+        default=2,
+        help="ask the same query N times (N>1 exercises the result cache)",
+    )
+    query.set_defaults(func=_cmd_query)
 
     epochs = sub.add_parser("epochs", help="operate the service over periodic syncs")
     add_world_args(epochs)

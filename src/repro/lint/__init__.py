@@ -7,9 +7,10 @@ The paper's guarantees are structural, so the linter checks structure:
   sinks only through ``hash(Ru, e)`` / blind-signature sanitizers, never
   surface in service-layer APIs, and never appear in telemetry labels;
 * **determinism** (``det-random-module``, ``det-wall-clock``,
-  ``det-numpy-random``, ``det-dirty-iteration``) — all entropy flows
-  through ``repro.util.rng``, all time through ``repro.util.clock``, and
-  service-layer dirty-set iteration is explicitly ordered;
+  ``det-numpy-random``, ``det-dirty-iteration``, ``det-read-path``) —
+  all entropy flows through ``repro.util.rng``, all time through
+  ``repro.util.clock``, and service-layer dirty-set and read-path
+  iteration is explicitly ordered;
 * **layering** (``layer-client-service``, ``layer-service-client``) —
   device-side and service-side code only meet in ``repro.orchestration``;
 * **fault containment** (``faults-only-in-harness``) — only the
@@ -44,6 +45,7 @@ def default_rules() -> list[Rule]:
         DirtyIterationRule,
         NumpyRandomRule,
         RandomModuleRule,
+        ReadPathIterationRule,
         WallClockRule,
     )
     from repro.lint.rules_durability import FsyncBeforeAckRule
@@ -66,6 +68,7 @@ def default_rules() -> list[Rule]:
         WallClockRule(),
         NumpyRandomRule(),
         DirtyIterationRule(),
+        ReadPathIterationRule(),
         ClientImportsServiceRule(),
         ServiceImportsClientRule(),
         FaultsOnlyInHarnessRule(),

@@ -94,9 +94,10 @@ class LintConfig:
         {"history_id", "record_id", "stable_digest", "stable_u64", "blind", "unblind"}
     )
     #: Package prefixes forming the server side of the architecture.
-    #: ``repro.scale`` is the sharded deployment of the same service and
-    #: is held to the same identity-handling rules.
-    service_packages: tuple[str, ...] = ("repro.service", "repro.scale")
+    #: ``repro.scale`` is the sharded deployment of the same service, and
+    #: ``repro.serve`` its read path — both are held to the same
+    #: identity-handling and ordering rules.
+    service_packages: tuple[str, ...] = ("repro.service", "repro.scale", "repro.serve")
 
     # -- telemetry labels: where the label-privacy policy is enforced.
     #: Attribute spellings that hold a telemetry sink (``self.telemetry``,

@@ -20,6 +20,10 @@ these rules forbid the ambient sources outside the two sanctioned modules:
   must go through ``sorted()``: the incremental-maintenance caches feed
   float reductions, and Python sets iterate in hash order, so a bare
   iteration would make results depend on insertion history.
+* ``det-read-path`` — the serving layer's candidate generation must not
+  iterate raw store-view sets (``review_entities()``,
+  ``entities_with_histories()``) or unsorted candidate/posting
+  collections: hash order would leak shard layout into ranked output.
 """
 
 from __future__ import annotations
@@ -271,4 +275,73 @@ class DirtyIterationRule(Rule):
                 iterable,
                 f"iteration over `{name}` follows set hash order; wrap it in "
                 "sorted() before any order-sensitive work",
+            )
+
+
+#: Store-view accessors that return raw (hash-ordered) entity-id sets.
+_READ_SET_ACCESSORS = frozenset({"review_entities", "entities_with_histories"})
+
+
+class ReadPathIterationRule(Rule):
+    """Read-path iteration over an unordered collection must be ``sorted()``.
+
+    Two shapes reach ranked output in hash order if left bare:
+
+    * direct iteration over the store views' raw-set accessors
+      (``review_entities()`` / ``entities_with_histories()``) — both
+      return plain ``set`` unions over shards, so the shard layout leaks
+      into iteration order;
+    * bare iteration over a ``candidate_ids``/``posting`` collection —
+      the serving layer's contract is that these are materialized in
+      entity-id order, and a bare loop over an unsorted rebuild would
+      silently break render byte-identity between deployments.
+
+    A call expression as the iterable (``sorted(...)``, an index method
+    returning an ordered list) establishes explicit order and passes.
+    """
+
+    rule_id = "det-read-path"
+    description = "read-path set iterated in hash order in service code"
+    rationale = (
+        "the serving layer renders ranked output byte-identically across "
+        "monolith and shards; store-view set accessors and candidate/posting "
+        "collections iterate in hash order unless sorted, which would leak "
+        "shard layout and insertion history into what users see"
+    )
+
+    def check(self, module: ParsedModule, config: LintConfig) -> Iterator[Violation]:
+        if not module.in_package(config.service_packages):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.For):
+                yield from self._check_iterable(module, node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                for generator in node.generators:
+                    yield from self._check_iterable(module, generator.iter)
+
+    def _check_iterable(
+        self, module: ParsedModule, iterable: ast.expr
+    ) -> Iterator[Violation]:
+        if isinstance(iterable, ast.Call):
+            name = _terminal_name(iterable.func)
+            if name in _READ_SET_ACCESSORS:
+                yield self.violation(
+                    module,
+                    iterable,
+                    f"iteration over raw `{name}()` set follows hash order; "
+                    "wrap the call in sorted() before any order-sensitive work",
+                )
+            return
+        name = _terminal_name(iterable)
+        if name is None:
+            return
+        lowered = name.lower()
+        if "candidate_ids" in lowered or "posting" in lowered:
+            yield self.violation(
+                module,
+                iterable,
+                f"bare iteration over `{name}` may follow hash order; "
+                "iterate a sorted() materialization instead",
             )

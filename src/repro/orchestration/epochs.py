@@ -15,6 +15,7 @@ dashboard: record growth, opinion churn, fraud rejections, coverage.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -29,6 +30,7 @@ from repro.sensing.policy import duty_cycled_policy
 from repro.sensing.sensors import generate_trace
 from repro.orchestration.pipeline import PipelineConfig, train_classifier
 from repro.scale.server import ShardedRSPServer
+from repro.serve.loadgen import QueryWorkload, SyntheticQueries
 from repro.service.server import MaintenanceReport, RSPServer
 from repro.telemetry import Telemetry
 from repro.util.clock import DAY
@@ -84,6 +86,12 @@ class EpochsOutcome:
     #: otherwise); after a scripted failover, ``server`` above already
     #: points at the promoted replica.
     replication: ReplicatedRSPServer | None = None
+    #: SHA-256 over every rendered serve-path response of the run, in
+    #: query order (``None`` unless ``serve_queries > 0``).  Contractually
+    #: deployment-invariant: shards, workers, incremental mode, batching,
+    #: durability, and cache temperature never change it
+    #: (``tests/serve/test_differential.py``).
+    serve_digest: str | None = None
 
     @property
     def n_epochs(self) -> int:
@@ -115,6 +123,7 @@ def run_epochs(
     snapshot_every: int = 1,
     ingest_batch: bool = False,
     queue_depth: int | None = None,
+    serve_queries: int = 0,
 ) -> EpochsOutcome:
     """Operate the service over ``n_epochs`` equal slices of the horizon.
 
@@ -161,9 +170,18 @@ def run_epochs(
     (counted under ``rsp.ingest.shed``), so unlike every other knob it
     *can* change reports under overload — it defaults off and exists for
     the backpressure scenarios in docs/SCALING.md.
+
+    ``serve_queries`` drives that many Zipf-drawn read-path queries
+    (:mod:`repro.serve.loadgen`) through ``server.serving`` after every
+    completed maintenance cycle, folding the rendered responses into
+    ``outcome.serve_digest``.  It defaults off so query-free runs never
+    construct a serving layer (their telemetry exports stay bit-stable);
+    when on, the digest is deployment-invariant like every report.
     """
     if n_epochs < 1:
         raise ValueError("need at least one epoch")
+    if serve_queries < 0:
+        raise ValueError("serve_queries must be >= 0")
     config = config or PipelineConfig()
     horizon = config.horizon_days * DAY
     epoch_length = horizon / n_epochs
@@ -286,6 +304,13 @@ def run_epochs(
         telemetry=telemetry,
         replication=pair,
     )
+    serve_source: SyntheticQueries | None = None
+    serve_hash = None
+    if serve_queries:
+        serve_source = SyntheticQueries(
+            town.entities, QueryWorkload(seed=config.seed), grid=town.grid
+        )
+        serve_hash = hashlib.sha256()
     records_before = 0
     rejected_before = 0
     dropped_before = 0
@@ -369,6 +394,11 @@ def run_epochs(
             # deliveries run against each arrival time, as before.
             intake(server, network.deliveries_until(ingest_time), None)
             maintenance = server.run_maintenance(now=ingest_time)
+            if serve_source is not None:
+                # Fresh summaries just landed; serve the epoch's reads.
+                for serve_query in serve_source.batch(serve_queries):
+                    serve_hash.update(server.query(serve_query).render().encode())
+                    serve_hash.update(b"\n")
             if pair is not None and not pair.promoted:
                 pair.ship(now=ingest_time)
             if journal is not None and epoch % snapshot_every == 0:
@@ -407,4 +437,6 @@ def run_epochs(
         dropped_before = dropped_now
         duplicates_before = duplicates_now
         retransmissions_before = retransmissions_now
+    if serve_hash is not None:
+        outcome.serve_digest = serve_hash.hexdigest()
     return outcome

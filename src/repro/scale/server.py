@@ -22,6 +22,8 @@ shard and worker count.  ``tests/scale`` holds the proof obligations.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.core.aggregation import EntityOpinionSummary, OpinionUpload
 from repro.core.discovery import DiscoveryService, Query, SearchResponse
 from repro.core.protocol import Envelope
@@ -50,6 +52,10 @@ from repro.telemetry.catalog import (
     SHARD_BATCH_BUCKETS,
 )
 from repro.world.entities import Entity
+
+if TYPE_CHECKING:
+    from repro.serve.engine import ServeQuery, ServeResponse
+    from repro.serve.facade import ServingLayer
 
 
 class ShardedTokenRedeemer:
@@ -197,11 +203,39 @@ class ShardedRSPServer:
         #: grouping-order independent); per-shard detail is emitted under
         #: DEPLOYMENT scope and excluded from the invariant digest.
         self.telemetry: Telemetry = NULL
+        #: Lazily constructed read path (see :attr:`serving`).
+        self._serving = None
 
     def attach_telemetry(self, telemetry: Telemetry) -> None:
         """Install a shared telemetry sink on the facade and its issuer."""
         self.telemetry = telemetry
         self.issuer.telemetry = telemetry
+
+    # --------------------------------------------------------------- serving
+
+    def attach_serving(self, **kwargs) -> "ServingLayer":
+        """Build the indexed serving layer (see :mod:`repro.serve`).
+
+        The layer duck-types the server, so this is the identical call
+        surface (and the identical behaviour, byte for byte) as
+        :meth:`repro.service.server.RSPServer.attach_serving`.
+        """
+        from repro.serve.facade import ServingLayer
+
+        self._serving = ServingLayer(self, **kwargs)
+        return self._serving
+
+    @property
+    def serving(self) -> "ServingLayer":
+        """The read path, constructed on first use (lazy for the same
+        telemetry-stability reason as the monolith's)."""
+        if self._serving is None:
+            self.attach_serving()
+        return self._serving
+
+    def query(self, query: "ServeQuery") -> "ServeResponse":
+        """Answer a read-path query through the cached serving layer."""
+        return self.serving.query(query)
 
     # ------------------------------------------------------------- intake
 
@@ -609,8 +643,19 @@ class ShardedRSPServer:
         return self._summaries.get(entity_id)
 
     def all_summaries(self) -> dict[str, EntityOpinionSummary]:
-        """Every entity summary from the latest maintenance cycle."""
-        return dict(self._summaries)
+        """Every entity summary from the latest maintenance cycle.
+
+        Canonical (entity-id) order, like the monolith's: the engine's
+        cache is insertion-ordered by recompute history — and after an
+        :meth:`~repro.service.incremental.MaintenanceEngine.adopt_full`
+        it reflects the kernel's partition order, which differs from the
+        monolith for the same content.  Sorting keeps the two facades'
+        read surfaces indistinguishable even to order-sensitive readers.
+        """
+        return {
+            entity_id: self._summaries[entity_id]
+            for entity_id in sorted(self._summaries)
+        }
 
     def reviews_for(self, entity_id: str) -> list[ExplicitReview]:
         shard = self.shards[self.router.shard_of(entity_id)]

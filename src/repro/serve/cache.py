@@ -1,0 +1,177 @@
+"""Summary-version result cache — warm reads that can never be stale.
+
+Every entity has a monotone *summary version*, starting at 0 and bumped
+each time the maintenance cycle reports the entity's summary may have
+changed (the mode-invariant ``summarize_tracked`` set — see
+``docs/SERVING.md`` for the coherence protocol).  A cached result stores
+the response together with a *fingerprint*: the ``(entity_id, version)``
+pairs of its dependency set, which is the query's full discrete-predicate
+candidate set (:meth:`repro.serve.index.SummaryIndex.candidate_ids`) —
+every entity whose summary could influence the response, including ones
+currently ranked out or unsummarized.
+
+Coherence is belt and braces:
+
+* **eager eviction** — :meth:`invalidate` bumps the changed entities'
+  versions and drops every dependent entry via a reverse map (this is
+  what the ``rsp.serve.invalidations`` counter measures);
+* **fingerprint check** — :meth:`get` re-validates the stored fingerprint
+  against current versions, so even an invalidation that failed to drop a
+  dependent entry (an incomplete reverse map) degrades to a cache miss,
+  never to a stale read.
+
+The fingerprint scan is O(dependency set), which would dominate the hit
+path on dense categories, so :meth:`get` takes a *generation* fast path:
+every :meth:`invalidate` that bumps versions advances a cache-wide
+generation counter, and an entry stamped with the current generation is
+provably current — no version can have moved since it was stored (or
+last revalidated).  Only entries from an older generation pay the full
+scan, and a scan that passes re-stamps the entry, so steady-state hits
+are O(1) and the first hit after each maintenance round amortises the
+scan.
+
+``tests/serve/test_cache.py`` drives randomized intake + maintenance +
+query schedules and asserts a cached read never differs from a fresh
+recompute.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Hashable, Iterable
+from dataclasses import dataclass, field
+from typing import Any
+
+Fingerprint = tuple[tuple[str, int], ...]
+
+
+@dataclass
+class CachedResult:
+    """One cache entry: the response plus the versions it was built from."""
+
+    response: Any
+    #: ``(entity_id, version)`` for every dependency, in id order.
+    fingerprint: Fingerprint
+    #: Cache generation at store (or last revalidation) time; an entry
+    #: stamped with the current generation skips the fingerprint scan.
+    generation: int = 0
+
+
+@dataclass
+class CacheStats:
+    """Plain counters; the facade mirrors them into ``rsp.serve.*``."""
+
+    hits: int = 0
+    misses: int = 0
+    #: Entries dropped by dirty-set notifications.
+    invalidations: int = 0
+    #: Entries dropped by the capacity bound.
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class SummaryVersionCache:
+    """Result cache keyed by query, validated by per-entity summary versions."""
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        #: Advanced by every :meth:`invalidate` that bumps a version.
+        self._generation = 0
+        self._versions: dict[str, int] = {}
+        #: Insertion-ordered for FIFO capacity eviction.
+        self._entries: OrderedDict[Hashable, CachedResult] = OrderedDict()
+        #: entity_id -> keys of entries depending on it.
+        self._dependents: dict[str, set[Hashable]] = {}
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def version(self, entity_id: str) -> int:
+        return self._versions.get(entity_id, 0)
+
+    def fingerprint(self, dependency_ids: Iterable[str]) -> Fingerprint:
+        """Current ``(entity_id, version)`` pairs for a dependency set."""
+        return tuple((eid, self.version(eid)) for eid in sorted(dependency_ids))
+
+    # ----------------------------------------------------------- lookups
+
+    def get(self, key: Hashable) -> CachedResult | None:
+        """The entry for ``key`` if present *and* still current."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if entry.generation != self._generation:
+            versions = self._versions
+            if any(
+                versions.get(eid, 0) != version
+                for eid, version in entry.fingerprint
+            ):
+                # The invalidation that bumped these versions failed to
+                # drop this entry; degrade to a miss, never a stale read.
+                self._drop(key)
+                self.stats.misses += 1
+                return None
+            entry.generation = self._generation
+        self.stats.hits += 1
+        return entry
+
+    def put(self, key: Hashable, response: Any, dependency_ids: Iterable[str]) -> CachedResult:
+        """Store ``response`` stamped with the dependencies' current versions."""
+        if key in self._entries:
+            self._drop(key)
+        entry = CachedResult(
+            response=response,
+            fingerprint=self.fingerprint(dependency_ids),
+            generation=self._generation,
+        )
+        while len(self._entries) >= self.max_entries:
+            oldest = next(iter(self._entries))
+            self._drop(oldest)
+            self.stats.evictions += 1
+        self._entries[key] = entry
+        for eid, _ in entry.fingerprint:
+            self._dependents.setdefault(eid, set()).add(key)
+        return entry
+
+    # ------------------------------------------------------ invalidation
+
+    def invalidate(self, changed_ids: Iterable[str]) -> int:
+        """Bump versions for ``changed_ids``; drop dependents.  Returns drops."""
+        doomed: set[Hashable] = set()
+        changed = sorted(set(changed_ids))
+        if changed:
+            self._generation += 1
+        for eid in changed:
+            self._versions[eid] = self._versions.get(eid, 0) + 1
+            doomed |= self._dependents.get(eid, set())
+        for key in list(doomed):
+            if key in self._entries:
+                self._drop(key)
+        self.stats.invalidations += len(doomed)
+        return len(doomed)
+
+    def clear(self) -> None:
+        """Drop every entry (versions survive — they are monotone forever)."""
+        self._entries.clear()
+        self._dependents.clear()
+
+    def _drop(self, key: Hashable) -> None:
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return
+        for eid, _ in entry.fingerprint:
+            dependents = self._dependents.get(eid)
+            if dependents is not None:
+                dependents.discard(key)
+                if not dependents:
+                    del self._dependents[eid]

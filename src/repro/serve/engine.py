@@ -1,0 +1,170 @@
+"""The serve-path query engine: ranked "best X near Y" with Fig-3 context.
+
+The engine is pure computation over inputs handed to it per call — the
+candidate index (static), the current summaries, and the accepted
+histories for the comparative panels.  It holds no mutable state, which
+is what lets :class:`~repro.serve.facade.ServingLayer` interpose the
+summary-version cache: the same inputs always produce byte-identical
+rendered responses (``ServeResponse.render``), on any deployment shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.aggregation import EntityOpinionSummary
+from repro.privacy.history_store import InteractionHistory
+from repro.core.visualization import ComparativeVisualization, compare_entities
+from repro.serve.index import SummaryIndex
+from repro.serve.ranking import DEFAULT_RANKING, RankingConfig, rank_key, serve_score
+from repro.world.entities import Entity
+from repro.world.geography import Point
+
+
+@dataclass(frozen=True)
+class ServeQuery:
+    """A read-path query; hashable so it doubles as the cache key."""
+
+    category: str
+    near: Point
+    radius_km: float = 8.0
+    #: Optional attribute filter, e.g. ``"price:2"`` (see ``price_tag``).
+    attribute: str | None = None
+    #: Ranked results kept in the response.
+    limit: int = 10
+    #: Top entities given Figure-3 comparative panels.
+    compare_top: int = 3
+
+    def __post_init__(self) -> None:
+        if self.radius_km <= 0:
+            raise ValueError("radius must be positive")
+        if self.limit <= 0:
+            raise ValueError("limit must be positive")
+        if self.compare_top < 0:
+            raise ValueError("compare_top must be non-negative")
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """One ranked result with its evidence."""
+
+    entity: Entity
+    distance_km: float
+    summary: EntityOpinionSummary
+    score: float
+
+
+@dataclass(frozen=True)
+class ServeResponse:
+    """Ranked results plus comparative context, renderable to stable bytes."""
+
+    query: ServeQuery
+    results: tuple[ServeResult, ...]
+    #: Matches before the ``limit`` cut.
+    n_matches: int
+    visualization: ComparativeVisualization | None
+
+    @property
+    def n_results(self) -> int:
+        return len(self.results)
+
+    def render(self) -> str:
+        query = self.query
+        where = f"({query.near.x:g}, {query.near.y:g})"
+        tag = f" [{query.attribute}]" if query.attribute is not None else ""
+        lines = [
+            f"Best {query.category!r}{tag} near {where} within "
+            f"{query.radius_km:g} km ({self.n_matches} matches)"
+        ]
+        for rank, result in enumerate(self.results, start=1):
+            summary = result.summary
+            explicit = (
+                f"{summary.explicit_mean:.1f}* x{summary.n_explicit_reviews}"
+                if summary.explicit_mean is not None
+                else "no reviews"
+            )
+            inferred = (
+                f"{summary.inferred_mean:.1f}* x{summary.n_inferred_opinions} inferred"
+                if summary.inferred_mean is not None
+                else "no inferences"
+            )
+            lines.append(
+                f"{rank:2d}. {result.entity.entity_id:24s} "
+                f"{result.score:6.3f}  {result.distance_km:4.1f} km  "
+                f"[{explicit} | {inferred}]"
+            )
+        if self.visualization is not None:
+            lines.append("")
+            lines.append(self.visualization.render())
+        return "\n".join(lines)
+
+
+def empty_summary(entity_id: str) -> EntityOpinionSummary:
+    """The zero-evidence summary used for entities no cycle has touched."""
+    return EntityOpinionSummary(
+        entity_id=entity_id,
+        n_explicit_reviews=0,
+        explicit_mean=None,
+        explicit_histogram=[0] * 5,
+        n_inferred_opinions=0,
+        inferred_mean=None,
+        inferred_histogram=[0] * 5,
+        n_interacting_users=0,
+        effective_interactions=0.0,
+        raw_interactions=0,
+    )
+
+
+class QueryEngine:
+    """Ranks index candidates under the serve-path scoring spec."""
+
+    def __init__(
+        self, index: SummaryIndex, ranking: RankingConfig = DEFAULT_RANKING
+    ) -> None:
+        self.index = index
+        self.ranking = ranking
+
+    def rank(
+        self, query: ServeQuery, summaries: dict[str, EntityOpinionSummary]
+    ) -> list[ServeResult]:
+        """Every match, best first (total order — see ``repro.serve.ranking``)."""
+        results: list[ServeResult] = []
+        for entity, distance in self.index.candidates(
+            query.category, query.near, query.radius_km, query.attribute
+        ):
+            summary = summaries.get(entity.entity_id)
+            if summary is None:
+                summary = empty_summary(entity.entity_id)
+            results.append(
+                ServeResult(
+                    entity=entity,
+                    distance_km=distance,
+                    summary=summary,
+                    score=serve_score(summary, self.ranking),
+                )
+            )
+        results.sort(
+            key=lambda r: rank_key(r.score, r.distance_km, r.entity.entity_id)
+        )
+        return results
+
+    def respond(
+        self,
+        query: ServeQuery,
+        summaries: dict[str, EntityOpinionSummary],
+        histories: dict[str, list[InteractionHistory]],
+    ) -> ServeResponse:
+        """Rank, cut to ``limit``, and attach Figure-3 panels for the top."""
+        ranked = self.rank(query, summaries)
+        visualization: ComparativeVisualization | None = None
+        top = [r.entity.entity_id for r in ranked[: query.compare_top]]
+        if top:
+            visualization = compare_entities(
+                {entity_id: histories.get(entity_id, []) for entity_id in top}
+            )
+        return ServeResponse(
+            query=query,
+            results=tuple(ranked[: query.limit]),
+            n_matches=len(ranked),
+            visualization=visualization,
+        )

@@ -47,6 +47,7 @@ hands kernel results to :meth:`adopt_full`.
 from __future__ import annotations
 
 import hashlib
+from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import Protocol
 
@@ -183,6 +184,21 @@ class MaintenanceEngine:
         self._fragments: dict[str, ProfilePools] = {}
         self._kind_profiles: dict[str, TypicalProfile | None] = {}
         self._profile_digests: dict[str, str] = {}
+        #: Cycle listeners (the serving layer's cache-invalidation hook).
+        self._listeners: list[Callable[[frozenset[str]], None]] = []
+
+    def subscribe(self, listener: Callable[[frozenset[str]], None]) -> None:
+        """Register a listener called after every cycle with the tracked
+        summary-change set (``summarize_tracked`` — every entity whose
+        summary *could* have changed, identically in incremental, full,
+        and adopted-kernel modes).  This is the cache-coherence feed of
+        :class:`repro.serve.cache.SummaryVersionCache`."""
+        self._listeners.append(listener)
+
+    def _notify(self, summarize_tracked: set[str]) -> None:
+        changed = frozenset(summarize_tracked)
+        for listener in self._listeners:
+            listener(changed)
 
     # ------------------------------------------------------------- intake
 
@@ -366,6 +382,7 @@ class MaintenanceEngine:
             summarize_set = summarize_tracked
         for entity_id in sorted(summarize_set):
             self._resummarize(entity_id)
+        self._notify(summarize_tracked)
         return self._stats(plan, summarize_tracked)
 
     def _resummarize(self, entity_id: str) -> None:
@@ -443,6 +460,7 @@ class MaintenanceEngine:
         self.kept.update(kept_by_entity)
         self.summaries.clear()
         self.summaries.update({summary.entity_id: summary for summary in summaries})
+        self._notify(summarize_tracked)
         return self._stats(plan, summarize_tracked)
 
     def _stats(self, plan: CyclePlan, summarize_tracked: set[str]) -> CycleStats:

@@ -14,6 +14,7 @@ envelope.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.aggregation import EntityOpinionSummary, OpinionUpload
 from repro.core.discovery import DiscoveryService, Query, SearchResponse
@@ -32,6 +33,10 @@ from repro.telemetry.catalog import (
     INTAKE_BATCH_BUCKETS,
 )
 from repro.world.entities import Entity
+
+if TYPE_CHECKING:
+    from repro.serve.engine import ServeQuery, ServeResponse
+    from repro.serve.facade import ServingLayer
 
 
 @dataclass(frozen=True)
@@ -178,11 +183,44 @@ class RSPServer:
         #: Aggregate-only observability sink (no-op until a harness
         #: installs a real :class:`~repro.telemetry.Telemetry`).
         self.telemetry: Telemetry = NULL
+        #: Lazily constructed read path (see :attr:`serving`).
+        self._serving = None
 
     def attach_telemetry(self, telemetry: Telemetry) -> None:
         """Install a shared telemetry sink on the server and its issuer."""
         self.telemetry = telemetry
         self.issuer.telemetry = telemetry
+
+    # --------------------------------------------------------------- serving
+
+    def attach_serving(self, **kwargs) -> "ServingLayer":
+        """Build the indexed serving layer (see :mod:`repro.serve`).
+
+        Keyword arguments are forwarded to
+        :class:`~repro.serve.facade.ServingLayer` (``grid``, ``ranking``,
+        ``max_cache_entries``).  Idempotent only in the trivial sense:
+        attaching again replaces the layer and cold-starts its cache.
+        """
+        from repro.serve.facade import ServingLayer
+
+        self._serving = ServingLayer(self, **kwargs)
+        return self._serving
+
+    @property
+    def serving(self) -> "ServingLayer":
+        """The read path, constructed on first use.
+
+        Lazy on purpose: a deployment that never queries never subscribes
+        to maintenance notifications and never emits ``rsp.serve.*``
+        metrics, keeping query-free telemetry exports bit-stable.
+        """
+        if self._serving is None:
+            self.attach_serving()
+        return self._serving
+
+    def query(self, query: "ServeQuery") -> "ServeResponse":
+        """Answer a read-path query through the cached serving layer."""
+        return self.serving.query(query)
 
     # ------------------------------------------------------------- intake
 
@@ -462,8 +500,16 @@ class RSPServer:
         )
 
     def all_summaries(self) -> dict[str, EntityOpinionSummary]:
-        """Every entity summary from the latest maintenance cycle."""
-        return dict(self._summaries)
+        """Every entity summary from the latest maintenance cycle.
+
+        Canonical (entity-id) order: the engine's cache is insertion-
+        ordered by recompute history, which differs between incremental
+        and full cycles — sorting keeps every reader order-independent.
+        """
+        return {
+            entity_id: self._summaries[entity_id]
+            for entity_id in sorted(self._summaries)
+        }
 
     @property
     def n_records(self) -> int:

@@ -43,3 +43,12 @@ REPLICA_BATCH_BUCKETS: tuple[float, ...] = (1, 2, 5, 10, 20, 50, 100, 200, 500)
 INGEST_DRAIN_BUCKETS: tuple[float, ...] = (
     1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000,
 )
+
+#: ``rsp.serve.results`` — ranked matches per query before the limit cut.
+SERVE_RESULT_BUCKETS: tuple[float, ...] = (0, 1, 2, 5, 10, 20, 50, 100)
+
+#: ``rsp.serve.latency`` — wall-clock seconds per query (deployment scope:
+#: real timings are never part of the byte-identity contract).
+SERVE_LATENCY_BUCKETS: tuple[float, ...] = (
+    1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1,
+)

@@ -1,0 +1,18 @@
+"""Fixture: read-path sets iterated in hash order (det-read-path)."""
+
+
+class Index:
+    def __init__(self, view):
+        self.view = view
+        self.candidate_ids = set()
+        self._postings = {}
+
+    def warm(self):
+        # Raw store-view set accessors iterated directly.
+        for entity_id in self.view.entities_with_histories():
+            self._postings[entity_id] = []
+        return {entity_id for entity_id in self.view.review_entities()}
+
+    def rank(self):
+        # Bare iteration over an unsorted candidate collection.
+        return [entity_id for entity_id in self.candidate_ids]

@@ -1,0 +1,16 @@
+"""Fixture: read-path sets materialized through sorted() (det-read-path)."""
+
+
+class Index:
+    def __init__(self, view):
+        self.view = view
+        self.candidate_ids = set()
+        self._postings = {}
+
+    def warm(self):
+        for entity_id in sorted(self.view.entities_with_histories()):
+            self._postings[entity_id] = []
+        return {entity_id for entity_id in sorted(self.view.review_entities())}
+
+    def rank(self):
+        return [entity_id for entity_id in sorted(self.candidate_ids)]

@@ -83,3 +83,35 @@ class TestDirtyIteration:
         outside.write_text(source)
         result = Analyzer(default_rules()).run([outside])
         assert "det-dirty-iteration" not in rule_ids(result)
+
+
+class TestReadPath:
+    def test_flags_raw_accessors_and_bare_candidates(self, lint_paths):
+        result = lint_paths("serve/bad_read_path.py")
+        ids = rule_ids(result)
+        # Two raw store-view accessor iterations plus one bare
+        # candidate-collection comprehension.
+        assert ids.count("det-read-path") == 3
+        messages = " ".join(v.message for v in result.violations)
+        assert "entities_with_histories()" in messages
+        assert "review_entities()" in messages
+        assert "candidate_ids" in messages
+
+    def test_sorted_materializations_pass(self, lint_paths):
+        result = lint_paths("serve/good_read_path.py")
+        assert "det-read-path" not in rule_ids(result)
+
+    def test_rule_only_applies_to_service_packages(self, fixture_root, tmp_path):
+        # The same loops are legal outside repro.service/scale/serve —
+        # e.g. a test helper folding sets into order-insensitive counts.
+        source = (fixture_root / "serve" / "bad_read_path.py").read_text()
+        outside = tmp_path / "helper.py"
+        outside.write_text(source)
+        result = Analyzer(default_rules()).run([outside])
+        assert "det-read-path" not in rule_ids(result)
+
+    def test_ordered_index_calls_are_exempt(self, lint_paths):
+        # good_read_path.py iterates sorted(...) calls; a call expression
+        # establishes explicit order and must never trip the rule.
+        result = lint_paths("serve/good_read_path.py")
+        assert result.ok

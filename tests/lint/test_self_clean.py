@@ -32,8 +32,10 @@ def test_every_waiver_is_a_known_audited_exception():
     """Suppressions are load-bearing documentation: each one must sit in a
     sanctioned touchpoint — the server facades' identity edges (token
     issuance and explicit-review posting), the journal's wall-clock
-    snapshot timer, or the soak harness's throughput/latency stopwatch
-    (both observability-only, never in a report)."""
+    snapshot timer, the soak harness's throughput/latency stopwatch, or
+    the serving layer's query-latency stopwatch (all observability-only:
+    the readings land in DEPLOYMENT scope, never in a report or an
+    invariant digest)."""
     result = Analyzer(default_rules()).run([SRC_REPRO])
     by_file = {}
     for violation in result.suppressed:
@@ -42,14 +44,15 @@ def test_every_waiver_is_a_known_audited_exception():
         else:
             assert violation.rule_id == "det-wall-clock"
             assert violation.path.endswith(
-                ("durability/journal.py", "ingest/soak.py")
+                ("durability/journal.py", "ingest/soak.py", "serve/facade.py")
             )
         by_file[violation.path] = by_file.get(violation.path, 0) + 1
     # The monolith's three identity touchpoints, mirrored minus the
     # redeemer internals by the sharded facade, the journal's two
-    # perf_counter reads around the snapshot write, and the soak
-    # harness's single stopwatch read.
-    assert sorted(by_file.values()) == [1, 2, 2, 3]
+    # perf_counter reads around the snapshot write, the soak harness's
+    # single stopwatch read, and the serving layer's two perf_counter
+    # reads around a query.
+    assert sorted(by_file.values()) == [1, 2, 2, 2, 3]
 
 
 def test_cli_exits_zero_on_the_tree(capsys):

@@ -1,0 +1,202 @@
+"""Pins for the serve-path ranking spec (docs/SERVING.md).
+
+Three contracts, each load-bearing for the differential matrix:
+
+* **totality** — the composite key ``(-score, distance, entity_id)`` is a
+  strict total order, so any permutation of the candidates sorts to the
+  identical ranking (byte-comparable renders across deployments);
+* **monotonicity** — ``helpfulness_signal`` is monotone in
+  ``inferred_weight`` and ``serve_score`` is monotone in the signal (and
+  in its weight), so maturing histories can only help an entity;
+* **golden values** — the documented defaults produce exactly the pinned
+  scores for the canonical evidence shapes (empty, one review, a
+  well-covered entity), so a silent spec change fails loudly.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.aggregation import EntityOpinionSummary
+from repro.serve.engine import QueryEngine, ServeQuery, empty_summary
+from repro.serve.index import SummaryIndex
+from repro.serve.ranking import (
+    DEFAULT_RANKING,
+    RankingConfig,
+    helpfulness_signal,
+    rank_key,
+    serve_score,
+)
+from repro.world.entities import Entity, EntityKind
+from repro.world.geography import CityGrid, Point
+
+
+def summary(
+    entity_id="e",
+    n_explicit=0,
+    explicit_mean=None,
+    n_inferred=0,
+    inferred_mean=None,
+    inferred_weight=0.0,
+):
+    return EntityOpinionSummary(
+        entity_id=entity_id,
+        n_explicit_reviews=n_explicit,
+        explicit_mean=explicit_mean,
+        explicit_histogram=[0] * 5,
+        n_inferred_opinions=n_inferred,
+        inferred_mean=inferred_mean,
+        inferred_histogram=[0] * 5,
+        n_interacting_users=n_inferred,
+        effective_interactions=float(n_inferred),
+        raw_interactions=n_inferred,
+        inferred_weight=inferred_weight,
+    )
+
+
+class TestGoldenScores:
+    def test_empty_summary_scores_exactly_the_prior(self):
+        assert serve_score(empty_summary("e")) == pytest.approx(2.5, abs=0)
+
+    def test_single_five_star_review(self):
+        # smoothed (5*1 + 2.5*5)/6, volume 0.15*ln 2, helpfulness 1.
+        got = serve_score(summary(n_explicit=1, explicit_mean=5.0))
+        assert got == pytest.approx(3.520638743750659, abs=1e-12)
+
+    def test_single_one_star_review(self):
+        got = serve_score(summary(n_explicit=1, explicit_mean=1.0))
+        assert got == pytest.approx(2.853972077083992, abs=1e-12)
+
+    def test_forty_good_inferences_beat_one_perfect_review(self):
+        # The docstring's smoothing claim: one 5-star review does not
+        # outrank forty 4.2-star inferences from mature histories.
+        one_review = serve_score(summary(n_explicit=1, explicit_mean=5.0))
+        forty = serve_score(
+            summary(n_inferred=40, inferred_mean=4.2, inferred_weight=40.0)
+        )
+        assert forty > one_review
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RankingConfig(helpfulness_weight=-0.1)
+        with pytest.raises(ValueError):
+            RankingConfig(volume_weight=-1.0)
+        with pytest.raises(ValueError):
+            RankingConfig(prior_weight=-1.0)
+
+
+class TestHelpfulnessSignal:
+    def test_no_opinions_is_zero(self):
+        assert helpfulness_signal(empty_summary("e")) == 0.0
+
+    def test_explicit_reviews_are_fully_helpful(self):
+        assert helpfulness_signal(
+            summary(n_explicit=3, explicit_mean=4.0)
+        ) == pytest.approx(1.0)
+
+    def test_monotone_in_inferred_weight(self):
+        weights = [0.0, 0.5, 2.0, 5.0, 9.9, 10.0]
+        signals = [
+            helpfulness_signal(
+                summary(n_inferred=10, inferred_mean=4.0, inferred_weight=w)
+            )
+            for w in weights
+        ]
+        assert signals == sorted(signals)
+        assert signals[0] == 0.0 and signals[-1] == pytest.approx(1.0)
+
+    def test_weight_is_clipped_at_the_opinion_count(self):
+        capped = summary(n_inferred=10, inferred_mean=4.0, inferred_weight=12.0)
+        full = summary(n_inferred=10, inferred_mean=4.0, inferred_weight=10.0)
+        assert helpfulness_signal(capped) == helpfulness_signal(full)
+
+
+class TestMonotonicity:
+    def test_score_monotone_in_inferred_weight(self):
+        scores = [
+            serve_score(
+                summary(n_inferred=10, inferred_mean=4.0, inferred_weight=w)
+            )
+            for w in (0.5, 2.0, 5.0, 9.0, 10.0)
+        ]
+        assert all(a < b for a, b in zip(scores, scores[1:]))
+
+    def test_score_monotone_in_helpfulness_weight(self):
+        evidence = summary(n_inferred=10, inferred_mean=4.0, inferred_weight=5.0)
+        scores = [
+            serve_score(evidence, RankingConfig(helpfulness_weight=hw))
+            for hw in (0.0, 0.25, 0.5, 1.0)
+        ]
+        assert all(a < b for a, b in zip(scores, scores[1:]))
+
+    def test_mature_histories_outrank_thin_ones_at_the_same_mean(self):
+        # Same count, same mean — the sybil-shaped (thin) evidence loses.
+        mature = summary(n_inferred=20, inferred_mean=4.0, inferred_weight=20.0)
+        thin = summary(n_inferred=20, inferred_mean=4.0, inferred_weight=4.0)
+        assert serve_score(mature) > serve_score(thin)
+
+
+class TestTotalOrder:
+    def test_equal_scores_and_distances_break_on_entity_id(self):
+        keys = [rank_key(3.0, 1.0, eid) for eid in ("b", "a", "c")]
+        assert sorted(keys) == [
+            rank_key(3.0, 1.0, "a"),
+            rank_key(3.0, 1.0, "b"),
+            rank_key(3.0, 1.0, "c"),
+        ]
+
+    def test_every_permutation_sorts_identically(self):
+        # Deliberate collisions on score and on (score, distance).
+        rows = [
+            (3.0, 1.0, "alpha"),
+            (3.0, 1.0, "beta"),
+            (3.0, 2.0, "gamma"),
+            (2.0, 0.5, "delta"),
+            (2.0, 0.5, "epsilon"),
+        ]
+        baseline = sorted(rows, key=lambda r: rank_key(*r))
+        for perm in itertools.permutations(rows):
+            assert sorted(perm, key=lambda r: rank_key(*r)) == baseline
+
+    def test_distinct_results_never_compare_equal(self):
+        a = rank_key(3.0, 1.0, "a")
+        b = rank_key(3.0, 1.0, "b")
+        assert a != b and (a < b) != (b < a)
+
+
+class TestEngineSanity:
+    """Unsummarized and single-opinion entities rank sanely in situ."""
+
+    def make_engine(self):
+        grid = CityGrid()
+        catalog = [
+            Entity(
+                entity_id=f"thai-{i}",
+                kind=EntityKind.RESTAURANT,
+                category="thai",
+                location=Point(1.0 + i, 1.0),
+                quality=3.0,
+            )
+            for i in range(3)
+        ]
+        return QueryEngine(SummaryIndex(catalog, grid=grid))
+
+    def test_unsummarized_entities_score_the_prior_and_sort_by_distance(self):
+        engine = self.make_engine()
+        query = ServeQuery(category="thai", near=Point(0.0, 1.0), radius_km=10.0)
+        ranked = engine.rank(query, {})
+        assert [r.entity.entity_id for r in ranked] == [
+            "thai-0",
+            "thai-1",
+            "thai-2",
+        ]
+        assert all(r.score == pytest.approx(2.5) for r in ranked)
+
+    def test_single_good_review_lifts_an_entity_over_the_empty_ones(self):
+        engine = self.make_engine()
+        query = ServeQuery(category="thai", near=Point(0.0, 1.0), radius_km=10.0)
+        summaries = {"thai-2": summary("thai-2", n_explicit=1, explicit_mean=5.0)}
+        ranked = engine.rank(query, summaries)
+        # thai-2 is the farthest yet ranks first on evidence.
+        assert ranked[0].entity.entity_id == "thai-2"
+        assert ranked[0].score > ranked[1].score
