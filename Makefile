@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check lint ruff test bench chaos scale bench-shards telemetry bench-telemetry incremental bench-incremental analyze bench-analyze durable bench-durable ingest bench-ingest serve bench-serve
+.PHONY: check lint ruff test bench chaos scale bench-shards telemetry bench-telemetry incremental bench-incremental analyze bench-analyze durable bench-durable ingest bench-ingest serve bench-serve reshard bench-reshard
 
 check:
 	bash scripts/check.sh
@@ -114,3 +114,19 @@ serve:
 # root (gates: hit rate >= 90%, cached >= 5x uncached at <= 10% dirty).
 bench-serve:
 	$(PYTHON) -m pytest benchmarks/test_bench_serve.py --benchmark-only -q -s
+
+# Resharding suite (the CI reshard job): routing-table property tests,
+# migration invariants, the any-schedule differential matrix, the
+# crash-at-every-migration-step recovery matrix, the router regression
+# pins, the dirty-iteration lint rule over repro.reshard, and the
+# line-coverage floor on repro.reshard.
+reshard:
+	$(PYTHON) -m repro.lint src/repro --select det-dirty-iteration
+	$(PYTHON) -m pytest tests/reshard tests/scale/test_router_properties.py -q
+	$(PYTHON) scripts/coverage_gate.py --target reshard --fail-under 85
+
+# Live-split locality + post-split throughput benchmark; emits
+# BENCH_10.json at the repo root (gates: each split moves <= 1/n_shards
+# of the catalog; grown deployment within 10% of native throughput).
+bench-reshard:
+	$(PYTHON) -m pytest benchmarks/test_bench_reshard.py --benchmark-only -q -s

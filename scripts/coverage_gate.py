@@ -40,6 +40,7 @@ TARGETS = {
     "durability": (SRC / "repro" / "durability", ["tests/durability"]),
     "ingest": (SRC / "repro" / "ingest", ["tests/ingest"]),
     "serve": (SRC / "repro" / "serve", ["tests/serve"]),
+    "reshard": (SRC / "repro" / "reshard", ["tests/reshard"]),
 }
 
 

@@ -203,6 +203,18 @@ def _cmd_epochs(args: argparse.Namespace) -> int:
     horizon = args.days * 24 * 3600.0
     plan = _build_fault_plan(args, horizon, horizon / args.epochs)
     retransmit = RetransmitPolicy(max_attempts=args.retransmit) if args.retransmit > 1 else None
+    reshard_schedule = None
+    if args.reshard:
+        from repro.reshard import parse_schedule
+
+        reshard_schedule = parse_schedule(args.reshard)
+    autoscale = None
+    if args.autoscale_split is not None:
+        from repro.reshard import AutoscalePolicy
+
+        autoscale = AutoscalePolicy(
+            split_above=args.autoscale_split, merge_below=args.autoscale_merge
+        )
     outcome = run_epochs(
         town,
         result,
@@ -216,7 +228,14 @@ def _cmd_epochs(args: argparse.Namespace) -> int:
         snapshot_every=args.snapshot_every,
         ingest_batch=args.ingest_batch,
         queue_depth=args.queue_depth,
+        reshard_schedule=reshard_schedule,
+        autoscale=autoscale,
     )
+    if outcome.reshard_ops:
+        applied = ", ".join(
+            f"epoch {epoch}: {op.describe()}" for epoch, op in outcome.reshard_ops
+        )
+        print(f"resharding: {applied}")
     if args.ingest_batch or args.queue_depth is not None:
         front = "batched" if args.ingest_batch else "per-record"
         bound = (
@@ -603,6 +622,22 @@ def build_parser() -> argparse.ArgumentParser:
     epochs.add_argument(
         "--queue-depth", type=int, default=None,
         help="bound intake behind a shedding queue of this capacity",
+    )
+    epochs.add_argument(
+        "--reshard", action="append", default=None,
+        metavar="EPOCH:split:SHARD|EPOCH:merge:A:B",
+        help="apply a live topology change at the start of the given epoch "
+        "(repeatable; requires a sharded deployment)",
+    )
+    epochs.add_argument(
+        "--autoscale-split", type=int, default=None,
+        help="split the hottest shard when its history count exceeds this "
+        "(enables the telemetry-driven autoscaler)",
+    )
+    epochs.add_argument(
+        "--autoscale-merge", type=int, default=0,
+        help="merge the two coldest shards when their combined history "
+        "count stays under this (with --autoscale-split)",
     )
     epochs.set_defaults(func=_cmd_epochs)
 

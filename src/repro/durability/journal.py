@@ -226,6 +226,43 @@ class DurableJournal:
             },
         )
 
+    def log_reshard(self, op: dict) -> int:
+        """One topology change (split/merge), *before* any state moves.
+
+        Journal-before-migrate: recovery that finds this record replays
+        the migration itself (the operation is deterministic given the
+        pre-state), so a crash at any point after the append lands in the
+        post-reshard topology with every key exactly once.  The record
+        carries the full resulting prefix table, which is what the replay
+        guard compares against.  Lane 0, like ``log_issue``: the record
+        concerns every lane, and lane assignment itself is about to
+        change.
+        """
+        return self._append(None, {"kind": "reshard", **op})
+
+    def remap_lanes(self, n_lanes: int, lane_of) -> None:
+        """Re-partition WAL lanes after a reshard.
+
+        Syncs and closes every open segment, then opens one fresh segment
+        per *new* lane at the current sequence number — the same
+        rotate-on-boundary discipline as :meth:`take_snapshot`, so no
+        lane ever appends after another mapping's records.  Replay is
+        unaffected: it merges all lanes by the global ``seq``.
+        """
+        if self.closed:
+            raise RuntimeError("journal is closed; refusing to remap lanes")
+        if n_lanes < 1:
+            raise ValueError("need at least one WAL lane")
+        self.sync_to_disk()
+        for lane in self._lanes:
+            lane.close()
+        self.n_lanes = n_lanes
+        self._lane_of = lane_of
+        self._lanes = [
+            WriteAheadLog(self.directory / segment_name(lane, self.next_seq))
+            for lane in range(n_lanes)
+        ]
+
     # ----------------------------------------------------- durability edges
 
     def sync_to_disk(self) -> None:

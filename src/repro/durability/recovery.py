@@ -35,6 +35,7 @@ from repro.durability.journal import list_segments
 from repro.durability.snapshot import load_latest_snapshot, restore_state
 from repro.durability.wal import read_wal
 from repro.privacy.history_store import InteractionUpload
+from repro.reshard.topology import load_topology, save_topology, spec_from_json
 from repro.telemetry import NULL, Telemetry
 from repro.util.clock import DAY
 
@@ -175,6 +176,8 @@ def apply_mutation(server, mutation: dict) -> None:
         else:
             shard = shards[server.router.shard_of(review.entity_id)]
             shard.reviews.setdefault(review.entity_id, []).append(review)
+    elif kind == "reshard":
+        _apply_reshard(server, mutation)
     elif kind == "issue":
         issuer = server.issuer
         device_id, now = mutation["device_id"], mutation["now"]
@@ -187,6 +190,41 @@ def apply_mutation(server, mutation: dict) -> None:
         )
     else:
         raise ValueError(f"unknown WAL mutation kind {kind!r}")
+
+
+def _apply_reshard(server, mutation: dict) -> None:
+    """Re-run one logged topology change, exactly once.
+
+    The migration is deterministic given the pre-state, so replaying the
+    operation reproduces the crashed process's post-reshard placement
+    bit for bit.  Idempotency is by WAL sequence number: an operation
+    already in ``server.reshard_history`` (pre-applied from the topology
+    ledger, or shipped twice) is skipped.  After applying, the router's
+    table must equal the logged ``resulting`` spec — divergence means
+    the log and the code disagree about the topology, which is never
+    recoverable silently.
+    """
+    if getattr(server, "shards", None) is None:
+        raise ValueError("reshard record replayed against a monolithic server")
+    seq = mutation["seq"]
+    if any(entry["seq"] == seq for entry in server.reshard_history):
+        return
+    resulting = spec_from_json(mutation["resulting"])
+    if mutation["op"] == "split":
+        server.split_shard(mutation["shard"])
+    elif mutation["op"] == "merge":
+        server.merge_shards(mutation["a"], mutation["b"])
+    else:
+        raise ValueError(f"unknown reshard op {mutation['op']!r}")
+    if server.router.spec() != resulting:
+        raise RuntimeError(
+            f"replayed reshard seq={seq} diverged from the logged topology — "
+            "the journal and the router have diverged"
+        )
+    server.reshard_seq += 1
+    server.reshard_history.append(
+        {key: value for key, value in mutation.items() if key != "kind"}
+    )
 
 
 def finalize_recovery(server) -> None:
@@ -228,15 +266,38 @@ def recover_server(
     The server is then exactly where the crashed process was at its last
     acceptance commit — ready for re-deliveries and maintenance.
     """
+    directory = Path(directory)
+    topology = load_topology(directory)
     loaded = load_latest_snapshot(directory)
     snapshot_seq = 0
+    state = None
     if loaded is not None:
         snapshot_seq, state = loaded
+    # Rebuild the topology the snapshot was taken under *before* loading
+    # it: restore routes every key through the server's own router, and
+    # the operations covered by the snapshot may live in WAL segments
+    # truncation already deleted — the ledger is their only trace.
+    # Replaying them on the still-empty server is pure table surgery.
+    for entry in topology:
+        if entry["seq"] <= snapshot_seq:
+            _apply_reshard(server, entry)
+    if state is not None:
         restore_state(server, state)
     mutations, torn = read_mutations(directory, after_seq=snapshot_seq)
     for mutation in mutations:
         apply_mutation(server, mutation)
+    # Catch-up: a ledger entry whose WAL record the crash cut away (the
+    # record is fsynced before the ledger, so this only covers harness
+    # truncation past acknowledged bytes) still applies, in order.
+    for entry in topology:
+        if entry["seq"] > snapshot_seq:
+            _apply_reshard(server, entry)
     finalize_recovery(server)
+    # A crash between the WAL append and the ledger rewrite leaves the
+    # ledger behind the log; re-save so the next truncation cannot strand
+    # a replayed-but-unledgered operation.
+    if getattr(server, "reshard_history", None):
+        save_topology(directory, server.reshard_history)
     telemetry.inc("recovery.replayed", len(mutations))
     if torn:
         telemetry.inc("recovery.torn_tails")

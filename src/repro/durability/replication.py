@@ -26,6 +26,7 @@ from pathlib import Path
 
 from repro.durability.journal import DurableJournal, attach_journal
 from repro.durability.recovery import apply_mutation, finalize_recovery
+from repro.reshard.topology import save_topology
 from repro.telemetry import NULL, Telemetry
 from repro.telemetry.catalog import REPLICA_BATCH_BUCKETS
 
@@ -139,6 +140,12 @@ class ReplicatedRSPServer:
             sync_policy=self.journal.sync_policy,
         )
         attach_journal(replica, journal)
+        if getattr(replica, "reshard_history", None):
+            # Shipped reshard records changed the replica's topology; the
+            # promoted directory needs the ledger for its own recovery
+            # (the baseline snapshot below is topology-independent, but a
+            # later crash must rebuild the prefix table first).
+            save_topology(journal.directory, replica.reshard_history)
         journal.take_snapshot(replica)
         self.telemetry.inc("replica.promotions")
         return replica

@@ -108,5 +108,10 @@ class BoundedIntakeQueue:
             telemetry.observe(
                 "rsp.ingest.drain", len(batch), buckets=INGEST_DRAIN_BUCKETS
             )
-        telemetry.set_gauge("rsp.ingest.queue_depth", len(entries), scope=DEPLOYMENT)
+            # An empty drain leaves the depth exactly where the last write
+            # put it; re-setting the gauge would only churn DEPLOYMENT
+            # gauge versions in idle soak loops.
+            telemetry.set_gauge(
+                "rsp.ingest.queue_depth", len(entries), scope=DEPLOYMENT
+            )
         return batch

@@ -94,10 +94,16 @@ class LintConfig:
         {"history_id", "record_id", "stable_digest", "stable_u64", "blind", "unblind"}
     )
     #: Package prefixes forming the server side of the architecture.
-    #: ``repro.scale`` is the sharded deployment of the same service, and
-    #: ``repro.serve`` its read path — both are held to the same
-    #: identity-handling and ordering rules.
-    service_packages: tuple[str, ...] = ("repro.service", "repro.scale", "repro.serve")
+    #: ``repro.scale`` is the sharded deployment of the same service,
+    #: ``repro.serve`` its read path, and ``repro.reshard`` its live
+    #: topology changes — all held to the same identity-handling and
+    #: ordering rules.
+    service_packages: tuple[str, ...] = (
+        "repro.service",
+        "repro.scale",
+        "repro.serve",
+        "repro.reshard",
+    )
 
     # -- telemetry labels: where the label-privacy policy is enforced.
     #: Attribute spellings that hold a telemetry sink (``self.telemetry``,

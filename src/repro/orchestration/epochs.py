@@ -26,6 +26,7 @@ from repro.durability.replication import ReplicatedRSPServer, ReplicationChannel
 from repro.faults import FaultInjector, FaultPlan
 from repro.ingest import BoundedIntakeQueue, ingest_all
 from repro.privacy.anonymity import AnonymityNetwork, batching_network
+from repro.reshard import Autoscaler, AutoscalePolicy, ReshardOp, perform
 from repro.sensing.policy import duty_cycled_policy
 from repro.sensing.sensors import generate_trace
 from repro.orchestration.pipeline import PipelineConfig, train_classifier
@@ -92,6 +93,12 @@ class EpochsOutcome:
     #: durability, and cache temperature never change it
     #: (``tests/serve/test_differential.py``).
     serve_digest: str | None = None
+    #: Every topology change the run applied, as ``(epoch, op)`` pairs —
+    #: scheduled ops and autoscaler decisions alike.  Contractually
+    #: *absent* from every digest above: resharding never changes reports,
+    #: summaries, serve responses, or AGGREGATE telemetry
+    #: (``tests/reshard/test_differential.py``).
+    reshard_ops: list = field(default_factory=list)
 
     @property
     def n_epochs(self) -> int:
@@ -124,6 +131,8 @@ def run_epochs(
     ingest_batch: bool = False,
     queue_depth: int | None = None,
     serve_queries: int = 0,
+    reshard_schedule: dict[int, list[ReshardOp]] | None = None,
+    autoscale: AutoscalePolicy | None = None,
 ) -> EpochsOutcome:
     """Operate the service over ``n_epochs`` equal slices of the horizon.
 
@@ -177,9 +186,24 @@ def run_epochs(
     ``outcome.serve_digest``.  It defaults off so query-free runs never
     construct a serving layer (their telemetry exports stay bit-stable);
     when on, the digest is deployment-invariant like every report.
+
+    ``reshard_schedule`` maps 1-based epoch index → the
+    :class:`~repro.reshard.ops.ReshardOp` list to apply at that epoch's
+    start (build one with :func:`repro.reshard.parse_schedule`);
+    ``autoscale`` installs a telemetry-driven
+    :class:`~repro.reshard.autoscale.Autoscaler` evaluated after every
+    completed maintenance cycle.  Both require a sharded deployment, and
+    both are — like every other deployment knob — contractually invisible
+    in the reports, summaries, serve digest, and AGGREGATE telemetry
+    (``tests/reshard/test_differential.py``).
     """
     if n_epochs < 1:
         raise ValueError("need at least one epoch")
+    if (reshard_schedule or autoscale is not None) and n_shards == 1 and workers == 0:
+        raise ValueError(
+            "resharding requires the sharded deployment; pass n_shards > 1 "
+            "(or workers > 0)"
+        )
     if serve_queries < 0:
         raise ValueError("serve_queries must be >= 0")
     config = config or PipelineConfig()
@@ -197,6 +221,7 @@ def run_epochs(
         raise ValueError("workers must be >= 0 (0 = serial)")
 
     injector = FaultInjector(fault_plan) if fault_plan is not None else None
+    autoscaler = Autoscaler(autoscale) if autoscale is not None else None
 
     def intake(target, deliveries, when: float | None) -> None:
         # One seam for both intake sites: optional bounded-queue admission
@@ -341,6 +366,15 @@ def run_epochs(
                 outcome.server = server
                 break
 
+        if reshard_schedule is not None:
+            # Scheduled topology changes apply at the epoch boundary —
+            # after any failover (they must land on the live endpoint),
+            # before any intake, so every envelope of the epoch routes
+            # under the new table.
+            for op in reshard_schedule.get(epoch, ()):
+                perform(server, op)
+                outcome.reshard_ops.append((epoch, op))
+
         crash_restores = 0
         if injector is not None:
             for crash in injector.crashes_in(start_time, end_time):
@@ -394,6 +428,13 @@ def run_epochs(
             # deliveries run against each arrival time, as before.
             intake(server, network.deliveries_until(ingest_time), None)
             maintenance = server.run_maintenance(now=ingest_time)
+            if autoscaler is not None:
+                # Evaluate on the gauges the cycle just set; the op (if
+                # any) lands before this epoch's shipment, so the replica
+                # applies it at the same point in the mutation stream.
+                applied = autoscaler.evaluate(server)
+                if applied is not None:
+                    outcome.reshard_ops.append((epoch, applied))
             if serve_source is not None:
                 # Fresh summaries just landed; serve the epoch's reads.
                 for serve_query in serve_source.batch(serve_queries):

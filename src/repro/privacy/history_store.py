@@ -209,6 +209,23 @@ class HistoryStore:
         self._histories[history.history_id] = history
         self._by_entity.setdefault(history.entity_id, []).append(history)
 
+    def release(self, history_id: str) -> InteractionHistory:
+        """Detach and return one history, for resharding migration.
+
+        The inverse of :meth:`adopt`: the history leaves this store whole
+        (records, folded stats and all) so the destination shard adopts
+        exactly the state this shard held.  Releasing an unknown id is a
+        routing bug, not a soft miss, hence the raise.
+        """
+        history = self._histories.pop(history_id, None)
+        if history is None:
+            raise KeyError(f"history {history_id!r} not in this store")
+        bucket = self._by_entity[history.entity_id]
+        bucket.remove(history)
+        if not bucket:
+            del self._by_entity[history.entity_id]
+        return history
+
     # -- server-internal aggregation access ------------------------------
     #
     # There is intentionally NO ``get(history_id)`` method: the service

@@ -1,0 +1,46 @@
+"""Scripted reshard schedules for the epochs driver and the CLI.
+
+A schedule maps epoch index → the ops to apply at that epoch's start,
+written as compact specs (the CLI's ``--reshard`` flag takes one per
+occurrence)::
+
+    1:split:0        # at the start of epoch 1, split shard 0
+    2:merge:0:3      # at the start of epoch 2, merge shard 3 into 0
+
+Epochs are 1-based, matching the ``epoch`` field of
+:class:`repro.orchestration.epochs.EpochReport`.
+Ops within one epoch apply in the order given; shard indices refer to
+the topology *at apply time* (so a split at epoch 1 makes shard
+``n_shards`` addressable from epoch 2 on — or immediately, for a later
+op in the same epoch's list).
+"""
+
+from __future__ import annotations
+
+from repro.reshard.ops import ReshardOp
+
+
+def parse_op(spec: str) -> tuple[int, ReshardOp]:
+    """One ``EPOCH:split:SHARD`` / ``EPOCH:merge:A:B`` spec."""
+    parts = spec.strip().split(":")
+    try:
+        if len(parts) == 3 and parts[1] == "split":
+            return int(parts[0]), ReshardOp.split(int(parts[2]))
+        if len(parts) == 4 and parts[1] == "merge":
+            return int(parts[0]), ReshardOp.merge(int(parts[2]), int(parts[3]))
+    except ValueError as exc:
+        raise ValueError(f"bad reshard spec {spec!r}: {exc}") from exc
+    raise ValueError(
+        f"bad reshard spec {spec!r}; expected EPOCH:split:SHARD or EPOCH:merge:A:B"
+    )
+
+
+def parse_schedule(specs: list[str]) -> dict[int, list[ReshardOp]]:
+    """All specs grouped by epoch, preserving per-epoch order."""
+    schedule: dict[int, list[ReshardOp]] = {}
+    for spec in specs:
+        epoch, op = parse_op(spec)
+        if epoch < 1:
+            raise ValueError(f"bad reshard spec {spec!r}: epochs are 1-based")
+        schedule.setdefault(epoch, []).append(op)
+    return schedule

@@ -1,0 +1,98 @@
+"""Durable topology history: the reshard ops a deployment has applied.
+
+WAL segments are truncated once a snapshot covers them, but a reshard
+operation must outlive its segment — recovery has to rebuild the prefix
+table a snapshot's state was captured under before it can replay the
+records that follow.  ``topology.json`` is that ledger: the full ordered
+list of applied operations, each entry carrying its WAL sequence number
+and the *resulting* prefix table, rewritten atomically after every
+topology change (fsync the tmp file, rename, fsync the directory — the
+same protocol as :mod:`repro.durability.snapshot`).
+
+Each entry is a plain dict::
+
+    {"seq": 17, "op": "split", "shard": 1, "resulting": [[[0, 1]], ...]}
+    {"seq": 90, "op": "merge", "a": 0, "b": 3, "resulting": [...]}
+
+``resulting`` is the per-shard prefix table as nested lists (JSON has no
+tuples); :func:`spec_from_json` restores the hashable tuple form that
+:meth:`repro.scale.router.ShardRouter.spec` produces.  The file carries
+a digest over its canonical serialization, so a half-written or damaged
+ledger is detected rather than silently replayed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+TOPOLOGY_FORMAT = "rsp-topology/1"
+TOPOLOGY_FILE = "topology.json"
+
+
+class CorruptTopologyError(RuntimeError):
+    """The topology ledger failed its integrity check."""
+
+
+def spec_to_json(spec) -> list:
+    """A router spec (tuples of ``(value, depth)``) as nested lists."""
+    return [[[int(v), int(d)] for v, d in prefixes] for prefixes in spec]
+
+
+def spec_from_json(raw) -> tuple:
+    """The inverse of :func:`spec_to_json`: hashable nested tuples."""
+    return tuple(
+        tuple((int(v), int(d)) for v, d in prefixes) for prefixes in raw
+    )
+
+
+def _digest(entries: list[dict]) -> str:
+    canonical = json.dumps(entries, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def save_topology(directory: Path, entries: list[dict]) -> Path:
+    """Atomically (re)write the full operation ledger."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format": TOPOLOGY_FORMAT,
+        "entries": entries,
+        "digest": _digest(entries),
+    }
+    final = directory / TOPOLOGY_FILE
+    tmp = directory / (TOPOLOGY_FILE + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.rename(tmp, final)
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    return final
+
+
+def load_topology(directory: Path) -> list[dict]:
+    """The ordered operation ledger, or ``[]`` when none was ever saved."""
+    path = Path(directory) / TOPOLOGY_FILE
+    if not path.exists():
+        return []
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CorruptTopologyError(f"unreadable topology ledger: {exc}") from exc
+    entries = payload.get("entries")
+    if (
+        payload.get("format") != TOPOLOGY_FORMAT
+        or not isinstance(entries, list)
+        or payload.get("digest") != _digest(entries)
+    ):
+        raise CorruptTopologyError(
+            f"topology ledger {path} failed its integrity check"
+        )
+    return entries

@@ -157,6 +157,12 @@ class ShardedRSPServer:
         self.router = ShardRouter(n_shards)
         #: Worker processes for maintenance (0 = in-process serial).
         self.workers = workers
+        #: Kept for resharding: split/merge derive new shard seeds from it.
+        self._key_seed = key_seed
+        #: Monotone count of applied reshard operations, and the ops
+        #: themselves — recovery replays these to rebuild the topology.
+        self.reshard_seq = 0
+        self.reshard_history: list[dict] = []
         self.shards = [ShardState(index, key_seed) for index in range(n_shards)]
         self._redeemer = ShardedTokenRedeemer(self.issuer.public_key, self.router)
         self._nonce_buckets: list[set[bytes]] = [set() for _ in range(n_shards)]
@@ -636,6 +642,131 @@ class ShardedRSPServer:
                     "shard.maintenance", now, now, scope=DEPLOYMENT, shard=shard.index
                 )
         return report
+
+    # -------------------------------------------------------- resharding
+    #
+    # Live topology changes.  These two methods are pure state migration:
+    # no journaling, no telemetry — :func:`repro.reshard.ops.perform`
+    # wraps them with the WAL record (journal-before-migrate) and the
+    # ``rsp.reshard.*`` DEPLOYMENT metrics, and recovery calls them
+    # directly when replaying a reshard record.  Both run between intake
+    # batches (single-threaded deployment loop), so the router swap at
+    # the end is atomic as far as any caller can observe.
+
+    def split_shard(self, index: int) -> dict[str, int]:
+        """Split shard ``index``: extend its prefix, move only its keys.
+
+        The new shard takes the next free slot (``n_shards``) and adopts
+        exactly the state whose keys route to it under the post-split
+        table: whole histories (records and folded stats ride along),
+        opinion slots (their ``seq`` ordering moves with them), explicit
+        reviews, seen nonces, and spent tokens.  Dirty-entity marks move
+        with the state *only for entities already marked* — marking a
+        clean entity would change the incremental engine's tracked set
+        and break AGGREGATE-telemetry identity with a static deployment.
+        Returns per-kind moved counts.
+        """
+        router = self.router.split(index)
+        new_index = self.n_shards_live
+        source = self.shards[index]
+        dest = ShardState(new_index, self._key_seed)
+        moved_entities: set[str] = set()
+        moved = {"histories": 0, "opinions": 0, "reviews": 0, "nonces": 0, "tokens": 0}
+        for history in source.store.all_histories():
+            if router.shard_of(history.history_id) == new_index:
+                dest.store.adopt(source.store.release(history.history_id))
+                moved_entities.add(history.entity_id)
+                moved["histories"] += 1
+        for history_id in sorted(source.opinions):
+            if router.shard_of(history_id) == new_index:
+                dest.opinions[history_id] = source.opinions.pop(history_id)
+                moved["opinions"] += 1
+        for entity_id in sorted(source.reviews):
+            if router.shard_of(entity_id) == new_index:
+                dest.reviews[entity_id] = source.reviews.pop(entity_id)
+                moved_entities.add(entity_id)
+                moved["reviews"] += len(dest.reviews[entity_id])
+        dest.dirty_entities.update(
+            entity_id
+            for entity_id in moved_entities
+            if entity_id in source.dirty_entities
+        )
+        source_nonces = self._nonce_buckets[index]
+        moved_nonces = {
+            nonce
+            for nonce in source_nonces
+            if router.shard_of_bytes(nonce) == new_index
+        }
+        source_nonces -= moved_nonces
+        self._nonce_buckets.append(moved_nonces)
+        moved["nonces"] = len(moved_nonces)
+        source_tokens = self._redeemer._spent[index]
+        moved_tokens = {
+            token_id
+            for token_id in source_tokens
+            if router.shard_of_bytes(token_id) == new_index
+        }
+        source_tokens -= moved_tokens
+        self._redeemer._spent.append(moved_tokens)
+        moved["tokens"] = len(moved_tokens)
+        self.shards.append(dest)
+        self._finish_reshard(source, dest, router)
+        return moved
+
+    def merge_shards(self, a: int, b: int) -> dict[str, int]:
+        """Merge shard ``b`` into shard ``a``; shards above ``b`` renumber.
+
+        All of ``b``'s state lands on ``a`` through the commutative merge
+        algebra: routing keeps the key spaces disjoint, so histories
+        adopt into fresh slots, opinion slots and review lists transplant
+        whole (review order within an entity is preserved — ``b`` owned
+        the only list), nonce/token buckets union, and dirty marks union.
+        Returns per-kind moved counts.
+        """
+        router = self.router.merge(a, b)
+        source, dest = self.shards[b], self.shards[a]
+        moved = {
+            "histories": source.store.n_histories,
+            "opinions": len(source.opinions),
+            "reviews": sum(len(reviews) for reviews in source.reviews.values()),
+            "nonces": len(self._nonce_buckets[b]),
+            "tokens": len(self._redeemer._spent[b]),
+        }
+        for history in source.store.all_histories():
+            dest.store.adopt(history)
+        dest.opinions.update(source.opinions)
+        for entity_id in sorted(source.reviews):
+            dest.reviews.setdefault(entity_id, []).extend(source.reviews[entity_id])
+        dest.dirty_entities |= source.dirty_entities
+        self._nonce_buckets[a] |= self._nonce_buckets[b]
+        del self._nonce_buckets[b]
+        self._redeemer._spent[a] |= self._redeemer._spent[b]
+        del self._redeemer._spent[b]
+        del self.shards[b]
+        for shard in self.shards[b:]:
+            shard.renumber(shard.index - 1, self._key_seed)
+        self._finish_reshard(source, dest, router)
+        return moved
+
+    def _finish_reshard(
+        self, source: ShardState, dest: ShardState, router: ShardRouter
+    ) -> None:
+        """Swap the routing table in and invalidate every cached view."""
+        source.store_version += 1
+        source.version += 1
+        dest.store_version += 1
+        dest.version += 1
+        self.router = router
+        self._redeemer._router = router
+        self._gather = None
+        self._gather_versions = None
+        if self.journal is not None:
+            self.journal.remap_lanes(router.n_shards, router.shard_of)
+
+    @property
+    def n_shards_live(self) -> int:
+        """The current shard count (changes across split/merge)."""
+        return len(self.shards)
 
     # -------------------------------------------------------------- query
 

@@ -56,6 +56,16 @@ class ShardState:
         """This shard's independent random stream for ``label``."""
         return make_rng(self.seed, label)
 
+    def renumber(self, index: int, key_seed: int) -> None:
+        """Take over slot ``index`` after a merge removed a lower shard.
+
+        Only the identity changes: the seed is re-derived for the new
+        label (per-shard streams stay a pure function of the slot), and
+        the stores, caches and dirty set move untouched.
+        """
+        self.index = index
+        self.seed = derive_seed(key_seed, f"scale/shard[{index}]")
+
     def frame(self, entity_kinds: dict[str, str]) -> ShardFrame:
         """The columnar view of this shard's histories, cached by version.
 

@@ -99,8 +99,16 @@ class SummaryVersionCache:
         return self._versions.get(entity_id, 0)
 
     def fingerprint(self, dependency_ids: Iterable[str]) -> Fingerprint:
-        """Current ``(entity_id, version)`` pairs for a dependency set."""
-        return tuple((eid, self.version(eid)) for eid in sorted(dependency_ids))
+        """Current ``(entity_id, version)`` pairs for a dependency set.
+
+        Deduplicated: callers may pass an id twice (e.g. a candidate list
+        built from overlapping predicates), and a repeated pair would
+        inflate the fingerprint and the revalidation scan for no
+        coherence benefit.
+        """
+        return tuple(
+            (eid, self.version(eid)) for eid in sorted(set(dependency_ids))
+        )
 
     # ----------------------------------------------------------- lookups
 
@@ -161,7 +169,13 @@ class SummaryVersionCache:
         return len(doomed)
 
     def clear(self) -> None:
-        """Drop every entry (versions survive — they are monotone forever)."""
+        """Drop every entry (versions survive — they are monotone forever).
+
+        Cleared entries count as evictions: they were dropped by an
+        operator action, not by staleness, and hit-rate telemetry would
+        misreport the subsequent cold misses if the drops went uncounted.
+        """
+        self.stats.evictions += len(self._entries)
         self._entries.clear()
         self._dependents.clear()
 

@@ -52,3 +52,12 @@ SERVE_RESULT_BUCKETS: tuple[float, ...] = (0, 1, 2, 5, 10, 20, 50, 100)
 SERVE_LATENCY_BUCKETS: tuple[float, ...] = (
     1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1,
 )
+
+#: ``rsp.reshard.moved`` — state items migrated per split/merge (the sum
+#: of the per-kind moved counts; deployment scope — a static deployment
+#: reshards zero times, so nothing here may enter the aggregate digest).
+RESHARD_MOVED_BUCKETS: tuple[float, ...] = (1, 5, 10, 50, 100, 500, 1000, 5000)
+
+#: ``rsp.reshard.load`` — per-shard history counts observed by the
+#: autoscaler when it evaluates a deployment (deployment scope).
+RESHARD_LOAD_BUCKETS: tuple[float, ...] = (1, 5, 10, 50, 100, 500, 1000, 5000)

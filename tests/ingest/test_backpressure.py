@@ -93,6 +93,21 @@ class TestQueueUnit:
         BoundedIntakeQueue(2, telemetry=telemetry).drain()
         assert "rsp.ingest.drain" not in telemetry.metrics.export_json()
 
+    def test_empty_drains_leave_the_export_byte_identical(self):
+        # An idle deployment drains its (empty) queue every tick; those
+        # ticks must not touch the queue_depth gauge (its write version
+        # is part of the export, so idle churn would make two otherwise
+        # identical soak runs export different telemetry).
+        telemetry = Telemetry()
+        queue = BoundedIntakeQueue(4, telemetry=telemetry)
+        queue.offer_all(["a", "b"])
+        queue.drain()
+        exported = telemetry.export_json()
+        assert "rsp.ingest.queue_depth" in exported
+        for _ in range(3):
+            queue.drain()
+        assert telemetry.export_json() == exported
+
 
 # --------------------------------------------------------- end-to-end XOR
 

@@ -1,0 +1,18 @@
+"""Shared fixtures for the resharding suite.
+
+Reuses the durability suite's direct-intake harness (synthetic
+deliveries, token-free servers) — a reshard is, from the durable log's
+point of view, just one more journaled mutation, so the same workload
+shapes exercise it.
+"""
+
+import pytest
+
+from repro.world.population import TownConfig, build_town
+
+FIXTURE_SEED = 7
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    return build_town(TownConfig(n_users=20), seed=FIXTURE_SEED).entities

@@ -1,0 +1,157 @@
+"""Shard state migration: split/merge hand off every kind of state.
+
+Each test loads a sharded server through the direct-intake harness,
+reshards it, and checks the migration invariants: totals are conserved,
+placement matches the post-reshard routing table for *every* kind of
+state, only the resharded shards' keys move, and a maintenance cycle on
+the migrated deployment produces the same summaries as a static one.
+"""
+
+import pytest
+
+from repro.reshard import ReshardOp, perform
+from repro.telemetry import AGGREGATE, DEPLOYMENT, Telemetry
+
+from tests.durability.conftest import make_server, synth_deliveries
+
+N_DELIVERIES = 48
+FINAL_NOW = 10**6
+
+
+def loaded_server(catalog, n_shards, with_reviews=True):
+    server = make_server(catalog, n_shards)
+    if with_reviews:
+        ids = sorted(entity.entity_id for entity in catalog)
+        for k in range(4):
+            server.post_review(f"reviewer-{k}", ids[k], 2 + k % 3, 40.0 * (k + 1))
+    server.receive_all(synth_deliveries(catalog, 0, N_DELIVERIES))
+    return server
+
+
+def totals(server):
+    return {
+        "histories": server.n_histories,
+        "opinions": sum(len(shard.opinions) for shard in server.shards),
+        "reviews": sum(
+            len(reviews)
+            for shard in server.shards
+            for reviews in shard.reviews.values()
+        ),
+        "nonces": sum(len(bucket) for bucket in server._nonce_buckets),
+        "tokens": sum(len(bucket) for bucket in server._redeemer._spent),
+        "dirty": set().union(*(shard.dirty_entities for shard in server.shards)),
+        "accepted": server.accepted_envelopes,
+    }
+
+
+def assert_placement(server):
+    """Every piece of state lives on the shard the router names."""
+    router = server.router
+    assert len(server.shards) == router.n_shards
+    assert len(server._nonce_buckets) == router.n_shards
+    assert len(server._redeemer._spent) == router.n_shards
+    for position, shard in enumerate(server.shards):
+        assert shard.index == position
+        for history in shard.store.all_histories():
+            assert router.shard_of(history.history_id) == position
+        for history_id in shard.opinions:
+            assert router.shard_of(history_id) == position
+        for nonce in server._nonce_buckets[position]:
+            assert router.shard_of_bytes(nonce) == position
+        for token_id in server._redeemer._spent[position]:
+            assert router.shard_of_bytes(token_id) == position
+
+
+@pytest.mark.parametrize("target", [0, 1, 3])
+def test_split_conserves_totals_and_places_every_key(catalog, target):
+    server = loaded_server(catalog, n_shards=4)
+    before = totals(server)
+    source_size = server.shards[target].store.n_histories
+    moved = server.split_shard(target)
+    assert server.n_shards_live == 5
+    assert totals(server) == before
+    assert_placement(server)
+    # Locality: the split moved state out of the split shard only, and
+    # no more of it than the shard held.
+    assert 0 <= moved["histories"] <= source_size
+    assert moved["histories"] == server.shards[4].store.n_histories
+
+
+def test_split_moves_only_already_dirty_marks(catalog):
+    server = loaded_server(catalog, n_shards=2)
+    dirty_before = set().union(*(s.dirty_entities for s in server.shards))
+    server.split_shard(0)
+    dirty_after = set().union(*(s.dirty_entities for s in server.shards))
+    # The union is preserved exactly: migration neither loses a pending
+    # mark nor invents one (which would change the engine's tracked set).
+    assert dirty_after == dirty_before
+
+
+@pytest.mark.parametrize("a,b", [(0, 1), (0, 3), (2, 1)])
+def test_merge_conserves_totals_and_renumbers(catalog, a, b):
+    server = loaded_server(catalog, n_shards=4)
+    before = totals(server)
+    source_size = server.shards[b].store.n_histories
+    moved = server.merge_shards(a, b)
+    assert server.n_shards_live == 3
+    assert totals(server) == before
+    assert_placement(server)
+    assert moved["histories"] == source_size
+
+
+def test_split_then_merge_round_trips_the_deployment(catalog):
+    server = loaded_server(catalog, n_shards=3)
+    reference = loaded_server(catalog, n_shards=3)
+    server.split_shard(1)
+    server.merge_shards(1, 3)
+    assert server.router == reference.router
+    assert totals(server) == totals(reference)
+    for ours, theirs in zip(server.shards, reference.shards):
+        assert ours.store.n_histories == theirs.store.n_histories
+        assert sorted(ours.opinions) == sorted(theirs.opinions)
+
+
+def test_resharded_maintenance_matches_static(catalog):
+    resharded = loaded_server(catalog, n_shards=2)
+    static = loaded_server(catalog, n_shards=2)
+    resharded.split_shard(0)
+    resharded.split_shard(1)
+    resharded.merge_shards(0, 2)
+    static_report = static.run_maintenance(now=FINAL_NOW)
+    resharded_report = resharded.run_maintenance(now=FINAL_NOW)
+    assert repr(resharded_report) == repr(static_report)
+    assert resharded.all_summaries() == static.all_summaries()
+
+
+def test_post_split_intake_routes_and_dedupes(catalog):
+    server = loaded_server(catalog, n_shards=2)
+    server.split_shard(0)
+    # Re-deliver the same batch: every envelope is a duplicate and the
+    # migrated nonce buckets must suppress all of them.
+    accepted_before = server.accepted_envelopes
+    server.receive_all(synth_deliveries(catalog, 0, N_DELIVERIES))
+    assert server.accepted_envelopes == accepted_before
+    assert server.duplicates_suppressed >= N_DELIVERIES
+    # Fresh records land on the right shards under the new table.
+    server.receive_all(synth_deliveries(catalog, N_DELIVERIES, N_DELIVERIES + 12))
+    assert_placement(server)
+
+
+def test_perform_records_history_and_deployment_telemetry(catalog):
+    server = loaded_server(catalog, n_shards=2)
+    telemetry = Telemetry()
+    server.attach_telemetry(telemetry)
+    aggregate_before = telemetry.digest(scope=AGGREGATE)
+    moved = perform(server, ReshardOp.split(0))
+    assert server.reshard_history[-1]["op"] == "split"
+    assert server.reshard_history[-1]["seq"] == 0  # no journal attached
+    assert server.reshard_seq == 1
+    assert moved["histories"] > 0
+    assert telemetry.value("rsp.reshard.shards") == 3
+    assert telemetry.total("rsp.reshard.splits") == 1
+    perform(server, ReshardOp.merge(0, 2))
+    assert telemetry.total("rsp.reshard.merges") == 1
+    # Everything reshard-related is DEPLOYMENT-scoped: the aggregate
+    # digest a static deployment is compared against must not move.
+    assert telemetry.digest(scope=AGGREGATE) == aggregate_before
+    assert "rsp.reshard" in telemetry.export_json(scope=DEPLOYMENT)

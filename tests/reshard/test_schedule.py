@@ -1,0 +1,50 @@
+"""Unit pins for the ``EPOCH:split:SHARD`` / ``EPOCH:merge:A:B`` parser."""
+
+import pytest
+
+from repro.reshard import ReshardOp, parse_schedule
+from repro.reshard.schedule import parse_op
+
+
+def test_parse_split_and_merge():
+    assert parse_op("1:split:0") == (1, ReshardOp.split(0))
+    assert parse_op("4:merge:2:7") == (4, ReshardOp.merge(2, 7))
+    assert parse_op(" 2:split:3 ") == (2, ReshardOp.split(3))
+
+
+def test_schedule_groups_by_epoch_preserving_order():
+    schedule = parse_schedule(["2:split:1", "1:split:0", "2:merge:0:1"])
+    assert schedule == {
+        1: [ReshardOp.split(0)],
+        2: [ReshardOp.split(1), ReshardOp.merge(0, 1)],
+    }
+    assert schedule[2][0].kind == "split"  # per-epoch order kept
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "split:0",  # no epoch
+        "1:split",  # no shard
+        "1:grow:0",  # unknown op
+        "1:merge:2",  # merge needs two shards
+        "x:split:0",  # non-numeric epoch
+        "1:split:x",  # non-numeric shard
+        "1:merge:3:3",  # self-merge
+    ],
+)
+def test_malformed_specs_raise(bad):
+    with pytest.raises(ValueError, match="bad reshard spec|itself"):
+        parse_op(bad)
+
+
+def test_epochs_are_one_based():
+    with pytest.raises(ValueError, match="1-based"):
+        parse_schedule(["0:split:0"])
+
+
+def test_op_describe_round_trips_the_spec_tail():
+    assert ReshardOp.split(3).describe() == "split:3"
+    assert ReshardOp.merge(1, 4).describe() == "merge:1:4"
+    with pytest.raises(ValueError, match="unknown reshard op kind"):
+        ReshardOp(kind="grow")

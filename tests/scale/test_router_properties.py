@@ -80,28 +80,68 @@ class TestTotalityAndStability:
             assert router.shard_of_bytes(key) == 0
 
     def test_pinned_routes(self):
-        """Golden pins: the routing function must never drift silently."""
+        """Golden pins: the routing function must never drift silently.
+
+        The canonical 8-shard prefix table assigns the top three bits of
+        the 64-bit key to shards ``[0, 4, 2, 5, 1, 6, 3, 7]`` (the order
+        the recursive split construction yields them in).  Updating these
+        pins is only legitimate for an intentional routing change, paired
+        with a migration story.
+        """
+        owner_by_top3 = [0, 4, 2, 5, 1, 6, 3, 7]
         router = ShardRouter(8)
         record_key = hashlib.sha256(b"pinned").hexdigest()
-        assert router.shard_of(record_key) == int(record_key[:16], 16) % 8
-        assert router.shard_of("entity-42") == stable_u64(
-            "scale/shard-route", "entity-42"
-        ) % 8
-        assert router.shard_of_bytes(b"\x01" * 16) == int.from_bytes(
-            b"\x01" * 8, "big"
-        ) % 8
-        assert router.shard_of_bytes(b"ab") == stable_u64(
-            "scale/shard-route", b"ab"
-        ) % 8
+        assert router.shard_of(record_key) == owner_by_top3[
+            int(record_key[:16], 16) >> 61
+        ]
+        assert router.shard_of("entity-42") == owner_by_top3[
+            stable_u64("scale/shard-route", "entity-42") >> 61
+        ]
+        assert router.shard_of_bytes(b"\x01" * 16) == owner_by_top3[
+            int.from_bytes(b"\x01" * 8, "big") >> 61
+        ]
+        assert router.shard_of_bytes(b"ab") == owner_by_top3[
+            stable_u64("scale/shard-route", b"ab") >> 61
+        ]
 
     def test_hexlike_but_invalid_key_falls_back(self):
         """A 64-char key with non-hex characters takes the hash path."""
         key = "z" * 64
         for n_shards in SHARD_COUNTS:
             router = ShardRouter(n_shards)
-            assert router.shard_of(key) == stable_u64(
-                "scale/shard-route", key
-            ) % n_shards
+            assert router.shard_of(key) == router.shard_of_u64(
+                stable_u64("scale/shard-route", key)
+            )
+
+    def test_sign_space_and_case_variants_take_the_hash_path(self):
+        """``int(key, 16)`` alone would accept these; the strict guard
+        must not.  Regression pins for the hex fast-path tightening: each
+        tricky key routes exactly where ``stable_u64`` sends it, and the
+        uppercase twin of a genuine record id does *not* follow the
+        record id itself."""
+        router = ShardRouter(8)
+        tricky = [
+            "+" + "f" * 63,  # sign prefix, still 64 chars
+            "-" + "f" * 63,
+            " " + "f" * 63,  # whitespace prefix
+            "f" * 63 + "\n",  # trailing whitespace
+            "AB" * 32,  # uppercase hex
+            hashlib.sha256(b"pinned").hexdigest().upper(),
+            "_" + "f" * 63,  # underscore: int() accepts "f_f" grouping
+        ]
+        for key in tricky:
+            assert len(key) == 64
+            assert router.shard_of(key) == router.shard_of_u64(
+                stable_u64("scale/shard-route", key)
+            ), key
+        record_key = hashlib.sha256(b"pinned").hexdigest()
+        upper = record_key.upper()
+        assert router.shard_of(upper) == router.shard_of_u64(
+            stable_u64("scale/shard-route", upper)
+        )
+        assert router.shard_of(record_key) == router.shard_of_u64(
+            int(record_key[:16], 16)
+        )
 
 
 class TestCoLocation:

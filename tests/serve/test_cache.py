@@ -107,6 +107,25 @@ class TestCacheUnit:
         assert cache.version("a") == 1
         assert len(cache) == 0
 
+    def test_clear_counts_the_dropped_entries_as_evictions(self):
+        cache = SummaryVersionCache()
+        cache.put("q1", "r1", ["a"])
+        cache.put("q2", "r2", ["b"])
+        cache.clear()
+        assert cache.stats.evictions == 2
+        # An empty clear drops nothing and must not inflate the counter.
+        cache.clear()
+        assert cache.stats.evictions == 2
+
+    def test_fingerprint_deduplicates_repeated_dependencies(self):
+        cache = SummaryVersionCache()
+        assert cache.fingerprint(["a", "a", "b"]) == cache.fingerprint(["a", "b"])
+        assert cache.fingerprint(["b", "a", "b"]) == (("a", 0), ("b", 0))
+        # A duplicated dependency list must not widen the stored entry's
+        # fingerprint (or every revalidation scan would re-check it).
+        entry = cache.put("q", "r", ["a", "b", "a"])
+        assert entry.fingerprint == (("a", 0), ("b", 0))
+
     def test_stats_hit_rate(self):
         cache = SummaryVersionCache()
         assert cache.stats.hit_rate() == 0.0
